@@ -1,0 +1,37 @@
+# POD reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro repro-fast fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The benchmark harness regenerates every paper artifact at 0.1 scale.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-scale reproduction of every table and figure (a few minutes).
+repro:
+	$(GO) run ./cmd/podbench
+
+# Subsampled reproduction for a quick look.
+repro-fast:
+	$(GO) run ./cmd/podbench -scale 0.1
+
+# Short fuzz pass over the parsers and the journal recovery.
+fuzz:
+	$(GO) test -fuzz FuzzReadText -fuzztime 20s ./internal/trace/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 20s ./internal/trace/
+	$(GO) test -fuzz FuzzLoad -fuzztime 20s ./internal/maptable/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,277 @@
+package pod
+
+// The benchmark harness regenerates every table and figure of the POD
+// paper's evaluation (go test -bench=. -benchmem). Each benchmark runs
+// the corresponding experiment end-to-end at a reduced trace scale
+// (BENCH_SCALE below; cmd/podbench reproduces the full-scale numbers)
+// and reports the experiment's headline values as custom metrics, so a
+// benchmark run doubles as a regression check on the reproduced shapes.
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/raid"
+)
+
+type raidLevel = raid.Level
+
+// benchScale keeps a full table/figure regeneration around a second.
+const benchScale = 0.1
+
+func newEnv() *experiments.Env {
+	return experiments.NewEnv(benchScale, runtime.GOMAXPROCS(0))
+}
+
+func metric(b *testing.B, rows []experiments.NormRow, engine, trace, unit string) {
+	b.Helper()
+	for _, r := range rows {
+		if r.Engine == engine && r.Trace == trace {
+			b.ReportMetric(r.Value, unit)
+			return
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the trace-characteristics table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, chars := env.Table2()
+		b.ReportMetric(chars[2].AvgReqKB, "mail-avg-KB")
+		b.ReportMetric(chars[0].WriteRatio, "webvm-write-%")
+	}
+}
+
+// BenchmarkFig1 regenerates the redundancy-by-size distribution.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, buckets := env.Fig1()
+		small := buckets["web-vm"][0]
+		b.ReportMetric(100*float64(small.Redundant)/float64(small.Total), "webvm-4KB-redundant-%")
+	}
+}
+
+// BenchmarkFig2 regenerates the I/O vs capacity redundancy split.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig2()
+		for _, r := range rows {
+			if r.Trace == "mail" {
+				b.ReportMetric(r.IORedundancyPct, "mail-io-redundancy-%")
+				b.ReportMetric(r.SameLBAPct, "mail-same-lba-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3 sweeps the static index/read cache partition on mail
+// under Full-Dedupe.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig3(nil)
+		b.ReportMetric(rows[0].WriteRTms, "write-ms-at-10%")
+		b.ReportMetric(rows[len(rows)-1].WriteRTms, "write-ms-at-90%")
+		b.ReportMetric(rows[0].ReadRTms, "read-ms-at-10%")
+		b.ReportMetric(rows[len(rows)-1].ReadRTms, "read-ms-at-90%")
+	}
+}
+
+// BenchmarkFig8 regenerates the normalized overall response times.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig8()
+		metric(b, rows, experiments.SelectDedupe, "web-vm", "webvm-select-%")
+		metric(b, rows, experiments.SelectDedupe, "mail", "mail-select-%")
+		metric(b, rows, experiments.FullDedupe, "homes", "homes-full-%")
+	}
+}
+
+// BenchmarkFig9Write regenerates the normalized write response times.
+func BenchmarkFig9Write(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig9Write()
+		metric(b, rows, experiments.SelectDedupe, "mail", "mail-select-%")
+		metric(b, rows, experiments.FullDedupe, "homes", "homes-full-%")
+	}
+}
+
+// BenchmarkFig9Read regenerates the normalized read response times.
+func BenchmarkFig9Read(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig9Read()
+		metric(b, rows, experiments.FullDedupe, "homes", "homes-full-%")
+		metric(b, rows, experiments.SelectDedupe, "web-vm", "webvm-select-%")
+	}
+}
+
+// BenchmarkFig10 regenerates the normalized capacity usage.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig10()
+		metric(b, rows, experiments.FullDedupe, "mail", "mail-full-%")
+		metric(b, rows, experiments.SelectDedupe, "mail", "mail-select-%")
+		metric(b, rows, experiments.IDedup, "mail", "mail-idedup-%")
+	}
+}
+
+// BenchmarkFig11 regenerates the write-removal percentages.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows := env.Fig11()
+		metric(b, rows, experiments.POD, "mail", "mail-pod-removed-%")
+		metric(b, rows, experiments.SelectDedupe, "mail", "mail-select-removed-%")
+		metric(b, rows, experiments.IDedup, "mail", "mail-idedup-removed-%")
+	}
+}
+
+// BenchmarkOverhead regenerates §IV-D (NVRAM footprint, hash cost).
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		_, rows, sha1us := env.Overhead()
+		b.ReportMetric(float64(rows[2].NVRAMPeakBytes)/(1<<20), "mail-nvram-MB")
+		b.ReportMetric(sha1us, "sha1-us-per-4KB")
+	}
+}
+
+// --- ablations beyond the paper's figures ---
+
+// BenchmarkAblationThreshold sweeps Select-Dedupe's partial-redundancy
+// threshold (the paper fixes it at 3) on the homes trace, where
+// category-2 traffic is heaviest.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, th := range []int{1, 3, 6} {
+			env := newEnv()
+			rt, removed := env.ThresholdPoint("homes", th)
+			b.ReportMetric(rt/1000, "ms-th"+string(rune('0'+th)))
+			_ = removed
+		}
+	}
+}
+
+// BenchmarkAblationStripeUnit sweeps the RAID5 stripe unit under POD on
+// web-vm: larger units shift small writes toward read-modify-write.
+func BenchmarkAblationStripeUnit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kb := range []int{16, 64, 256} {
+			env := newEnv()
+			rt := env.StripeUnitPoint("web-vm", kb)
+			b.ReportMetric(rt/1000, "ms-"+itoa(kb)+"KB")
+		}
+	}
+}
+
+// BenchmarkAblationAdaptive compares the fixed 50/50 partition against
+// iCache adaptation (Select-Dedupe vs POD) across the three traces.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		env.EnsureMatrix([]string{experiments.SelectDedupe, experiments.POD}, experiments.TraceNames)
+		for _, tn := range experiments.TraceNames {
+			sd := env.Result(experiments.SelectDedupe, tn)
+			pd := env.Result(experiments.POD, tn)
+			b.ReportMetric(pd.Stats.WriteRemovalPct()-sd.Stats.WriteRemovalPct(), tn+"-removal-delta")
+		}
+	}
+}
+
+// --- micro-benchmarks of the write path itself ---
+
+func benchWritePath(b *testing.B, scheme Scheme) {
+	sys, err := New(Config{Scheme: scheme, DiskBlocks: 1 << 20, MemoryMB: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1000
+		// alternate fresh and duplicate content
+		id := uint64(i)
+		if i%2 == 1 {
+			id = uint64(i - 1)
+		}
+		if _, err := sys.Write(now, uint64(i%100000)*4, []uint64{id, id + 1, id + 2, id + 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWritePathNative(b *testing.B)       { benchWritePath(b, SchemeNative) }
+func BenchmarkWritePathFullDedupe(b *testing.B)   { benchWritePath(b, SchemeFullDedupe) }
+func BenchmarkWritePathIDedup(b *testing.B)       { benchWritePath(b, SchemeIDedup) }
+func BenchmarkWritePathSelectDedupe(b *testing.B) { benchWritePath(b, SchemeSelectDedupe) }
+func BenchmarkWritePathPOD(b *testing.B)          { benchWritePath(b, SchemePOD) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationLayout compares Native vs POD write RT across RAID
+// layouts (the RMW penalty quantified).
+func BenchmarkAblationLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		for _, l := range []struct {
+			name  string
+			level raidLevel
+		}{{"raid0", 0}, {"raid1", 2}, {"raid5", 1}} {
+			rt := env.LayoutPoint(experiments.POD, "web-vm", l.level)
+			b.ReportMetric(rt/1000, l.name+"-pod-ms")
+		}
+	}
+}
+
+// BenchmarkAblationDupSweep measures POD write RT against workload
+// redundancy.
+func BenchmarkAblationDupSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := newEnv()
+		b.ReportMetric(env.DupSweepPoint(experiments.POD, 0)/1000, "ms-at-0pct")
+		b.ReportMetric(env.DupSweepPoint(experiments.POD, 0.9)/1000, "ms-at-90pct")
+	}
+}
+
+// BenchmarkCrashRecovery measures wall-clock recovery speed: journal
+// replay plus allocator/store reconstruction for a populated system.
+func BenchmarkCrashRecovery(b *testing.B) {
+	reqs, _, err := GenerateWorkload("homes", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := New(Config{Scheme: SchemePOD, MemoryMB: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Replay(reqs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.CrashAndRecover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command podbench regenerates the POD paper's evaluation artifacts.
+//
+// Usage:
+//
+//	podbench [-scale f] [-workers n] [experiment ...]
+//
+// Experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11
+// overhead all (default: all). Scale 1.0 replays the paper's full
+// request counts; smaller scales subsample proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/pod-dedup/pod/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper request counts)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replays")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"all"}
+	}
+	env := experiments.NewEnv(*scale, *workers)
+
+	run := func(name string) bool {
+		start := time.Now()
+		switch name {
+		case "table1":
+			fmt.Println(experiments.Table1())
+		case "table2":
+			t, _ := env.Table2()
+			fmt.Println(t)
+		case "fig1":
+			t, _ := env.Fig1()
+			fmt.Println(t)
+		case "fig2":
+			t, _ := env.Fig2()
+			fmt.Println(t)
+		case "fig3":
+			t, _ := env.Fig3(nil)
+			fmt.Println(t)
+		case "fig8":
+			t, _ := env.Fig8()
+			fmt.Println(t)
+		case "fig9":
+			t, _ := env.Fig9Write()
+			fmt.Println(t)
+			t, _ = env.Fig9Read()
+			fmt.Println(t)
+		case "fig10":
+			t, _ := env.Fig10()
+			fmt.Println(t)
+		case "fig11":
+			t, _ := env.Fig11()
+			fmt.Println(t)
+		case "overhead":
+			t, _, _ := env.Overhead()
+			fmt.Println(t)
+		case "raw":
+			fmt.Println(env.Raw())
+		case "schemes":
+			fmt.Println(env.SchemesTable())
+		case "ablations":
+			fmt.Println(env.ThresholdSweep("homes", nil))
+			fmt.Println(env.StripeUnitSweep("web-vm", nil))
+			fmt.Println(env.DupSweep(nil))
+			fmt.Println(env.LayoutSweep("web-vm"))
+			fmt.Println(env.ChurnSweep())
+			h, d := env.DegradedPoint("homes")
+			fmt.Printf("Degraded-mode ablation (homes, POD): healthy read %.2fms, one disk failed %.2fms\n\n", h/1000, d/1000)
+		default:
+			return false
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return true
+	}
+
+	for _, name := range wanted {
+		name = strings.ToLower(name)
+		if name == "all" {
+			for _, n := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig8", "fig9",
+				"fig10", "fig11", "overhead", "raw", "schemes", "ablations"} {
+				run(n)
+			}
+			continue
+		}
+		if !run(name) {
+			fmt.Fprintf(os.Stderr, "podbench: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command podsim replays one trace against one storage scheme with
+// tunable platform knobs, printing a detailed measurement report.
+//
+// Usage:
+//
+//	podsim -scheme POD -trace mail -scale 0.5
+//	podsim -scheme Select-Dedupe -file mytrace.txt -memory 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/replay"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "POD", "Native | Full-Dedupe | iDedup | Select-Dedupe | POD")
+	traceName := flag.String("trace", "web-vm", "built-in trace: web-vm, homes, mail")
+	file := flag.String("file", "", "replay a trace file instead of a built-in (text format)")
+	fiu := flag.Bool("fiu", false, "treat -file as an FIU SRT record stream (reassembled at 1 ms)")
+	scale := flag.Float64("scale", 1.0, "built-in trace scale")
+	disks := flag.Int("disks", 4, "spindles")
+	diskBlocks := flag.Uint64("diskblocks", 0, "blocks per spindle (default: derived from trace)")
+	stripeKB := flag.Int("stripe", 64, "stripe unit in KB")
+	memoryMB := flag.Float64("memory", 0, "cache DRAM in MB (default: trace profile)")
+	indexFrac := flag.Float64("indexfrac", 0.5, "initial index-cache share")
+	threshold := flag.Int("threshold", 3, "Select-Dedupe redundancy threshold (chunks)")
+	idedupThresh := flag.Int("idedup-threshold", 8, "iDedup minimum duplicate sequence (chunks)")
+	history := flag.Bool("history", false, "print the iCache partition trajectory (POD only)")
+	latencies := flag.String("latencies", "", "write per-request latencies as CSV to this file")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var warmup int
+	prof, profOK := workload.ByName(*traceName)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if *fiu {
+			tr, err = trace.ReadFIU(f, *file, trace.FIUOptions{})
+			if err == nil {
+				tr.Requests = trace.Reassemble(tr.Requests, 1000)
+			}
+		} else {
+			tr, err = trace.ReadText(f, *file)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if !profOK {
+			fatal(fmt.Errorf("unknown trace %q", *traceName))
+		}
+		tr, warmup = workload.Generate(prof, *scale)
+	}
+
+	blocks := *diskBlocks
+	if blocks == 0 {
+		if profOK && *file == "" {
+			blocks = prof.FootprintChunks / 2
+		} else {
+			blocks = 1 << 19
+		}
+	}
+	ds := make([]*disk.Disk, *disks)
+	for i := range ds {
+		ds[i] = disk.New(disk.DefaultParams(blocks))
+	}
+	mem := int64(*memoryMB * (1 << 20))
+	if mem == 0 {
+		if profOK && *file == "" {
+			mem = int64(float64(prof.MemoryBytes) * *scale)
+		} else {
+			mem = 32 << 20
+		}
+		if mem < 1<<19 {
+			mem = 1 << 19
+		}
+	}
+	cfg := engine.Config{
+		Array:           raid.New(raid.RAID5, ds, uint64(*stripeKB/4)),
+		MemoryBytes:     mem,
+		IndexFrac:       *indexFrac,
+		Threshold:       *threshold,
+		IDedupThreshold: *idedupThresh,
+		NVRAMBytes:      int(blocks * uint64(*disks) * 24),
+	}
+	eng := experiments.NewEngine(*scheme, cfg)
+
+	var lat *os.File
+	if *latencies != "" {
+		var err error
+		lat, err = os.Create(*latencies)
+		if err != nil {
+			fatal(err)
+		}
+		defer lat.Close()
+		fmt.Fprintln(lat, "seq,time_us,op,lba,chunks,latency_us")
+	}
+
+	var res *replay.Result
+	if lat == nil {
+		res = replay.Run(eng, tr, warmup)
+	} else {
+		res = replay.RunObserved(eng, tr, warmup, func(i int, r *trace.Request, rt int64) {
+			op := "R"
+			if r.Op == trace.Write {
+				op = "W"
+			}
+			fmt.Fprintf(lat, "%d,%d,%s,%d,%d,%d\n", i, int64(r.Time), op, r.LBA, r.N, rt)
+		})
+	}
+
+	st := res.Stats
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%d requests, %d warm-up)",
+		*scheme, tr.Name, len(tr.Requests), warmup), "Metric", "Value")
+	t.AddRow("Mean response time", stats.Ms(res.MeanRT))
+	t.AddRow("Mean write RT", stats.Ms(res.MeanWriteRT))
+	t.AddRow("Mean read RT", stats.Ms(res.MeanReadRT))
+	t.AddRow("P95 write RT", stats.Ms(res.P95WriteRT))
+	t.AddRow("P95 read RT", stats.Ms(res.P95ReadRT))
+	t.AddRow("Write requests removed", stats.Pct(st.WriteRemovalPct()))
+	t.AddRow("Chunks deduplicated", stats.Pct(st.DedupRatioPct()))
+	t.AddRow("Read-cache hit ratio", stats.Pct(st.CacheHitPct()))
+	t.AddRow("Request categories 1/2/3", fmt.Sprintf("%d / %d / %d", st.Cat1, st.Cat2, st.Cat3))
+	t.AddRow("On-disk index lookups", fmt.Sprintf("%d", st.IndexDiskIOs))
+	t.AddRow("Swap-in I/Os", fmt.Sprintf("%d", st.SwapInIOs))
+	t.AddRow("Physical blocks used", fmt.Sprintf("%d", res.UsedBlocks))
+	t.AddRow("Map-table NVRAM peak", fmt.Sprintf("%.2f MB", float64(st.NVRAMPeakBytes)/(1<<20)))
+	fmt.Println(t)
+
+	if *history {
+		type baser interface{ Base() *engine.Base }
+		if b, ok := eng.(baser); ok {
+			pts := b.Base().IC.History()
+			ht := stats.NewTable(fmt.Sprintf("iCache partition trajectory (%d repartitions)", len(pts)),
+				"Virtual time", "Index share")
+			for _, p := range pts {
+				ht.AddRow(p.Time.String(), stats.Pct(p.IndexFrac*100))
+			}
+			fmt.Println(ht)
+		} else {
+			fmt.Println("(-history: scheme exposes no cache controller)")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "podsim: %v\n", err)
+	os.Exit(1)
+}

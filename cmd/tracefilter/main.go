@@ -1,0 +1,117 @@
+// Command tracefilter transforms trace files: clip a time window,
+// keep only one operation type, reassemble split records, and convert
+// between the text, binary and FIU formats.
+//
+// Usage:
+//
+//	tracefilter -from 10s -to 60s -ops W -o clipped.trace full.trace
+//	tracefilter -in-fiu -reassemble 1ms -out-binary -o homes.bin homes.srt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func main() {
+	inFIU := flag.Bool("in-fiu", false, "input is an FIU SRT record stream")
+	inBinary := flag.Bool("in-binary", false, "input is in the binary format")
+	fiuSector := flag.Int("fiu-sector", 512, "FIU record address unit in bytes")
+	outBinary := flag.Bool("out-binary", false, "write the binary format (default text)")
+	from := flag.Duration("from", 0, "drop requests before this offset (e.g. 10s)")
+	to := flag.Duration("to", 0, "drop requests at or after this offset (0 = no limit)")
+	ops := flag.String("ops", "", "keep only this op type: W or R (default both)")
+	reassemble := flag.Duration("reassemble", 0, "merge split records within this window")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracefilter [flags] input-trace")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var tr *trace.Trace
+	switch {
+	case *inFIU:
+		tr, err = trace.ReadFIU(f, flag.Arg(0), trace.FIUOptions{SectorBytes: *fiuSector})
+	case *inBinary:
+		tr, err = trace.ReadBinary(f)
+	default:
+		tr, err = trace.ReadText(f, flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	total := len(tr.Requests)
+
+	if *from > 0 || *to > 0 {
+		lo := sim.Time(from.Microseconds())
+		hi := sim.Time(to.Microseconds())
+		kept := tr.Requests[:0]
+		for _, r := range tr.Requests {
+			if r.Time < lo {
+				continue
+			}
+			if *to > 0 && r.Time >= hi {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		tr.Requests = kept
+	}
+	if *ops != "" {
+		var want trace.Op
+		switch *ops {
+		case "W", "w":
+			want = trace.Write
+		case "R", "r":
+			want = trace.Read
+		default:
+			fatal(fmt.Errorf("bad -ops %q (want W or R)", *ops))
+		}
+		kept := tr.Requests[:0]
+		for _, r := range tr.Requests {
+			if r.Op == want {
+				kept = append(kept, r)
+			}
+		}
+		tr.Requests = kept
+	}
+	if *reassemble > 0 {
+		tr.Requests = trace.Reassemble(tr.Requests, sim.Duration(reassemble.Microseconds()))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer g.Close()
+		w = g
+	}
+	if *outBinary {
+		err = trace.WriteBinary(w, tr)
+	} else {
+		err = trace.WriteText(w, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracefilter: %d requests in, %d out\n", total, len(tr.Requests))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracefilter: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command tracegen generates the synthetic FIU-like traces to a file
+// in the text or binary trace format.
+//
+// Usage:
+//
+//	tracegen -trace mail -scale 0.5 -format binary -o mail.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+func main() {
+	name := flag.String("trace", "web-vm", "trace profile: web-vm, homes or mail")
+	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper request count)")
+	format := flag.String("format", "text", "output format: text or binary")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		var names []string
+		for _, p := range workload.Profiles() {
+			names = append(names, p.Name)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q (have %s)\n", *name, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	tr, warmup := workload.Generate(prof, *scale)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var err error
+	switch *format {
+	case "text":
+		err = trace.WriteText(w, tr)
+	case "binary":
+		err = trace.WriteBinary(w, tr)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (%d warm-up) of %s\n",
+		len(tr.Requests), warmup, tr.Name)
+}

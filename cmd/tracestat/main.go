@@ -1,0 +1,97 @@
+// Command tracestat analyzes a trace file (or a built-in profile) and
+// prints the paper's workload-characterization statistics: Table II,
+// the Figure 1 redundancy-by-size distribution, and the Figure 2 I/O
+// vs capacity redundancy split.
+//
+// Usage:
+//
+//	tracestat mail.trace
+//	tracestat -builtin homes -scale 0.5
+//	tracestat -reassemble 1000 split.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "analyze a built-in profile (web-vm, homes, mail) instead of a file")
+	scale := flag.Float64("scale", 1.0, "scale for -builtin")
+	binary := flag.Bool("binary", false, "input file is in the binary format")
+	fiu := flag.Bool("fiu", false, "input file is an FIU SRT record stream")
+	fiuSector := flag.Int("fiu-sector", 512, "FIU record address unit in bytes")
+	reassemble := flag.Int64("reassemble", 0, "merge split records within this window (µs) before analysis")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *builtin != "":
+		prof, ok := workload.ByName(*builtin)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracestat: unknown builtin %q\n", *builtin)
+			os.Exit(2)
+		}
+		tr, _ = workload.Generate(prof, *scale)
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		switch {
+		case *fiu:
+			tr, err = trace.ReadFIU(f, flag.Arg(0), trace.FIUOptions{SectorBytes: *fiuSector})
+		case *binary:
+			tr, err = trace.ReadBinary(f)
+		default:
+			tr, err = trace.ReadText(f, flag.Arg(0))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-builtin name | file] [-binary] [-reassemble µs]")
+		os.Exit(2)
+	}
+
+	if *reassemble > 0 {
+		before := len(tr.Requests)
+		tr.Requests = trace.Reassemble(tr.Requests, sim.Duration(*reassemble))
+		fmt.Printf("reassembled %d records into %d requests\n\n", before, len(tr.Requests))
+	}
+
+	a := trace.Analyze(tr)
+	tb := stats.NewTable("Trace characteristics (Table II)", "Metric", "Value")
+	tb.AddRow("Name", tr.Name)
+	tb.AddRow("I/Os", fmt.Sprintf("%d", a.Chars.IOs))
+	tb.AddRow("Write ratio", stats.Pct(a.Chars.WriteRatio))
+	tb.AddRow("Avg request size", fmt.Sprintf("%.1f KB", a.Chars.AvgReqKB))
+	fmt.Println(tb)
+
+	f1 := stats.NewTable("I/O redundancy by write-request size (Figure 1)",
+		"Size", "Total", "Redundant", "Redundant%")
+	for _, b := range a.Buckets {
+		label := fmt.Sprintf("%dKB", b.LabelKB)
+		if b.LabelKB == trace.BucketLabelsKB[len(trace.BucketLabelsKB)-1] {
+			label = "≥" + label
+		}
+		f1.AddRow(label, fmt.Sprintf("%d", b.Total), fmt.Sprintf("%d", b.Redundant),
+			stats.Pct(stats.Ratio(b.Redundant, b.Total)))
+	}
+	fmt.Println(f1)
+
+	f2 := stats.NewTable("I/O vs capacity redundancy (Figure 2)", "Metric", "% of write data")
+	f2.AddRow("Same-location redundancy", stats.Pct(a.SameLBAPct))
+	f2.AddRow("Different-location (capacity) redundancy", stats.Pct(a.DiffLBAPct))
+	f2.AddRow("Total I/O redundancy", stats.Pct(a.IORedundancyPct))
+	fmt.Println(f2)
+}

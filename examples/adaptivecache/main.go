@@ -1,0 +1,89 @@
+// Adaptivecache: demonstrate iCache, POD's adaptive partitioning of
+// DRAM between the fingerprint index cache and the read cache (§III-C).
+//
+// The workload alternates write-intensive and read-intensive bursts
+// (the I/O burstiness of primary storage, §II-B). A fixed 50/50 split
+// (Select-Dedupe) wastes read cache during write storms and index cache
+// during read storms; POD's Access Monitor detects each shift through
+// ghost-cache hits and repartitions.
+//
+//	go run ./examples/adaptivecache
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	pod "github.com/pod-dedup/pod"
+)
+
+const (
+	phases     = 8
+	perPhase   = 1500
+	hotContent = 12000 // distinct hot chunks, beyond a 50/50 split's index capacity
+)
+
+func main() {
+	for _, scheme := range []pod.Scheme{pod.SchemeSelectDedupe, pod.SchemePOD} {
+		sys, err := pod.New(pod.Config{Scheme: scheme, MemoryMB: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+
+		now := int64(0)
+		nextLBA := uint64(0)
+		var written []uint64 // LBAs with known content
+		content := func() uint64 { return uint64(rng.Intn(hotContent)) + 1 }
+
+		for phase := 0; phase < phases; phase++ {
+			writeHeavy := phase%2 == 0
+			for i := 0; i < perPhase; i++ {
+				now += int64(rng.Intn(9000)) + 7000
+				doWrite := rng.Float64() < 0.9
+				if !writeHeavy {
+					doWrite = rng.Float64() < 0.2
+				}
+				if doWrite || len(written) == 0 {
+					n := 1
+					if rng.Intn(5) == 0 {
+						n = 2
+					}
+					ids := make([]uint64, n)
+					for j := range ids {
+						ids[j] = content()
+					}
+					if _, err := sys.Write(now, nextLBA, ids); err != nil {
+						log.Fatal(err)
+					}
+					written = append(written, nextLBA)
+					nextLBA += uint64(n)
+				} else {
+					// inbox-style reads: recent data only, so a modest
+					// read cache suffices and the index is where extra
+					// DRAM pays off during write bursts
+					window := 300
+					if window > len(written) {
+						window = len(written)
+					}
+					lba := written[len(written)-window+rng.Intn(window)]
+					if _, err := sys.Read(now, lba, 1); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			now += 2 * pod.MicrosPerSecond // idle gap between phases
+		}
+
+		sum := sys.Stats()
+		fmt.Printf("%-14s  writes removed %5.1f%%   read-cache hits %5.1f%%   write RT %6.2fms   read RT %6.2fms\n",
+			scheme, sum.WritesRemovedPct, sum.ReadCacheHitPct,
+			sum.MeanWriteMicros/1000, sum.MeanReadMicros/1000)
+	}
+	fmt.Println("\nPOD's Access Monitor sees the ghost-cache hits pile up when the burst")
+	fmt.Println("direction flips and repartitions: the read cache grows during read bursts")
+	fmt.Println("(higher hit ratio, faster reads) at no cost to write-side deduplication —")
+	fmt.Println("exactly the paper's §III-C behaviour (expanding the read cache in the")
+	fmt.Println("face of read bursts).")
+}

@@ -1,0 +1,72 @@
+// Mailserver: the paper's headline scenario. A mail server writes the
+// same message body to thousands of mailboxes (a mail blast) while
+// users read their inboxes. POD eliminates the redundant writes on the
+// critical path; Native grinds through every copy.
+//
+// Unlike the other examples this one builds its workload from scratch
+// with the public API — no trace generator — showing how to model an
+// application directly.
+//
+//	go run ./examples/mailserver [-mailboxes 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	pod "github.com/pod-dedup/pod"
+)
+
+func main() {
+	mailboxes := flag.Int("mailboxes", 2000, "recipients of the mail blast")
+	msgChunks := flag.Int("msg-chunks", 4, "message size in 4 KiB chunks")
+	flag.Parse()
+
+	for _, scheme := range []pod.Scheme{pod.SchemeNative, pod.SchemeIDedup, pod.SchemePOD} {
+		sys, err := pod.New(pod.Config{Scheme: scheme, MemoryMB: 16, Verify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+
+		// The blast: one message body, delivered to every mailbox at a
+		// distinct location, interleaved with inbox reads.
+		body := make([]uint64, *msgChunks)
+		for i := range body {
+			body[i] = uint64(1_000_000 + i)
+		}
+		now := int64(0)
+		var delivered []uint64
+		for m := 0; m < *mailboxes; m++ {
+			now += int64(rng.Intn(12000)) + 6000
+			mbox := uint64(m) * 64 // each mailbox owns a 256 KiB region
+			if _, err := sys.Write(now, mbox, body); err != nil {
+				log.Fatal(err)
+			}
+			delivered = append(delivered, mbox)
+			// every few deliveries, someone reads an inbox
+			if m%8 == 0 && len(delivered) > 1 {
+				now += int64(rng.Intn(6000)) + 2000
+				victim := delivered[rng.Intn(len(delivered))]
+				if _, err := sys.Read(now, victim, *msgChunks); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
+		// verify one delivery survived deduplication intact
+		if id, ok := sys.ReadBack(delivered[len(delivered)/2]); !ok || id != body[0] {
+			log.Fatalf("%s: mailbox corrupted (got %d)", scheme, id)
+		}
+
+		sum := sys.Stats()
+		fmt.Printf("%-14s  write RT %7.2fms   read RT %6.2fms   writes removed %5.1f%%   blocks %6d\n",
+			scheme, sum.MeanWriteMicros/1000, sum.MeanReadMicros/1000,
+			sum.WritesRemovedPct, sum.UsedBlocks)
+	}
+	fmt.Println("\nPOD stores one copy of the message and absorbs every redundant delivery;")
+	fmt.Println("iDedup bypasses them (the message is below its sequence threshold) and")
+	fmt.Println("Native pays full price for every copy.")
+}

@@ -1,0 +1,3 @@
+module github.com/pod-dedup/pod
+
+go 1.22

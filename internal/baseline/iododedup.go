@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/cache"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// IODedup reproduces the scheme of Koller & Rangaswami (FAST'10),
+// "I/O Deduplication: Utilizing Content Similarity to Improve I/O
+// Performance" — the first column of the paper's Table I. It uses
+// content fingerprints to improve *read* performance only:
+//
+//   - writes are never eliminated ("write requests are still issued to
+//     disks even if their data has already been stored"), so there is
+//     no capacity saving;
+//   - the read cache is content-addressed: a read whose block content
+//     is already cached under any other address is a hit (§V calls
+//     this exploiting content similarity);
+//   - when several on-disk replicas of the content exist, the read is
+//     served from the replica nearest the last access position
+//     (dynamic replica retrieval reducing seek distance).
+//
+// Fingerprinting happens on the write path (the scheme must learn where
+// content lives), so IODedup pays the hash latency without the write
+// savings — exactly the trade Table I summarizes.
+type IODedup struct {
+	base *engine.Base
+
+	// content-addressed read cache: contents, not addresses
+	ccache *cache.LRU[chunk.ContentID, struct{}]
+	// replica directory: where each hot content lives (bounded)
+	replicas *cache.LRU[chunk.Fingerprint, []alloc.PBA]
+	lastPBA  alloc.PBA
+}
+
+// maxReplicasTracked bounds the per-content replica list.
+const maxReplicasTracked = 4
+
+// NewIODedup returns an I/O Deduplication engine.
+func NewIODedup(cfg engine.Config) *IODedup {
+	b := engine.NewBase(cfg)
+	// the whole DRAM budget serves the content cache + replica
+	// directory (no dedup index cache is needed on the write path)
+	blocks := int(cfg.WithDefaults().MemoryBytes) / chunk.Size / 2
+	if blocks < 1 {
+		blocks = 1
+	}
+	entries := int(cfg.WithDefaults().MemoryBytes) / 2 / 64
+	if entries < 1 {
+		entries = 1
+	}
+	return &IODedup{
+		base:     b,
+		ccache:   cache.NewLRU[chunk.ContentID, struct{}](blocks),
+		replicas: cache.NewLRU[chunk.Fingerprint, []alloc.PBA](entries),
+	}
+}
+
+// Name implements engine.Engine.
+func (d *IODedup) Name() string { return "I/O-Dedup" }
+
+// Stats implements engine.Engine.
+func (d *IODedup) Stats() *engine.Stats { return d.base.St }
+
+// UsedBlocks implements engine.Engine: no elimination, full footprint.
+func (d *IODedup) UsedBlocks() uint64 { return d.base.UsedBlocks() }
+
+// ReadContent implements engine.Engine.
+func (d *IODedup) ReadContent(lba uint64) (uint64, bool) { return d.base.ReadContent(lba) }
+
+// Write stores everything (log-structured, like the other engines) and
+// records replica locations for the read path.
+func (d *IODedup) Write(req *trace.Request) sim.Duration {
+	t := req.Time
+	st := d.base.St
+	st.Writes++
+
+	chs, fpCost := d.base.SplitAndFingerprint(req)
+	ready := t.Add(fpCost)
+
+	positions := make([]int, req.N)
+	for i := range positions {
+		positions[i] = i
+	}
+	done, pbas := d.base.WriteFresh(ready, req, positions, chs)
+	for i, pba := range pbas {
+		d.recordReplica(chs[i].FP, pba)
+	}
+	d.base.VerifyWrite(req)
+	rt := done.Sub(t)
+	st.WriteRT.Add(int64(rt))
+	return rt
+}
+
+func (d *IODedup) recordReplica(fp chunk.Fingerprint, pba alloc.PBA) {
+	list, _ := d.replicas.Peek(fp)
+	for _, p := range list {
+		if p == pba {
+			return
+		}
+	}
+	if len(list) >= maxReplicasTracked {
+		list = list[1:]
+	}
+	d.replicas.Put(fp, append(append([]alloc.PBA(nil), list...), pba))
+}
+
+// dropReplica removes a reclaimed block from the directory.
+func (d *IODedup) dropReplica(fp chunk.Fingerprint, pba alloc.PBA) {
+	list, ok := d.replicas.Peek(fp)
+	if !ok {
+		return
+	}
+	out := list[:0]
+	for _, p := range list {
+		if p != pba {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		d.replicas.Remove(fp)
+	} else {
+		d.replicas.Put(fp, out)
+	}
+}
+
+// nearest picks the replica closest to the previous access position —
+// the scheme's seek-reduction mechanism.
+func (d *IODedup) nearest(candidates []alloc.PBA, home alloc.PBA) alloc.PBA {
+	best := home
+	bestDist := dist(home, d.lastPBA)
+	for _, c := range candidates {
+		if dd := dist(c, d.lastPBA); dd < bestDist {
+			best, bestDist = c, dd
+		}
+	}
+	return best
+}
+
+func dist(a, b alloc.PBA) uint64 {
+	if a > b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// Read serves each chunk through the content-addressed cache, fetching
+// misses from the nearest replica of the content.
+func (d *IODedup) Read(req *trace.Request) sim.Duration {
+	t := req.Time
+	st := d.base.St
+	st.Reads++
+
+	done := t
+	anyMiss := false
+	var fp chunk.SyntheticFingerprinter
+	for i := 0; i < req.N; i++ {
+		lba := req.LBA + uint64(i)
+		pba, ok := d.base.Map.Lookup(lba)
+		if !ok {
+			pba = alloc.PBA(lba % d.base.DataBlocks())
+		}
+		id, known := d.base.Store.Read(pba)
+		if known {
+			if _, hit := d.ccache.Get(id); hit {
+				st.CacheHits++
+				continue
+			}
+		}
+		st.CacheMisses++
+		target := pba
+		if known {
+			c := chunk.Chunk{Content: id}
+			if list, ok := d.replicas.Peek(fp.Fingerprint(&c)); ok {
+				target = d.nearest(list, pba)
+			}
+		}
+		c := d.base.Array.Read(t, uint64(target), 1)
+		done = sim.MaxTime(done, c)
+		d.lastPBA = target
+		st.ReadIOs++
+		anyMiss = true
+		if known {
+			d.ccache.Put(id, struct{}{})
+		}
+	}
+	var rt sim.Duration
+	if !anyMiss {
+		rt = engine.MemHitUS
+	} else {
+		rt = done.Sub(t)
+	}
+	st.ReadRT.Add(int64(rt))
+	return rt
+}

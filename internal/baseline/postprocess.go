@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"sort"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/index"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// PostProcess reproduces post-processing (offline) deduplication in the
+// style of El-Shimi et al. (USENIX ATC'12), the paper's third Table I
+// column. Writes go straight to disk with no inline work at all — no
+// fingerprinting on the critical path — and a background scanner later
+// fingerprints recently written blocks, merges duplicates into shared
+// mappings, and reclaims space.
+//
+// The scheme therefore saves capacity (eventually) but never removes
+// write I/O from the critical path — which is precisely why §II-A
+// argues on-line deduplication is more effective for primary storage:
+// by the time the scanner runs, the redundant writes have already cost
+// their disk time. The scanner's own reads add background load.
+type PostProcess struct {
+	base *engine.Base
+	full *index.Full
+
+	// scan queue of recently written blocks: (lba, pba) pairs pending
+	// background fingerprinting
+	pending []pendingBlock
+
+	nextScan sim.Time
+
+	// ScanInterval and ScanBatch govern the background pass.
+	ScanInterval sim.Duration
+	ScanBatch    int
+
+	scans, scanned, merged int64
+}
+
+type pendingBlock struct {
+	lba uint64
+	pba alloc.PBA
+}
+
+// NewPostProcess returns a post-processing deduplication engine.
+func NewPostProcess(cfg engine.Config) *PostProcess {
+	b := engine.NewBase(cfg)
+	p := &PostProcess{
+		base:         b,
+		full:         index.NewFull(b.IC.Index().Cap()),
+		ScanInterval: 2 * sim.Second,
+		ScanBatch:    2048,
+	}
+	p.nextScan = sim.Time(p.ScanInterval)
+	b.OnFree = p.full.Forget
+	return p
+}
+
+// Name implements engine.Engine.
+func (p *PostProcess) Name() string { return "Post-Process" }
+
+// Stats implements engine.Engine.
+func (p *PostProcess) Stats() *engine.Stats { return p.base.St }
+
+// UsedBlocks implements engine.Engine.
+func (p *PostProcess) UsedBlocks() uint64 { return p.base.UsedBlocks() }
+
+// ReadContent implements engine.Engine.
+func (p *PostProcess) ReadContent(lba uint64) (uint64, bool) { return p.base.ReadContent(lba) }
+
+// Scans reports background passes run and blocks merged (for tests).
+func (p *PostProcess) Scans() (passes, scanned, merged int64) {
+	return p.scans, p.scanned, p.merged
+}
+
+// Write stores everything immediately — no fingerprinting, no lookup —
+// then lets the background scanner catch up.
+func (p *PostProcess) Write(req *trace.Request) sim.Duration {
+	t := req.Time
+	p.scan(t)
+	st := p.base.St
+	st.Writes++
+
+	chs := make([]chunk.Chunk, req.N)
+	for i, id := range req.Content {
+		chs[i].Content = id
+	}
+	positions := make([]int, req.N)
+	for i := range positions {
+		positions[i] = i
+	}
+	done, pbas := p.base.WriteFresh(t, req, positions, chs)
+	for i, pba := range pbas {
+		p.pending = append(p.pending, pendingBlock{lba: req.LBA + uint64(i), pba: pba})
+	}
+	p.base.VerifyWrite(req)
+	rt := done.Sub(t)
+	st.WriteRT.Add(int64(rt))
+	return rt
+}
+
+// Read is the standard mapped read path.
+func (p *PostProcess) Read(req *trace.Request) sim.Duration {
+	p.scan(req.Time)
+	rt := p.base.ReadMapped(req, false)
+	p.base.St.Reads++
+	p.base.St.ReadRT.Add(int64(rt))
+	return rt
+}
+
+// scan runs the background deduplication pass when its interval
+// elapses: read back a batch of recently written blocks (sequential
+// background I/O — they were written contiguously), fingerprint them,
+// and merge duplicates into shared mappings.
+func (p *PostProcess) scan(now sim.Time) {
+	if now < p.nextScan || len(p.pending) == 0 {
+		return
+	}
+	// scan during idle periods only (El-Shimi et al. §5: the scanner
+	// yields to foreground I/O); retry shortly if the array is busy
+	if p.base.Array.Backlog(now) > 0 {
+		p.nextScan = now.Add(p.ScanInterval / 4)
+		return
+	}
+	p.nextScan = now.Add(p.ScanInterval)
+	p.scans++
+
+	batch := p.pending
+	if len(batch) > p.ScanBatch {
+		batch = batch[:p.ScanBatch]
+	}
+	p.pending = p.pending[len(batch):]
+
+	// The scanner reads its batch elevator-style: sorted by physical
+	// address so that blocks from interleaved requests (and reused
+	// holes) coalesce into few large sequential sweeps. A disk pass is
+	// further capped per interval so a fragmented batch can never
+	// monopolize the spindles; unread blocks return to the queue.
+	sorted := append([]pendingBlock(nil), batch...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].pba < sorted[j].pba })
+
+	const maxScanIOs = 24
+	read := make(map[alloc.PBA]bool, len(sorted))
+	ios := 0
+	i := 0
+	for i < len(sorted) && ios < maxScanIOs {
+		j := i + 1
+		for j < len(sorted) && sorted[j].pba <= sorted[j-1].pba+1 {
+			j++
+		}
+		p.base.Array.Read(now, uint64(sorted[i].pba), uint64(sorted[j-1].pba-sorted[i].pba)+1)
+		p.base.St.SwapInIOs++ // accounted as background I/O
+		ios++
+		for k := i; k < j; k++ {
+			read[sorted[k].pba] = true
+		}
+		i = j
+	}
+	// blocks that missed this pass's I/O budget go back to the queue
+	var deferred []pendingBlock
+	kept := batch[:0]
+	for _, blk := range batch {
+		if read[blk.pba] {
+			kept = append(kept, blk)
+		} else {
+			deferred = append(deferred, blk)
+		}
+	}
+	batch = kept
+	p.pending = append(deferred, p.pending...)
+
+	// fingerprint equality is mode-independent (equal content IDs ⇔
+	// equal fingerprints in both modes), so the scanner always uses the
+	// cheap synthetic fingerprinter
+	var fper chunk.SyntheticFingerprinter
+	for _, blk := range batch {
+		// the block may have been overwritten or reclaimed since
+		cur, ok := p.base.Map.Lookup(blk.lba)
+		if !ok || cur != blk.pba {
+			continue
+		}
+		id, ok := p.base.Store.Read(blk.pba)
+		if !ok {
+			continue
+		}
+		p.scanned++
+		c := chunk.Chunk{Content: id}
+		fp := fper.Fingerprint(&c)
+		if existing, found, _ := p.full.Lookup(fp); found && existing != blk.pba {
+			if p.base.TryDedupe(blk.lba, existing, id) {
+				p.merged++
+				continue
+			}
+		}
+		p.full.Insert(fp, blk.pba)
+	}
+}
+
+// Flush forces the scanner to drain its whole queue (used at the end of
+// a replay so capacity numbers reflect a completed pass).
+func (p *PostProcess) Flush(now sim.Time) {
+	for len(p.pending) > 0 {
+		p.nextScan = now
+		p.scan(now)
+		now = now.Add(p.ScanInterval)
+	}
+}

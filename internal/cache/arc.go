@@ -1,0 +1,153 @@
+package cache
+
+// ARC is the Adaptive Replacement Cache of Megiddo & Modha (FAST'03),
+// which the POD paper cites as prior art for ghost-list-driven
+// adaptation. It is included as an ablation baseline: iCache adapts the
+// *partition between two caches of different types* (index vs read),
+// whereas ARC adapts the recency/frequency balance within one cache.
+//
+// The implementation follows the paper's Figure 4 pseudocode: T1/T2
+// hold cached entries (recent / frequent), B1/B2 hold ghost keys, and
+// the target size p of T1 adapts on ghost hits.
+type ARC[K comparable, V any] struct {
+	c int // total capacity
+	p int // target size of t1
+
+	t1, t2 *LRU[K, V]
+	b1, b2 *Ghost[K]
+
+	hits, misses int64
+}
+
+// NewARC returns an empty ARC with capacity c entries.
+func NewARC[K comparable, V any](c int) *ARC[K, V] {
+	if c < 1 {
+		c = 1
+	}
+	return &ARC[K, V]{
+		c:  c,
+		t1: NewLRU[K, V](c), t2: NewLRU[K, V](c),
+		b1: NewGhost[K](c), b2: NewGhost[K](c),
+	}
+}
+
+// Len reports the number of cached (non-ghost) entries.
+func (a *ARC[K, V]) Len() int { return a.t1.Len() + a.t2.Len() }
+
+// Cap reports the capacity.
+func (a *ARC[K, V]) Cap() int { return a.c }
+
+// P returns the adaptive target size of the recency list (for tests).
+func (a *ARC[K, V]) P() int { return a.p }
+
+// Hits and Misses report Get accounting.
+func (a *ARC[K, V]) Hits() int64   { return a.hits }
+func (a *ARC[K, V]) Misses() int64 { return a.misses }
+
+// Get returns the cached value, promoting a T1 hit into T2.
+func (a *ARC[K, V]) Get(key K) (V, bool) {
+	if v, ok := a.t1.Peek(key); ok {
+		a.hits++
+		a.t1.Remove(key)
+		a.t2.Put(key, v)
+		return v, true
+	}
+	if v, ok := a.t2.Get(key); ok {
+		a.hits++
+		return v, true
+	}
+	a.misses++
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence in the cached lists.
+func (a *ARC[K, V]) Contains(key K) bool {
+	return a.t1.Contains(key) || a.t2.Contains(key)
+}
+
+// Put inserts key. Ghost hits adapt p exactly as in the ARC paper.
+func (a *ARC[K, V]) Put(key K, val V) {
+	switch {
+	case a.t1.Contains(key):
+		a.t1.Remove(key)
+		a.t2.Put(key, val)
+	case a.t2.Contains(key):
+		a.t2.Put(key, val)
+	case a.b1.Contains(key):
+		// Case II: ghost hit in B1 → favor recency.
+		delta := 1
+		if b1, b2 := a.b1.Len(), a.b2.Len(); b1 > 0 && b2 > b1 {
+			delta = b2 / b1
+		}
+		a.p = min(a.p+delta, a.c)
+		a.replace(key)
+		a.b1.Remove(key)
+		a.t2.Put(key, val)
+	case a.b2.Contains(key):
+		// Case III: ghost hit in B2 → favor frequency.
+		delta := 1
+		if b1, b2 := a.b1.Len(), a.b2.Len(); b2 > 0 && b1 > b2 {
+			delta = b1 / b2
+		}
+		a.p = max(a.p-delta, 0)
+		a.replace(key)
+		a.b2.Remove(key)
+		a.t2.Put(key, val)
+	default:
+		// Case IV: brand new key.
+		l1 := a.t1.Len() + a.b1.Len()
+		if l1 == a.c {
+			if a.t1.Len() < a.c {
+				// delete LRU of B1, replace
+				if k, ok := a.b1.lru.Oldest(); ok {
+					a.b1.lru.Remove(k)
+				}
+				a.replace(key)
+			} else {
+				// delete LRU of T1
+				if k, ok := a.t1.Oldest(); ok {
+					a.t1.Remove(k)
+				}
+			}
+		} else if l1 < a.c && a.t1.Len()+a.t2.Len()+a.b1.Len()+a.b2.Len() >= a.c {
+			if a.t1.Len()+a.t2.Len()+a.b1.Len()+a.b2.Len() >= 2*a.c {
+				if k, ok := a.b2.lru.Oldest(); ok {
+					a.b2.lru.Remove(k)
+				}
+			}
+			a.replace(key)
+		}
+		a.t1.Put(key, val)
+	}
+}
+
+// replace implements the ARC REPLACE subroutine: evict from T1 into B1
+// or from T2 into B2 according to the adaptive target p.
+func (a *ARC[K, V]) replace(key K) {
+	if a.t1.Len() > 0 && (a.t1.Len() > a.p || (a.b2.Contains(key) && a.t1.Len() == a.p)) {
+		if k, ok := a.t1.Oldest(); ok {
+			a.t1.Remove(k)
+			a.b1.Add(k)
+		}
+	} else {
+		if k, ok := a.t2.Oldest(); ok {
+			a.t2.Remove(k)
+			a.b2.Add(k)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

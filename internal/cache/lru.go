@@ -1,0 +1,211 @@
+// Package cache provides the replacement-policy building blocks used by
+// POD's storage cache: a generic LRU, a metadata-only ghost LRU, and a
+// reference ARC implementation used as an ablation baseline for iCache.
+package cache
+
+import "container/list"
+
+// entry is one LRU element.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Evicted describes one entry pushed out of an LRU.
+type Evicted[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// LRU is a least-recently-used cache with a capacity in entries.
+// A zero capacity cache stores nothing and evicts everything
+// immediately. Not safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	cap   int
+	ll    *list.List
+	items map[K]*list.Element
+
+	hits, misses int64
+}
+
+// NewLRU returns an empty LRU with the given capacity.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &LRU[K, V]{cap: capacity, ll: list.New(), items: make(map[K]*list.Element)}
+}
+
+// Len reports the number of cached entries.
+func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+
+// Cap reports the capacity.
+func (c *LRU[K, V]) Cap() int { return c.cap }
+
+// Hits and Misses report Get accounting.
+func (c *LRU[K, V]) Hits() int64   { return c.hits }
+func (c *LRU[K, V]) Misses() int64 { return c.misses }
+
+// ResetStats clears hit/miss accounting without touching contents.
+func (c *LRU[K, V]) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Get returns the value for key, promoting it to most-recent.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value without promoting or accounting.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports presence without promoting or accounting.
+func (c *LRU[K, V]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates key, promoting it, and returns the entry
+// evicted to make room, if any.
+func (c *LRU[K, V]) Put(key K, val V) (ev Evicted[K, V], evicted bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = val
+		return ev, false
+	}
+	if c.cap == 0 {
+		return Evicted[K, V]{Key: key, Val: val}, true
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		return c.evictOldest()
+	}
+	return ev, false
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *LRU[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// evictOldest removes and returns the LRU entry.
+func (c *LRU[K, V]) evictOldest() (Evicted[K, V], bool) {
+	el := c.ll.Back()
+	if el == nil {
+		return Evicted[K, V]{}, false
+	}
+	e := el.Value.(*entry[K, V])
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	return Evicted[K, V]{Key: e.key, Val: e.val}, true
+}
+
+// Resize changes the capacity, returning everything evicted when
+// shrinking (oldest first).
+func (c *LRU[K, V]) Resize(capacity int) []Evicted[K, V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.cap = capacity
+	var out []Evicted[K, V]
+	for c.ll.Len() > c.cap {
+		if ev, ok := c.evictOldest(); ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Oldest returns the least-recently-used key without removing it.
+func (c *LRU[K, V]) Oldest() (K, bool) {
+	el := c.ll.Back()
+	if el == nil {
+		var zero K
+		return zero, false
+	}
+	return el.Value.(*entry[K, V]).key, true
+}
+
+// Each visits entries from most to least recently used; return false
+// from fn to stop early.
+func (c *LRU[K, V]) Each(fn func(K, V) bool) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// Ghost is a metadata-only LRU of keys, used to estimate the benefit of
+// a larger cache: when a key evicted from the actual cache is re-
+// referenced while still in the ghost, a bigger cache would have hit.
+type Ghost[K comparable] struct {
+	lru *LRU[K, struct{}]
+
+	ghostHits int64
+}
+
+// NewGhost returns an empty ghost list with the given capacity.
+func NewGhost[K comparable](capacity int) *Ghost[K] {
+	return &Ghost[K]{lru: NewLRU[K, struct{}](capacity)}
+}
+
+// Add records an eviction from the actual cache.
+func (g *Ghost[K]) Add(key K) { g.lru.Put(key, struct{}{}) }
+
+// Hit tests whether key is present; if so it is removed (the caller is
+// about to re-admit it to the actual cache) and the ghost-hit counter
+// increments.
+func (g *Ghost[K]) Hit(key K) bool {
+	if g.lru.Contains(key) {
+		g.lru.Remove(key)
+		g.ghostHits++
+		return true
+	}
+	return false
+}
+
+// Contains tests presence without removing.
+func (g *Ghost[K]) Contains(key K) bool { return g.lru.Contains(key) }
+
+// Remove deletes key (used when the actual cache re-admits through a
+// different path).
+func (g *Ghost[K]) Remove(key K) { g.lru.Remove(key) }
+
+// Len reports the number of ghost entries.
+func (g *Ghost[K]) Len() int { return g.lru.Len() }
+
+// Resize changes the ghost capacity.
+func (g *Ghost[K]) Resize(capacity int) { g.lru.Resize(capacity) }
+
+// EachMRU visits ghost keys from most to least recently added; return
+// false from fn to stop early.
+func (g *Ghost[K]) EachMRU(fn func(K) bool) {
+	g.lru.Each(func(k K, _ struct{}) bool { return fn(k) })
+}
+
+// GhostHits reports how many re-references hit the ghost since the last
+// ResetStats.
+func (g *Ghost[K]) GhostHits() int64 { return g.ghostHits }
+
+// ResetStats clears the ghost-hit counter.
+func (g *Ghost[K]) ResetStats() { g.ghostHits = 0 }

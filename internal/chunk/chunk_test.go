@@ -1,0 +1,174 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(42)
+	b := Payload(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal content IDs must produce equal payloads")
+	}
+	if len(a) != Size {
+		t.Fatalf("payload size = %d, want %d", len(a), Size)
+	}
+}
+
+func TestPayloadDistinct(t *testing.T) {
+	if bytes.Equal(Payload(1), Payload(2)) {
+		t.Fatal("distinct content IDs produced equal payloads")
+	}
+}
+
+func TestFillPayloadBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong buffer size")
+		}
+	}()
+	FillPayload(1, make([]byte, 10))
+}
+
+func TestSHA1MatchesMaterialized(t *testing.T) {
+	var fp SHA1Fingerprinter
+	withData := Chunk{Content: 7, Data: Payload(7)}
+	withoutData := Chunk{Content: 7}
+	if fp.Fingerprint(&withData) != fp.Fingerprint(&withoutData) {
+		t.Fatal("SHA1 fingerprint must not depend on payload materialization")
+	}
+}
+
+func TestSHA1DistinctContent(t *testing.T) {
+	var fp SHA1Fingerprinter
+	a := Chunk{Content: 1}
+	b := Chunk{Content: 2}
+	if fp.Fingerprint(&a) == fp.Fingerprint(&b) {
+		t.Fatal("distinct contents must hash differently")
+	}
+}
+
+func TestSyntheticConsistent(t *testing.T) {
+	var fp SyntheticFingerprinter
+	a := Chunk{Content: 99}
+	b := Chunk{Content: 99}
+	if fp.Fingerprint(&a) != fp.Fingerprint(&b) {
+		t.Fatal("synthetic fingerprints must be deterministic")
+	}
+	c := Chunk{Content: 100}
+	if fp.Fingerprint(&a) == fp.Fingerprint(&c) {
+		t.Fatal("distinct IDs must fingerprint differently")
+	}
+}
+
+// The dedup-decision equivalence that justifies using synthetic
+// fingerprints for large replays: fp(a)==fp(b) iff content(a)==content(b)
+// in BOTH modes.
+func TestModeEquivalenceProperty(t *testing.T) {
+	var sha SHA1Fingerprinter
+	var syn SyntheticFingerprinter
+	f := func(a, b uint32) bool {
+		ca, cb := Chunk{Content: ContentID(a)}, Chunk{Content: ContentID(b)}
+		shaEq := sha.Fingerprint(&ca) == sha.Fingerprint(&cb)
+		synEq := syn.Fingerprint(&ca) == syn.Fingerprint(&cb)
+		contentEq := a == b
+		return shaEq == contentEq && synEq == contentEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ids := []ContentID{1, 2, 1}
+	chunks := Split(ids, SyntheticFingerprinter{}, false)
+	if len(chunks) != 3 {
+		t.Fatalf("len = %d", len(chunks))
+	}
+	if chunks[0].FP != chunks[2].FP {
+		t.Error("same content must share fingerprint")
+	}
+	if chunks[0].FP == chunks[1].FP {
+		t.Error("different content must not share fingerprint")
+	}
+	if chunks[0].Data != nil {
+		t.Error("non-materialized split must not allocate payloads")
+	}
+	mat := Split(ids, SHA1Fingerprinter{}, true)
+	if mat[0].Data == nil || len(mat[0].Data) != Size {
+		t.Error("materialized split must carry payloads")
+	}
+}
+
+func TestHashEngineSerialAndParallelAgree(t *testing.T) {
+	ids := make([]ContentID, 64)
+	for i := range ids {
+		ids[i] = ContentID(i % 16)
+	}
+	serial := Split(ids, SHA1Fingerprinter{}, true)
+	par := Split(ids, SyntheticFingerprinter{}, true) // placeholder fps, recomputed below
+
+	e1 := NewHashEngine(SHA1Fingerprinter{}, 1)
+	e8 := NewHashEngine(SHA1Fingerprinter{}, 8)
+	cost1 := e1.FingerprintAll(serial)
+	cost8 := e8.FingerprintAll(par)
+	if cost1 != cost8 {
+		t.Errorf("modeled cost must be independent of parallelism: %d vs %d", cost1, cost8)
+	}
+	if cost1 != int64(len(ids))*DefaultChunkTimeUS {
+		t.Errorf("cost = %d, want %d", cost1, int64(len(ids))*DefaultChunkTimeUS)
+	}
+	for i := range serial {
+		if serial[i].FP != par[i].FP {
+			t.Fatalf("chunk %d: serial and parallel fingerprints differ", i)
+		}
+	}
+}
+
+func TestHashEngineEmpty(t *testing.T) {
+	e := NewHashEngine(SHA1Fingerprinter{}, 4)
+	if cost := e.FingerprintAll(nil); cost != 0 {
+		t.Errorf("empty batch cost = %d, want 0", cost)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	var f Fingerprint
+	f[0] = 0xab
+	if got := f.String(); got != "ab00000000000000" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func BenchmarkSHA1Fingerprint(b *testing.B) {
+	var fp SHA1Fingerprinter
+	c := Chunk{Content: 1, Data: Payload(1)}
+	b.SetBytes(Size)
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(&c)
+	}
+}
+
+func BenchmarkSyntheticFingerprint(b *testing.B) {
+	var fp SyntheticFingerprinter
+	c := Chunk{Content: 1}
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(&c)
+	}
+}
+
+func BenchmarkHashEngineParallel(b *testing.B) {
+	ids := make([]ContentID, 1024)
+	for i := range ids {
+		ids[i] = ContentID(i)
+	}
+	chunks := Split(ids, SyntheticFingerprinter{}, true)
+	e := NewHashEngine(SHA1Fingerprinter{}, 0)
+	b.SetBytes(int64(len(ids)) * Size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.FingerprintAll(chunks)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func TestCrashRecoveryPreservesAckedWrites(t *testing.T) {
+	sd := NewSelectDedupe(testConfig())
+	reqs := randomWorkload(23, 400)
+
+	model := map[uint64]chunk.ContentID{}
+	for i := range reqs {
+		r := &reqs[i]
+		if r.Op == trace.Write {
+			sd.Write(r)
+			for j, id := range r.Content {
+				model[r.LBA+uint64(j)] = id
+			}
+		} else {
+			sd.Read(r)
+		}
+	}
+
+	applied, err := sd.CrashAndRecover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("no journal records replayed")
+	}
+	for lba, want := range model {
+		got, ok := sd.ReadContent(lba)
+		if !ok || got != uint64(want) {
+			t.Fatalf("lba %d after recovery: %d,%v want %d", lba, got, ok, want)
+		}
+	}
+}
+
+func TestCrashTearsFinalRecord(t *testing.T) {
+	sd := NewSelectDedupe(testConfig())
+	w := func(tm sim.Time, lba uint64, ids ...chunk.ContentID) {
+		sd.Write(&trace.Request{Time: tm, Op: trace.Write, LBA: lba, N: len(ids), Content: ids})
+	}
+	w(0, 0, 1, 2)
+	w(1000, 10, 3)
+
+	// power fails while the next write's journal record is in flight:
+	// its 20-byte record is torn after 10 bytes
+	sd.Base().NVRAM().ArmCrash(10)
+	w(2000, 20, 4) // the system stops here
+
+	if _, err := sd.CrashAndRecover(); err != nil {
+		t.Fatal(err)
+	}
+	// fully acked state survives
+	if got, ok := sd.ReadContent(0); !ok || got != 1 {
+		t.Fatalf("lba 0 = %d,%v want pre-crash content 1", got, ok)
+	}
+	if got, ok := sd.ReadContent(10); !ok || got != 3 {
+		t.Fatalf("lba 10 = %d,%v want 3", got, ok)
+	}
+	// the torn write never became durable
+	if _, ok := sd.ReadContent(20); ok {
+		t.Fatal("torn write survived the crash")
+	}
+}
+
+func TestEngineUsableAfterRecovery(t *testing.T) {
+	sd := NewPOD(testConfig())
+	w := func(tm sim.Time, lba uint64, ids ...chunk.ContentID) {
+		sd.Write(&trace.Request{Time: tm, Op: trace.Write, LBA: lba, N: len(ids), Content: ids})
+	}
+	w(0, 0, 1, 2, 3)
+	usedBefore := sd.UsedBlocks()
+	if _, err := sd.CrashAndRecover(); err != nil {
+		t.Fatal(err)
+	}
+	if sd.UsedBlocks() != usedBefore {
+		t.Fatalf("occupancy changed across recovery: %d -> %d", usedBefore, sd.UsedBlocks())
+	}
+	// dedup still works against recovered state: rewriting the same
+	// content must not grow the footprint...
+	w(sim.Time(sim.Second), 100, 1, 2, 3)
+	// ...but the index cache was lost, so the duplicate is detected only
+	// after the fingerprints are re-learned; write once more
+	w(sim.Time(2*sim.Second), 200, 1, 2, 3)
+	if got, _ := sd.ReadContent(200); got != 1 {
+		t.Fatal("post-recovery write corrupted")
+	}
+	// reads still verify
+	sd.Read(&trace.Request{Time: sim.Time(3 * sim.Second), Op: trace.Read, LBA: 0, N: 3})
+}
+
+func TestRecoveryWithoutNVRAMFails(t *testing.T) {
+	cfg := testConfig()
+	cfg.NVRAMBytes = 0
+	sd := NewSelectDedupe(cfg)
+	if _, err := sd.CrashAndRecover(); err == nil {
+		t.Fatal("recovery without NVRAM must fail")
+	}
+}
+
+// Property-style: the power fails mid-journal-record at a random point
+// in the workload (the final operation's record is torn at a random
+// byte); recovery must preserve every earlier acked write exactly, and
+// blocks touched only by the torn final operation may hold either the
+// old or nothing — never fabricated content.
+func TestCrashAtRandomPoints(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sd := NewSelectDedupe(testConfig())
+		reqs := randomWorkload(int64(100+trial), 200)
+
+		crashAt := rng.Intn(150) + 20
+		model := map[uint64]chunk.ContentID{}
+		touchedByCrash := map[uint64]bool{}
+		for i := range reqs {
+			r := &reqs[i]
+			if i > crashAt {
+				break // the machine is dead
+			}
+			if i == crashAt {
+				if r.Op != trace.Write {
+					break
+				}
+				sd.Base().NVRAM().ArmCrash(int64(rng.Intn(25)))
+				sd.Write(r)
+				for j := 0; j < r.N; j++ {
+					touchedByCrash[r.LBA+uint64(j)] = true
+				}
+				break
+			}
+			if r.Op == trace.Write {
+				sd.Write(r)
+				for j, id := range r.Content {
+					model[r.LBA+uint64(j)] = id
+				}
+			} else {
+				sd.Read(r)
+			}
+		}
+		if _, err := sd.CrashAndRecover(); err != nil {
+			t.Fatal(err)
+		}
+		for lba, want := range model {
+			if touchedByCrash[lba] {
+				continue // may legitimately hold old or new value
+			}
+			got, ok := sd.ReadContent(lba)
+			if !ok || got != uint64(want) {
+				t.Fatalf("trial %d: lba %d = %d,%v want %d", trial, lba, got, ok, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// SelectDedupe is POD's write-path component: request-based selective
+// inline deduplication. With cfg.Adaptive set it becomes the complete
+// POD system (Select-Dedupe + iCache); NewPOD arranges exactly that.
+type SelectDedupe struct {
+	base *engine.Base
+	name string
+}
+
+// NewSelectDedupe returns the Select-Dedupe engine with the fixed
+// 50/50 cache partition used in §IV-B.
+func NewSelectDedupe(cfg engine.Config) *SelectDedupe {
+	cfg.Adaptive = false
+	return &SelectDedupe{base: engine.NewBase(cfg), name: "Select-Dedupe"}
+}
+
+// NewPOD returns the full POD engine: Select-Dedupe plus the adaptive
+// iCache partitioning of §III-C.
+func NewPOD(cfg engine.Config) *SelectDedupe {
+	cfg.Adaptive = true
+	return &SelectDedupe{base: engine.NewBase(cfg), name: "POD"}
+}
+
+// Name implements engine.Engine.
+func (s *SelectDedupe) Name() string { return s.name }
+
+// Stats implements engine.Engine.
+func (s *SelectDedupe) Stats() *engine.Stats { return s.base.St }
+
+// UsedBlocks implements engine.Engine.
+func (s *SelectDedupe) UsedBlocks() uint64 { return s.base.UsedBlocks() }
+
+// ReadContent implements engine.Engine.
+func (s *SelectDedupe) ReadContent(lba uint64) (uint64, bool) { return s.base.ReadContent(lba) }
+
+// Base exposes the substrate for inspection by tests and experiments.
+func (s *SelectDedupe) Base() *engine.Base { return s.base }
+
+// CrashAndRecover models a power failure and restart: the DRAM caches
+// are lost and the Map table is rebuilt from its NVRAM journal — the
+// §IV-D2 durability story. It returns the number of journal records
+// replayed.
+func (s *SelectDedupe) CrashAndRecover() (int, error) { return s.base.Recover() }
+
+// Write runs the Select-Dedupe write path of Figure 6: split,
+// fingerprint, consult the hot index (memory only — a miss just means
+// a lost opportunity), classify per Figure 5, absorb the deduplicated
+// chunks into the Map table, and write the rest contiguously.
+func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
+	t := req.Time
+	s.base.Tick(t)
+	st := s.base.St
+	st.Writes++
+
+	chs, fpCost := s.base.SplitAndFingerprint(req)
+	ready := t.Add(fpCost)
+
+	dup := make([]bool, req.N)
+	target := make([]alloc.PBA, req.N)
+	for i := range chs {
+		if e, ok := s.base.IC.IndexLookup(chs[i].FP); ok {
+			dup[i] = true
+			target[i] = e.PBA
+		}
+	}
+
+	cat, dedupe := Classify(dup, target, s.base.Cfg.Threshold)
+	switch cat {
+	case Cat1:
+		st.Cat1++
+	case Cat2:
+		st.Cat2++
+	case Cat3:
+		st.Cat3++
+	}
+
+	var positions []int
+	for i := 0; i < req.N; i++ {
+		if dedupe[i] && s.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
+			continue
+		} else {
+			positions = append(positions, i)
+		}
+	}
+
+	done := ready
+	if len(positions) > 0 {
+		var pbas []alloc.PBA
+		done, pbas = s.base.WriteFresh(ready, req, positions, chs)
+		for k, pos := range positions {
+			s.base.InsertIndex(chs[pos].FP, pbas[k])
+		}
+	} else {
+		st.WritesRemoved++
+		done = done.Add(engine.MapUpdateUS)
+	}
+
+	s.base.VerifyWrite(req)
+	rt := done.Sub(t)
+	st.WriteRT.Add(int64(rt))
+	return rt
+}
+
+// Read services a read through the Map table; POD's read performance
+// benefits come from the write path (no fragmentation of category-2
+// data, shorter disk queues) and, in adaptive mode, from read-cache
+// growth during read bursts.
+func (s *SelectDedupe) Read(req *trace.Request) sim.Duration {
+	s.base.Tick(req.Time)
+	rt := s.base.ReadMapped(req, false)
+	s.base.St.Reads++
+	s.base.St.ReadRT.Add(int64(rt))
+	return rt
+}

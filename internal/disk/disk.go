@@ -1,0 +1,204 @@
+// Package disk models a single HDD spindle: a seek-curve/rotation/
+// transfer service-time model over an FCFS queue, with sequential-access
+// detection via head-position tracking.
+//
+// The model is the standard first-order HDD abstraction used throughout
+// the storage-systems literature (and sufficient for the effects POD's
+// evaluation depends on): a sequential access costs only transfer time,
+// while a random access additionally pays a square-root seek curve plus
+// half-revolution average rotational latency. Response-time differences
+// between deduplication schemes in this repository come from (a) how
+// many disk I/Os each scheme issues, (b) how sequential those I/Os are,
+// and (c) how much queueing delay the induced load creates — all three
+// are captured here.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+// Params describes the mechanical characteristics of a drive. The
+// defaults approximate the WDC WD1600AAJS 7200-rpm SATA drives in the
+// paper's testbed.
+type Params struct {
+	Blocks       uint64       // capacity in 4 KB blocks
+	SeekBaseUS   sim.Duration // minimum non-zero seek (track-to-track), µs
+	SeekFullUS   sim.Duration // additional full-stroke seek cost, µs
+	RPM          int          // spindle speed
+	TransferMBps float64      // sustained media transfer rate
+	BlockBytes   int          // block size in bytes
+}
+
+// DefaultParams returns drive parameters approximating a 7200-rpm
+// 160 GB SATA disk (≈0.5 ms track-to-track, ≈8.5 ms average seek,
+// 4.17 ms average rotational latency, 100 MB/s transfer).
+func DefaultParams(blocks uint64) Params {
+	return Params{
+		Blocks:       blocks,
+		SeekBaseUS:   500,
+		SeekFullUS:   12000, // base + full*sqrt(1) ≈ 12.5 ms full stroke
+		RPM:          7200,
+		TransferMBps: 100,
+		BlockBytes:   4096,
+	}
+}
+
+// Disk is one spindle. It is not safe for concurrent use; the replayer
+// drives each simulation single-threaded (parallelism in this
+// repository is across independent experiments).
+type Disk struct {
+	p         Params
+	queue     *sim.FCFSQueue
+	head      uint64 // block the head sits after, valid when headKnown
+	headKnown bool
+
+	reads, writes  int64
+	readBlocks     int64
+	writeBlocks    int64
+	seqAccesses    int64
+	randomAccesses int64
+}
+
+// New returns an idle disk with the given parameters.
+func New(p Params) *Disk {
+	if p.Blocks == 0 {
+		panic("disk: zero capacity")
+	}
+	if p.BlockBytes == 0 {
+		p.BlockBytes = 4096
+	}
+	return &Disk{p: p, queue: sim.NewFCFSQueue()}
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.p }
+
+// rotLatency is the average rotational delay for a non-sequential
+// access: half a revolution.
+func (d *Disk) rotLatency() sim.Duration {
+	if d.p.RPM <= 0 {
+		return 0
+	}
+	revUS := 60.0 * 1e6 / float64(d.p.RPM)
+	return sim.Duration(revUS / 2)
+}
+
+// seekTime models the seek as base + full·√(distance/capacity); zero
+// distance costs nothing.
+func (d *Disk) seekTime(from, to uint64) sim.Duration {
+	if from == to {
+		return 0
+	}
+	var dist uint64
+	if from > to {
+		dist = from - to
+	} else {
+		dist = to - from
+	}
+	frac := float64(dist) / float64(d.p.Blocks)
+	return d.p.SeekBaseUS + sim.Duration(float64(d.p.SeekFullUS)*math.Sqrt(frac))
+}
+
+// transferTime is the media transfer time for n blocks.
+func (d *Disk) transferTime(n uint64) sim.Duration {
+	bytes := float64(n) * float64(d.p.BlockBytes)
+	return sim.Duration(bytes / (d.p.TransferMBps * 1e6) * 1e6)
+}
+
+// ServiceTime computes the raw service time of an access starting at
+// block start for n blocks, given the current head position, without
+// enqueueing it. Sequential accesses (head already at start) pay only
+// transfer time.
+func (d *Disk) ServiceTime(start, n uint64) sim.Duration {
+	if d.headKnown && d.head == start {
+		return d.transferTime(n)
+	}
+	var from uint64
+	if d.headKnown {
+		from = d.head
+	}
+	svc := d.seekTime(from, start) + d.rotLatency() + d.transferTime(n)
+	if !d.headKnown {
+		// first access after spin-up: charge an average seek
+		svc = d.p.SeekBaseUS + d.p.SeekFullUS/3 + d.rotLatency() + d.transferTime(n)
+	}
+	return svc
+}
+
+// Op distinguishes reads from writes for accounting.
+type Op int
+
+// Operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// Access submits an I/O arriving at time t covering [start, start+n)
+// and returns its completion time. It must be called in non-decreasing
+// arrival order (FCFS).
+func (d *Disk) Access(t sim.Time, op Op, start, n uint64) sim.Time {
+	return d.AccessAfter(t, t, op, start, n)
+}
+
+// AccessAfter is Access with an additional readiness constraint: the
+// I/O cannot begin service before ready (used for the write phase of a
+// read-modify-write, which depends on the read phase).
+func (d *Disk) AccessAfter(t, ready sim.Time, op Op, start, n uint64) sim.Time {
+	if n == 0 {
+		return sim.MaxTime(t, ready)
+	}
+	if start+n > d.p.Blocks {
+		panic(fmt.Sprintf("disk: access out of range: [%d,%d) capacity %d", start, start+n, d.p.Blocks))
+	}
+	svc := d.ServiceTime(start, n)
+	if d.headKnown && d.head == start {
+		d.seqAccesses++
+	} else {
+		d.randomAccesses++
+	}
+	d.head = start + n
+	d.headKnown = true
+	switch op {
+	case Read:
+		d.reads++
+		d.readBlocks += int64(n)
+	case Write:
+		d.writes++
+		d.writeBlocks += int64(n)
+	}
+	return d.queue.SubmitAfter(t, ready, svc)
+}
+
+// BusyUntil reports when the disk next becomes idle.
+func (d *Disk) BusyUntil() sim.Time { return d.queue.BusyUntil() }
+
+// Stats is a snapshot of per-disk accounting.
+type Stats struct {
+	Reads, Writes             int64
+	ReadBlocks, WriteBlocks   int64
+	SeqAccesses, RandAccesses int64
+	BusyTime, WaitTime        sim.Duration
+}
+
+// Stats returns a snapshot of the disk's counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Reads: d.reads, Writes: d.writes,
+		ReadBlocks: d.readBlocks, WriteBlocks: d.writeBlocks,
+		SeqAccesses: d.seqAccesses, RandAccesses: d.randomAccesses,
+		BusyTime: d.queue.BusyTime(), WaitTime: d.queue.WaitTime(),
+	}
+}
+
+// Reset returns the disk to idle with an unknown head position.
+func (d *Disk) Reset() {
+	d.queue.Reset()
+	d.head = 0
+	d.headKnown = false
+	d.reads, d.writes, d.readBlocks, d.writeBlocks = 0, 0, 0, 0
+	d.seqAccesses, d.randomAccesses = 0, 0
+}

@@ -1,0 +1,158 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+func params() Params { return DefaultParams(1 << 20) }
+
+func TestNewZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Params{})
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	d := New(params())
+	d.Access(0, Read, 0, 16) // establish head at 16
+	seq := d.ServiceTime(16, 16)
+	rnd := d.ServiceTime(500000, 16)
+	if seq >= rnd {
+		t.Fatalf("sequential (%v) must be cheaper than random (%v)", seq, rnd)
+	}
+	// sequential 64 KB at 100 MB/s ≈ 655 µs
+	if seq < 500 || seq > 800 {
+		t.Errorf("sequential 64KB transfer = %v, want ≈655µs", seq)
+	}
+	// random access must include seek + rotation (≳4 ms)
+	if rnd < 4000 {
+		t.Errorf("random access = %v, want ≥4ms", rnd)
+	}
+}
+
+func TestSeekMonotoneInDistance(t *testing.T) {
+	d := New(params())
+	d.Access(0, Read, 0, 1) // head at 1
+	near := d.ServiceTime(1000, 1)
+	far := d.ServiceTime(900000, 1)
+	if near >= far {
+		t.Fatalf("near seek (%v) must cost less than far seek (%v)", near, far)
+	}
+}
+
+func TestAccessQueueing(t *testing.T) {
+	d := New(params())
+	c1 := d.Access(0, Write, 100000, 1)
+	c2 := d.Access(0, Write, 200000, 1)
+	if c2 <= c1 {
+		t.Fatal("second queued access must complete after the first")
+	}
+}
+
+func TestAccessAfterDependency(t *testing.T) {
+	d := New(params())
+	done := d.AccessAfter(0, 50000, Write, 0, 1)
+	if done < 50000 {
+		t.Fatalf("write must not begin before ready: done=%v", done)
+	}
+}
+
+func TestZeroLengthAccess(t *testing.T) {
+	d := New(params())
+	if done := d.Access(100, Read, 0, 0); done != 100 {
+		t.Fatalf("zero-length access should complete immediately, got %v", done)
+	}
+	if d.Stats().Reads != 0 {
+		t.Fatal("zero-length access must not count")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := New(params())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Access(0, Read, 1<<20, 1)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(params())
+	d.Access(0, Read, 0, 8)
+	d.Access(0, Write, 8, 4) // sequential with prior access
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("reads/writes = %d/%d", s.Reads, s.Writes)
+	}
+	if s.ReadBlocks != 8 || s.WriteBlocks != 4 {
+		t.Errorf("blocks = %d/%d", s.ReadBlocks, s.WriteBlocks)
+	}
+	if s.SeqAccesses != 1 || s.RandAccesses != 1 {
+		t.Errorf("seq/rand = %d/%d (first access is 'random', second sequential)", s.SeqAccesses, s.RandAccesses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(params())
+	d.Access(0, Read, 0, 8)
+	d.Reset()
+	s := d.Stats()
+	if s.Reads != 0 || d.BusyUntil() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFirstAccessChargesAverageSeek(t *testing.T) {
+	d := New(params())
+	svc := d.ServiceTime(0, 1)
+	if svc < 4000 {
+		t.Fatalf("cold first access should pay seek+rotation, got %v", svc)
+	}
+}
+
+// Property: completions are monotone for monotone arrivals, service is
+// always positive for non-empty I/Os, and the head always lands at the
+// end of the last access.
+func TestDiskProperty(t *testing.T) {
+	f := func(ops []uint32) bool {
+		d := New(params())
+		var tm sim.Time
+		var last sim.Time
+		for _, raw := range ops {
+			start := uint64(raw) % (1<<20 - 64)
+			n := uint64(raw%63) + 1
+			tm = tm.Add(sim.Duration(raw % 1000))
+			done := d.Access(tm, Op(raw%2), start, n)
+			if done < tm {
+				return false
+			}
+			if done < last {
+				return false
+			}
+			last = done
+			if d.head != start+n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	d := New(params())
+	var tm sim.Time
+	for i := 0; i < b.N; i++ {
+		tm = tm.Add(10)
+		d.Access(tm, Write, uint64(i*17)%(1<<20-8), 8)
+	}
+}

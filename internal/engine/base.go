@@ -1,0 +1,448 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/icache"
+	"github.com/pod-dedup/pod/internal/maptable"
+	"github.com/pod-dedup/pod/internal/nvram"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// Latency constants of the controller model.
+const (
+	// MemHitUS is the service time of a request satisfied entirely
+	// from the storage cache.
+	MemHitUS = 20
+	// MapUpdateUS is the bookkeeping cost charged when a write is
+	// fully absorbed by the Map table (no data I/O).
+	MapUpdateUS = 10
+)
+
+// IndexZoneFrac is the fraction of the array reserved at the top of the
+// physical space for the on-disk index and the iCache swap area.
+const IndexZoneFrac = 32 // 1/32 of capacity
+
+// Config assembles a storage engine's substrates.
+type Config struct {
+	Array *raid.Array
+
+	// Storage-cache DRAM budget and partitioning.
+	MemoryBytes     int64
+	IndexFrac       float64
+	Adaptive        bool
+	Interval        sim.Duration
+	IndexEntryBytes int
+
+	// Select-Dedupe partial-redundancy threshold (the paper uses 3).
+	Threshold int
+	// iDedup minimum duplicate-sequence length in chunks; requests
+	// smaller than this bypass deduplication entirely.
+	IDedupThreshold int
+
+	Fingerprinter chunk.Fingerprinter
+	HashWorkers   int
+
+	// NVRAMBytes sizes the Map-table journal; 0 disables journaling.
+	NVRAMBytes int
+
+	// Cleaner configures the background segment cleaner (off unless
+	// Cleaner.Enabled).
+	Cleaner CleanerParams
+
+	// Verify makes every dedup decision check the physical content
+	// model (catching index/store divergence at the point of damage).
+	Verify bool
+}
+
+// WithDefaults fills unset fields with the evaluation defaults.
+func (c Config) WithDefaults() Config {
+	if c.IndexFrac == 0 {
+		c.IndexFrac = 0.5
+	}
+	if c.Interval == 0 {
+		c.Interval = 500 * sim.Millisecond
+	}
+	if c.IndexEntryBytes == 0 {
+		c.IndexEntryBytes = 64
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.IDedupThreshold == 0 {
+		c.IDedupThreshold = 8
+	}
+	if c.Fingerprinter == nil {
+		c.Fingerprinter = chunk.SyntheticFingerprinter{}
+	}
+	if c.HashWorkers == 0 {
+		c.HashWorkers = 1
+	}
+	return c
+}
+
+// Base is the substrate shared by the deduplicating engines.
+type Base struct {
+	Cfg   Config
+	Array *raid.Array
+	Alloc *alloc.Allocator
+	Map   *maptable.Table
+	Store *Store
+	Hash  *chunk.HashEngine
+	IC    *icache.Controller
+	St    *Stats
+
+	// OnFree, when set, is invoked for every reclaimed physical block
+	// (Full-Dedupe uses it to drop full-index entries).
+	OnFree func(alloc.PBA)
+
+	dataBlocks uint64 // allocatable region [0, dataBlocks)
+	zoneBlocks uint64 // reserved index/swap zone [dataBlocks, dataBlocks+zoneBlocks)
+	rngState   uint64 // deterministic placement of index-zone lookups
+	swapCursor uint64 // rotating offset into the swap area
+
+	nvdev    *nvram.Device
+	icparams icache.Params
+	cleaner  cleanerState
+}
+
+// NewBase wires up the substrates for cfg.
+func NewBase(cfg Config) *Base {
+	cfg = cfg.WithDefaults()
+	if cfg.Array == nil {
+		panic("engine: nil array")
+	}
+	if cfg.MemoryBytes <= 0 {
+		panic("engine: non-positive memory budget")
+	}
+	total := cfg.Array.DataBlocks()
+	zone := total / IndexZoneFrac
+	data := total - zone
+
+	icp := icache.DefaultParams(cfg.MemoryBytes)
+	icp.IndexFrac = cfg.IndexFrac
+	icp.Adaptive = cfg.Adaptive
+	icp.Interval = cfg.Interval
+	icp.IndexEntryBytes = cfg.IndexEntryBytes
+
+	var dev *nvram.Device
+	if cfg.NVRAMBytes > 0 {
+		dev = nvram.New(cfg.NVRAMBytes)
+	}
+
+	b := &Base{
+		Cfg:        cfg,
+		Array:      cfg.Array,
+		Alloc:      alloc.New(data),
+		Map:        maptable.New(dev),
+		Store:      NewStore(),
+		Hash:       chunk.NewHashEngine(cfg.Fingerprinter, cfg.HashWorkers),
+		IC:         icache.New(icp),
+		St:         NewStats(),
+		dataBlocks: data,
+		zoneBlocks: zone,
+		rngState:   0x9E3779B97F4A7C15,
+		nvdev:      dev,
+		icparams:   icp,
+	}
+	if cfg.Cleaner.Enabled {
+		b.cleaner = cleanerState{p: cfg.Cleaner.withDefaults(data)}
+		b.Map.EnableReverseIndex()
+	}
+	return b
+}
+
+// NVRAM exposes the Map-table journal device (nil when journaling is
+// disabled) so tests and the crash-recovery path can inject faults.
+func (b *Base) NVRAM() *nvram.Device { return b.nvdev }
+
+// Recover models a power failure followed by a restart: DRAM contents
+// (index cache, read cache, ghosts) are lost; the Map table is rebuilt
+// from the NVRAM journal up to its last intact record; allocator
+// occupancy and the surviving physical contents are reconstructed from
+// the recovered mappings (orphan blocks whose mapping record was torn
+// are reclaimed). It returns the number of journal records applied.
+//
+// Every acknowledged write is durable by construction — the journal
+// record is appended before the write completes — so the recovered
+// logical view equals the state at the moment of the crash.
+func (b *Base) Recover() (int, error) {
+	if b.nvdev == nil {
+		return 0, fmt.Errorf("engine: no NVRAM configured (Config.NVRAMBytes = 0)")
+	}
+	b.nvdev.Recover()
+	tbl, applied, err := maptable.Load(b.nvdev)
+	if err != nil {
+		return 0, err
+	}
+	b.Map = tbl
+
+	// rebuild allocator occupancy and prune orphan contents
+	a := alloc.New(b.dataBlocks)
+	keep := make(map[alloc.PBA]bool)
+	tbl.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+		if !keep[pba] {
+			keep[pba] = true
+			if !a.Reserve(pba, 1) {
+				panic(fmt.Sprintf("engine: recovered mapping references unreservable block %d", pba))
+			}
+		}
+		return true
+	})
+	b.Alloc = a
+	b.Store.Retain(keep)
+
+	if b.cleaner.p.Enabled {
+		b.Map.EnableReverseIndex()
+	}
+	// volatile caches come back cold
+	b.IC = icache.New(b.icparams)
+	return applied, nil
+}
+
+// DataBlocks reports the allocatable physical capacity.
+func (b *Base) DataBlocks() uint64 { return b.dataBlocks }
+
+// Stats implements part of the Engine interface.
+func (b *Base) Stats() *Stats { return b.St }
+
+// UsedBlocks reports live physical occupancy.
+func (b *Base) UsedBlocks() uint64 { return b.Alloc.Used() }
+
+// ReadContent resolves lba through the Map table into the content
+// model.
+func (b *Base) ReadContent(lba uint64) (uint64, bool) {
+	pba, ok := b.Map.Lookup(lba)
+	if !ok {
+		return 0, false
+	}
+	id, ok := b.Store.Read(pba)
+	return uint64(id), ok
+}
+
+// SplitAndFingerprint chunks a write request and charges the modeled
+// fingerprint latency (32 µs per 4 KB chunk).
+func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Duration) {
+	chs := make([]chunk.Chunk, req.N)
+	for i, id := range req.Content {
+		chs[i].Content = id
+	}
+	cost := b.Hash.FingerprintAll(chs)
+	return chs, sim.Duration(cost)
+}
+
+// FreeBlocks reclaims physical blocks: allocator, content model, cache
+// purge, and the engine-specific hook.
+func (b *Base) FreeBlocks(pbas []alloc.PBA) {
+	for _, pba := range pbas {
+		b.Alloc.Free(pba, 1)
+		b.Store.Free(pba)
+		b.IC.PurgePBA(pba)
+		if b.OnFree != nil {
+			b.OnFree(pba)
+		}
+	}
+}
+
+// TryDedupe absorbs one chunk of a write by referencing an existing
+// copy: the Map table gains a shared mapping and no data I/O occurs.
+// It first performs the paper's consistency check — the referenced
+// block must still hold the expected content (an earlier chunk of the
+// same request may have released it). On mismatch nothing changes and
+// the caller writes the chunk instead.
+func (b *Base) TryDedupe(lba uint64, pba alloc.PBA, id chunk.ContentID) bool {
+	got, ok := b.Store.Read(pba)
+	if !ok || got != id {
+		return false
+	}
+	b.FreeBlocks(b.Map.Set(lba, pba, true))
+	b.St.ChunksDeduped++
+	b.St.NVRAMPeakBytes = b.Map.PeakNVRAMBytes()
+	return true
+}
+
+// VerifyWrite asserts, after a write request has been fully applied,
+// that every chunk of the request reads back with the written content.
+// Engines call it when Cfg.Verify is set; it catches dedup or mapping
+// corruption at the request that caused it.
+func (b *Base) VerifyWrite(req *trace.Request) {
+	if !b.Cfg.Verify {
+		return
+	}
+	for i := 0; i < req.N; i++ {
+		lba := req.LBA + uint64(i)
+		pba, ok := b.Map.Lookup(lba)
+		if !ok {
+			panic(fmt.Sprintf("engine: lba %d unmapped immediately after write", lba))
+		}
+		b.Store.MustMatch(pba, req.Content[i])
+	}
+}
+
+// WriteFresh writes the request chunks at the given positions into
+// freshly allocated extents, submitted at time at. It returns the
+// completion time and the PBA assigned to each position (parallel to
+// positions). Contiguous allocation is attempted first so that one
+// request's data lands sequentially on disk — the property POD's
+// classifier later tests with its "sequentially stored" condition.
+func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs []chunk.Chunk) (sim.Time, []alloc.PBA) {
+	n := uint64(len(positions))
+	if n == 0 {
+		return at, nil
+	}
+	// Append-preferring allocation: take from the largest free extent
+	// (normally the log frontier), so consecutive requests land
+	// physically sequential even when reclaimed holes pepper the low
+	// addresses. Only a space so fragmented that no extent fits falls
+	// back to scattering.
+	var extents []alloc.Extent
+	if start, ok := b.Alloc.AllocLargest(n); ok {
+		extents = []alloc.Extent{{Start: start, Count: n}}
+	} else if scattered, ok := b.Alloc.AllocScattered(n); ok {
+		extents = scattered
+	} else {
+		panic("engine: physical space exhausted")
+	}
+
+	pbas := make([]alloc.PBA, 0, n)
+	done := at
+	for _, e := range extents {
+		c := b.Array.Write(at, uint64(e.Start), e.Count)
+		done = sim.MaxTime(done, c)
+		for i := uint64(0); i < e.Count; i++ {
+			pbas = append(pbas, e.Start+alloc.PBA(i))
+		}
+	}
+	for i, pos := range positions {
+		pba := pbas[i]
+		b.Store.Write(pba, chs[pos].Content)
+		b.FreeBlocks(b.Map.Set(req.LBA+uint64(pos), pba, false))
+	}
+	b.St.ChunksWritten += int64(len(positions))
+	b.St.NVRAMPeakBytes = b.Map.PeakNVRAMBytes()
+	return done, pbas
+}
+
+// InsertIndex registers fp → pba in the hot index. Consistency against
+// block reuse is purge-based: FreeBlocks drops index entries for
+// reclaimed blocks, and TryDedupe re-validates content at dedup time.
+func (b *Base) InsertIndex(fp chunk.Fingerprint, pba alloc.PBA) {
+	b.IC.IndexInsert(fp, pba)
+}
+
+// ReadMapped services a read request through the Map table (or at
+// identity addresses when identity is set), filtering through the read
+// cache and coalescing cache misses into contiguous disk runs.
+func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
+	t := req.Time
+	pbas := make([]alloc.PBA, req.N)
+	for i := 0; i < req.N; i++ {
+		lba := req.LBA + uint64(i)
+		if identity {
+			pbas[i] = alloc.PBA(lba % b.dataBlocks)
+			continue
+		}
+		if pba, ok := b.Map.Lookup(lba); ok {
+			pbas[i] = pba
+		} else {
+			pbas[i] = alloc.PBA(lba % b.dataBlocks) // never-written block: home position
+		}
+	}
+
+	// one cache probe per block, then coalesce the misses into
+	// contiguous disk runs
+	hit := make([]bool, req.N)
+	for i := 0; i < req.N; i++ {
+		hit[i] = b.IC.ReadHit(pbas[i])
+		if hit[i] {
+			b.St.CacheHits++
+		} else {
+			b.St.CacheMisses++
+		}
+	}
+
+	var missRuns int
+	done := t
+	i := 0
+	anyMiss := false
+	for i < req.N {
+		if hit[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < req.N && !hit[j] && pbas[j] == pbas[j-1]+1 {
+			j++
+		}
+		c := b.Array.Read(t, uint64(pbas[i]), uint64(j-i))
+		done = sim.MaxTime(done, c)
+		for k := i; k < j; k++ {
+			b.IC.ReadInsert(pbas[k])
+		}
+		missRuns++
+		anyMiss = true
+		i = j
+	}
+	b.St.ReadIOs += int64(missRuns)
+	if missRuns > 1 {
+		b.St.ReadAmplifiedReqs++
+	}
+	if !anyMiss {
+		return MemHitUS
+	}
+	return done.Sub(t)
+}
+
+// IndexZoneIO issues k random 4 KB reads into the reserved on-disk
+// index zone (Full-Dedupe's index-lookup traffic) starting at time at,
+// returning the time the last lookup completes.
+func (b *Base) IndexZoneIO(at sim.Time, k int) sim.Time {
+	done := at
+	for ; k > 0; k-- {
+		b.rngState ^= b.rngState << 13
+		b.rngState ^= b.rngState >> 7
+		b.rngState ^= b.rngState << 17
+		off := b.dataBlocks + b.rngState%b.zoneBlocks
+		c := b.Array.Read(at, off, 1)
+		done = sim.MaxTime(done, c)
+		b.St.IndexDiskIOs++
+	}
+	return done
+}
+
+// ApplyRepartition carries out the pin transfers and background swap
+// I/O that an iCache repartition requires.
+func (b *Base) ApplyRepartition(now sim.Time, rep icache.Repartition) {
+	if !rep.Changed {
+		return
+	}
+	// Swapped-out data lives in the reserved zone, written there
+	// sequentially at eviction time (§III-C: "stored on a reserved
+	// space on the back-end storage device"), so swapping K blocks back
+	// in costs ⌈K/batch⌉ large sequential background reads — not K
+	// scattered ones.
+	if n := uint64(len(rep.ReadSwapIns)); n > 0 {
+		const batch = 256
+		for off := uint64(0); off < n; off += batch {
+			cnt := n - off
+			if cnt > batch {
+				cnt = batch
+			}
+			start := b.dataBlocks + (b.swapCursor % (b.zoneBlocks - batch))
+			b.swapCursor += cnt
+			b.Array.Read(now, start, cnt)
+			b.St.SwapInIOs++
+		}
+	}
+}
+
+// Tick advances the iCache controller, applies any repartition, and
+// gives the segment cleaner a chance to run.
+func (b *Base) Tick(now sim.Time) {
+	b.ApplyRepartition(now, b.IC.Tick(now))
+	b.maybeClean(now)
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+// The segment cleaner. Log-structured allocation (WriteFresh appends to
+// the largest free extent) leaves reclaimed holes scattered behind the
+// frontier; under sustained overwrite churn the frontier eventually
+// exhausts and allocation quality degrades. The cleaner runs in idle
+// periods, relocating the short runs of live blocks that separate
+// neighbouring free holes to the frontier, so the holes coalesce into
+// large extents again — the standard LFS remedy (Rosenblum &
+// Ousterhout), here in its simplest form.
+//
+// Relocation preserves every property the engines rely on: all LBAs
+// referencing a moved block are remapped (shared flags preserved), the
+// caches and index entries naming the old block are purged, and the
+// data motion is charged to the disks as background I/O.
+
+// CleanerParams tunes the cleaner; zero values disable it.
+type CleanerParams struct {
+	Enabled bool
+	// TriggerFree runs a pass when the largest free extent drops below
+	// this many blocks (default: 1/64 of the data region).
+	TriggerFree uint64
+	// MaxGap bounds the live run the cleaner will relocate in one step
+	// (default 512 blocks).
+	MaxGap uint64
+	// Interval is the minimum virtual time between passes (default 2 s).
+	Interval sim.Duration
+}
+
+func (p CleanerParams) withDefaults(dataBlocks uint64) CleanerParams {
+	if p.TriggerFree == 0 {
+		p.TriggerFree = dataBlocks / 64
+	}
+	if p.MaxGap == 0 {
+		p.MaxGap = 512
+	}
+	if p.Interval == 0 {
+		p.Interval = 2 * sim.Second
+	}
+	return p
+}
+
+// cleanerState is the Base-side bookkeeping.
+type cleanerState struct {
+	p         CleanerParams
+	nextPass  sim.Time
+	passes    int64
+	moved     int64
+	reclaimed int64
+}
+
+// CleanerStats reports the cleaner's lifetime work.
+type CleanerStats struct {
+	Passes, BlocksMoved int64
+}
+
+// CleanerStats returns the cleaner's counters.
+func (b *Base) CleanerStats() CleanerStats {
+	return CleanerStats{Passes: b.cleaner.passes, BlocksMoved: b.cleaner.moved}
+}
+
+// maybeClean runs one cleaning step if fragmentation warrants it and
+// the array is idle. Called from Tick.
+func (b *Base) maybeClean(now sim.Time) {
+	c := &b.cleaner
+	if !c.p.Enabled || now < c.nextPass {
+		return
+	}
+	if b.Alloc.LargestFree() >= c.p.TriggerFree {
+		return
+	}
+	if b.Array.Backlog(now) > 0 {
+		c.nextPass = now.Add(c.p.Interval / 4)
+		return
+	}
+	c.nextPass = now.Add(c.p.Interval)
+	c.passes++
+
+	// find the first pair of free extents separated by a small live run
+	exts := b.Alloc.FreeExtents()
+	for i := 0; i+1 < len(exts); i++ {
+		gapStart := exts[i].End()
+		gapLen := uint64(exts[i+1].Start - gapStart)
+		if gapLen == 0 || gapLen > c.p.MaxGap {
+			continue
+		}
+		b.relocate(now, gapStart, gapLen)
+		return
+	}
+}
+
+// relocate moves the live blocks in [start, start+n) to freshly
+// allocated space, freeing the originals so the surrounding holes can
+// coalesce.
+func (b *Base) relocate(now sim.Time, start alloc.PBA, n uint64) {
+	type move struct {
+		old    alloc.PBA
+		id     uint64
+		shared []uint64 // referring LBAs
+		flags  []bool
+	}
+	var moves []move
+	for pba := start; pba < start+alloc.PBA(n); pba++ {
+		id, ok := b.Store.Read(pba)
+		if !ok {
+			continue // dead residual; nothing to preserve
+		}
+		refs := b.Map.Referrers(pba)
+		if len(refs) == 0 {
+			continue
+		}
+		m := move{old: pba, id: uint64(id)}
+		for _, lba := range refs {
+			_, shared, _ := b.Map.LookupFull(lba)
+			m.shared = append(m.shared, lba)
+			m.flags = append(m.flags, shared)
+		}
+		moves = append(moves, m)
+	}
+	if len(moves) == 0 {
+		return
+	}
+
+	// background I/O: one sequential read of the source run, one
+	// sequential write of the destination run
+	b.Array.Read(now, uint64(start), n)
+	dst, ok := b.Alloc.AllocLargest(uint64(len(moves)))
+	if !ok {
+		return // space too tight to clean; give up this pass
+	}
+	b.Array.Write(now, uint64(dst), uint64(len(moves)))
+	b.St.SwapInIOs += 2
+
+	for k, m := range moves {
+		newPBA := dst + alloc.PBA(k)
+		b.Store.Write(newPBA, chunk.ContentID(m.id))
+		for j, lba := range m.shared {
+			b.FreeBlocks(b.Map.Set(lba, newPBA, m.flags[j]))
+		}
+		b.cleaner.moved++
+	}
+}

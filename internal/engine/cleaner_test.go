@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func cleanerBase(t testing.TB) *Base {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(1 << 12))
+	}
+	return NewBase(Config{
+		Array:       raid.New(raid.RAID5, disks, 16),
+		MemoryBytes: 1 << 20,
+		Cleaner: CleanerParams{
+			Enabled:     true,
+			TriggerFree: 1 << 14, // larger than the region: always eligible when fragmented
+			MaxGap:      64,
+			Interval:    sim.Millisecond,
+		},
+	})
+}
+
+// writeOne appends one single-chunk logical write.
+func writeOne(b *Base, at sim.Time, lba uint64, id chunk.ContentID) {
+	req := &trace.Request{Time: at, Op: trace.Write, LBA: lba, N: 1, Content: []chunk.ContentID{id}}
+	b.WriteFresh(at, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+}
+
+// fragment writes a dense region then frees alternating blocks.
+func fragment(b *Base, t testing.TB) sim.Time {
+	var tm sim.Time
+	n := uint64(2000)
+	for i := uint64(0); i < n; i++ {
+		tm = tm.Add(20 * sim.Millisecond)
+		writeOne(b, tm, i, chunk.ContentID(1000+i))
+	}
+	// punch holes: overwrite every other LBA (its old block frees, the
+	// replacement appends at the frontier)
+	for i := uint64(0); i < n; i += 2 {
+		tm = tm.Add(20 * sim.Millisecond)
+		writeOne(b, tm, i, chunk.ContentID(5000+i))
+	}
+	return tm
+}
+
+func TestCleanerCoalescesHoles(t *testing.T) {
+	b := cleanerBase(t)
+	tm := fragment(b, t)
+	before := b.Alloc.NumFreeExtents()
+	if before < 100 {
+		t.Fatalf("fragmentation setup too weak: %d free extents", before)
+	}
+	// idle time: let the cleaner run many passes
+	for pass := 0; pass < 2000; pass++ {
+		tm = tm.Add(sim.Second)
+		b.Tick(tm)
+	}
+	st := b.CleanerStats()
+	if st.Passes == 0 || st.BlocksMoved == 0 {
+		t.Fatalf("cleaner idle: %+v", st)
+	}
+	after := b.Alloc.NumFreeExtents()
+	if after >= before {
+		t.Fatalf("cleaner did not reduce fragmentation: %d -> %d extents", before, after)
+	}
+	if err := b.Alloc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanerPreservesLogicalContents(t *testing.T) {
+	b := cleanerBase(t)
+	model := map[uint64]chunk.ContentID{}
+	var tm sim.Time
+	// dense region, then alternating overwrites: single-block holes
+	// separated by single live blocks — worst-case fragmentation
+	for i := uint64(0); i < 1000; i++ {
+		tm = tm.Add(20 * sim.Millisecond)
+		id := chunk.ContentID(1000 + i)
+		writeOne(b, tm, i, id)
+		model[i] = id
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		tm = tm.Add(20 * sim.Millisecond)
+		id := chunk.ContentID(90000 + i)
+		writeOne(b, tm, i, id)
+		model[i] = id
+	}
+	for pass := 0; pass < 1000; pass++ {
+		tm = tm.Add(sim.Second)
+		b.Tick(tm)
+	}
+	if b.CleanerStats().BlocksMoved == 0 {
+		t.Fatal("cleaner did not run on a maximally fragmented region")
+	}
+	for lba, want := range model {
+		got, ok := b.ReadContent(lba)
+		if !ok || got != uint64(want) {
+			t.Fatalf("lba %d after cleaning: %d,%v want %d", lba, got, ok, want)
+		}
+	}
+}
+
+func TestCleanerPreservesSharedMappings(t *testing.T) {
+	b := cleanerBase(t)
+	var tm sim.Time
+	// one physical block referenced by two LBAs, surrounded by holes
+	writeOne(b, tm, 0, 42)
+	pba, _ := b.Map.Lookup(0)
+	b.FreeBlocks(b.Map.Set(100, pba, true)) // dedup reference
+	// neighbours (disjoint LBAs) that will be freed to create holes
+	// around the shared block
+	for i := uint64(200); i < 400; i++ {
+		tm = tm.Add(20 * sim.Millisecond)
+		writeOne(b, tm, i, chunk.ContentID(100+i))
+	}
+	for i := uint64(200); i < 400; i += 2 {
+		tm = tm.Add(20 * sim.Millisecond)
+		writeOne(b, tm, i, chunk.ContentID(9000+i))
+	}
+	for pass := 0; pass < 1500; pass++ {
+		tm = tm.Add(sim.Second)
+		b.Tick(tm)
+	}
+	// both referers still resolve to content 42, still sharing one block
+	p0, _, ok0 := b.Map.LookupFull(0)
+	p1, sh1, ok1 := b.Map.LookupFull(100)
+	if !ok0 || !ok1 || p0 != p1 || !sh1 {
+		t.Fatalf("shared mapping broken: %d/%d ok=%v/%v shared=%v", p0, p1, ok0, ok1, sh1)
+	}
+	if got, ok := b.ReadContent(100); !ok || got != 42 {
+		t.Fatalf("shared content lost: %d,%v", got, ok)
+	}
+}
+
+func TestCleanerDisabledByDefault(t *testing.T) {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(1 << 12))
+	}
+	b := NewBase(Config{Array: raid.New(raid.RAID5, disks, 16), MemoryBytes: 1 << 20})
+	b.Tick(sim.Time(10 * sim.Second))
+	if b.CleanerStats().Passes != 0 {
+		t.Fatal("cleaner ran without being enabled")
+	}
+}

@@ -1,0 +1,104 @@
+// Package engine defines the common machinery shared by every storage
+// engine in this repository: the Engine interface the replayer drives,
+// per-engine statistics, the physical content model used to verify
+// read-your-writes, and the Base substrate (array + allocator + map
+// table + partitioned cache) that the deduplicating engines build on.
+//
+// All engines are log-structured above the RAID array: a write
+// request's non-deduplicated chunks are placed in freshly allocated
+// contiguous physical extents, and a physical block whose last
+// reference disappears returns to the allocator. The Native baseline
+// is the exception — it writes in place at identity addresses, exactly
+// like the plain HDD system the paper normalizes against.
+package engine
+
+import (
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// Engine is a storage scheme under evaluation. The replayer calls
+// Write/Read in arrival-time order; each returns the simulated user
+// response time of the request.
+type Engine interface {
+	// Name identifies the scheme ("Native", "Full-Dedupe", "iDedup",
+	// "Select-Dedupe", "POD").
+	Name() string
+	// Write services a write request arriving at req.Time.
+	Write(req *trace.Request) sim.Duration
+	// Read services a read request arriving at req.Time.
+	Read(req *trace.Request) sim.Duration
+	// Stats exposes the engine's accumulated metrics.
+	Stats() *Stats
+	// UsedBlocks reports the physical capacity currently occupied, in
+	// 4 KB blocks (Figure 10's metric).
+	UsedBlocks() uint64
+	// ReadContent returns the content identity stored at lba, for
+	// consistency verification. ok is false for never-written blocks.
+	ReadContent(lba uint64) (uint64, bool)
+}
+
+// Stats accumulates per-engine metrics over a replay.
+type Stats struct {
+	ReadRT  *stats.Histogram // per-request read response times, µs
+	WriteRT *stats.Histogram // per-request write response times, µs
+
+	Reads, Writes int64
+
+	// write-path deduplication accounting
+	WritesRemoved    int64 // write requests fully eliminated (no data I/O)
+	ChunksWritten    int64 // chunks physically written
+	ChunksDeduped    int64 // chunks mapped without writing
+	Cat1, Cat2, Cat3 int64 // Select-Dedupe request categories (§III-B)
+
+	IndexDiskIOs int64 // on-disk index lookups (Full-Dedupe's bottleneck)
+
+	// read path
+	CacheHits, CacheMisses int64 // read-cache block hits/misses
+	ReadIOs                int64 // disk read operations issued for user reads
+	ReadAmplifiedReqs      int64 // read requests needing more I/Os than a contiguous layout would
+
+	// background
+	SwapInIOs int64 // iCache swap-in disk reads
+
+	NVRAMPeakBytes int64 // Map-table NVRAM high-water mark (§IV-D2)
+}
+
+// NewStats returns zeroed statistics.
+func NewStats() *Stats {
+	return &Stats{ReadRT: stats.NewHistogram(), WriteRT: stats.NewHistogram()}
+}
+
+// Reset zeroes all counters and histograms in place (the replayer calls
+// it at the end of the warm-up window so measurements cover only the
+// evaluation portion of a trace, as §IV-A warms the cache with the
+// first 14 days and measures day 15).
+func (s *Stats) Reset() {
+	*s = Stats{ReadRT: stats.NewHistogram(), WriteRT: stats.NewHistogram()}
+}
+
+// TotalRT reports the mean response time across reads and writes, µs.
+func (s *Stats) TotalRT() float64 {
+	n := s.ReadRT.N() + s.WriteRT.N()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.ReadRT.Sum()+s.WriteRT.Sum()) / float64(n)
+}
+
+// WriteRemovalPct reports the percentage of write requests eliminated
+// (Figure 11's metric).
+func (s *Stats) WriteRemovalPct() float64 {
+	return stats.Ratio(s.WritesRemoved, s.Writes)
+}
+
+// DedupRatioPct reports the percentage of write chunks deduplicated.
+func (s *Stats) DedupRatioPct() float64 {
+	return stats.Ratio(s.ChunksDeduped, s.ChunksDeduped+s.ChunksWritten)
+}
+
+// CacheHitPct reports the read-cache hit ratio.
+func (s *Stats) CacheHitPct() float64 {
+	return stats.Ratio(s.CacheHits, s.CacheHits+s.CacheMisses)
+}

@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func testBase(t testing.TB) *Base {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(1 << 16))
+	}
+	return NewBase(Config{
+		Array:       raid.New(raid.RAID5, disks, 16),
+		MemoryBytes: 1 << 20,
+	})
+}
+
+func TestNewBaseValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil array", func() { NewBase(Config{MemoryBytes: 1}) })
+	mustPanic("no memory", func() {
+		disks := []*disk.Disk{disk.New(disk.DefaultParams(64)), disk.New(disk.DefaultParams(64)), disk.New(disk.DefaultParams(64))}
+		NewBase(Config{Array: raid.New(raid.RAID5, disks, 16)})
+	})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.IndexFrac != 0.5 || c.Threshold != 3 || c.IDedupThreshold != 8 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.Fingerprinter == nil || c.HashWorkers != 1 {
+		t.Fatal("fingerprinter defaults wrong")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Write(5, 100)
+	if id, ok := s.Read(5); !ok || id != 100 {
+		t.Fatal("read back failed")
+	}
+	s.Free(5)
+	if _, ok := s.Read(5); ok {
+		t.Fatal("freed block still readable")
+	}
+	if s.Len() != 0 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestStoreMustMatchPanics(t *testing.T) {
+	s := NewStore()
+	s.Write(1, 10)
+	s.MustMatch(1, 10) // fine
+	for _, c := range []struct {
+		pba alloc.PBA
+		id  chunk.ContentID
+	}{{1, 11}, {2, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			s.MustMatch(c.pba, c.id)
+		}()
+	}
+}
+
+func TestWriteFreshContiguous(t *testing.T) {
+	b := testBase(t)
+	req := &trace.Request{Op: trace.Write, LBA: 10, N: 4, Content: []chunk.ContentID{1, 2, 3, 4}}
+	done, pbas := b.WriteFresh(0, req, []int{0, 1, 2, 3}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+	if done <= 0 || len(pbas) != 4 {
+		t.Fatalf("done=%v pbas=%v", done, pbas)
+	}
+	for i := 1; i < 4; i++ {
+		if pbas[i] != pbas[i-1]+1 {
+			t.Fatal("fresh write must allocate contiguously")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if pba, ok := b.Map.Lookup(10 + uint64(i)); !ok || pba != pbas[i] {
+			t.Fatal("mapping missing")
+		}
+		if id, ok := b.Store.Read(pbas[i]); !ok || id != chunk.ContentID(i+1) {
+			t.Fatal("content missing")
+		}
+	}
+	if b.St.ChunksWritten != 4 {
+		t.Fatalf("chunks written = %d", b.St.ChunksWritten)
+	}
+}
+
+func TestWriteFreshEmptyPositions(t *testing.T) {
+	b := testBase(t)
+	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{1}}
+	done, pbas := b.WriteFresh(100, req, nil, nil)
+	if done != 100 || pbas != nil {
+		t.Fatal("empty write must be a no-op")
+	}
+}
+
+func TestTryDedupeValidation(t *testing.T) {
+	b := testBase(t)
+	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{42}}
+	_, pbas := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+
+	// valid dedup
+	if !b.TryDedupe(100, pbas[0], 42) {
+		t.Fatal("matching dedup must succeed")
+	}
+	if b.Map.RefCount(pbas[0]) != 2 {
+		t.Fatal("refcount wrong")
+	}
+	// content mismatch: must refuse
+	if b.TryDedupe(200, pbas[0], 43) {
+		t.Fatal("mismatched dedup must fail")
+	}
+	// unallocated block: must refuse
+	if b.TryDedupe(300, 9999, 42) {
+		t.Fatal("dedup to unallocated block must fail")
+	}
+	if b.St.ChunksDeduped != 1 {
+		t.Fatalf("deduped = %d", b.St.ChunksDeduped)
+	}
+}
+
+func TestFreeBlocksPurgesEverywhere(t *testing.T) {
+	b := testBase(t)
+	var forgotten []alloc.PBA
+	b.OnFree = func(p alloc.PBA) { forgotten = append(forgotten, p) }
+
+	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{1}}
+	chs := chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false)
+	_, pbas := b.WriteFresh(0, req, []int{0}, chs)
+	b.IC.ReadInsert(pbas[0])
+	b.InsertIndex(chs[0].FP, pbas[0])
+
+	freed := b.Map.Unset(0)
+	b.FreeBlocks(freed)
+	if len(forgotten) != 1 || forgotten[0] != pbas[0] {
+		t.Fatalf("OnFree hook got %v", forgotten)
+	}
+	if b.IC.ReadHit(pbas[0]) {
+		t.Fatal("freed block still in read cache")
+	}
+	if _, ok := b.IC.IndexLookup(chs[0].FP); ok {
+		t.Fatal("freed block still indexed")
+	}
+	if b.Alloc.Used() != 0 {
+		t.Fatal("allocator still holds the block")
+	}
+}
+
+func TestReadMappedCoalescing(t *testing.T) {
+	b := testBase(t)
+	// write 8 contiguous chunks
+	ids := make([]chunk.ContentID, 8)
+	pos := make([]int, 8)
+	for i := range ids {
+		ids[i] = chunk.ContentID(i + 1)
+		pos[i] = i
+	}
+	req := &trace.Request{Op: trace.Write, LBA: 0, N: 8, Content: ids}
+	b.WriteFresh(0, req, pos, chunk.Split(ids, chunk.SyntheticFingerprinter{}, false))
+
+	read := &trace.Request{Time: sim.Time(sim.Second), Op: trace.Read, LBA: 0, N: 8}
+	rt := b.ReadMapped(read, false)
+	if rt <= 0 {
+		t.Fatal("read must take time")
+	}
+	if b.St.ReadIOs != 1 {
+		t.Fatalf("contiguous read issued %d IOs, want 1", b.St.ReadIOs)
+	}
+	if b.St.ReadAmplifiedReqs != 0 {
+		t.Fatal("contiguous read must not count as amplified")
+	}
+
+	// second read: fully cached
+	read2 := &trace.Request{Time: sim.Time(2 * sim.Second), Op: trace.Read, LBA: 0, N: 8}
+	rt2 := b.ReadMapped(read2, false)
+	if rt2 != MemHitUS {
+		t.Fatalf("cached read rt = %v, want %d", rt2, MemHitUS)
+	}
+	if b.St.CacheHits != 8 {
+		t.Fatalf("cache hits = %d", b.St.CacheHits)
+	}
+}
+
+func TestReadMappedFragmentationCounted(t *testing.T) {
+	b := testBase(t)
+	// write two separate extents, then map alternating LBAs to them
+	mk := func(lba uint64, id chunk.ContentID) alloc.PBA {
+		req := &trace.Request{Op: trace.Write, LBA: lba, N: 1, Content: []chunk.ContentID{id}}
+		_, pbas := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+		return pbas[0]
+	}
+	mk(0, 1)
+	mk(1000, 2) // separated allocation padding
+	mk(1, 3)
+	// LBAs 0 and 1 now map to non-adjacent physical blocks
+	read := &trace.Request{Time: sim.Time(sim.Second), Op: trace.Read, LBA: 0, N: 2}
+	b.ReadMapped(read, false)
+	if b.St.ReadIOs != 2 {
+		t.Fatalf("fragmented read issued %d IOs, want 2", b.St.ReadIOs)
+	}
+	if b.St.ReadAmplifiedReqs != 1 {
+		t.Fatal("fragmented read must count as amplified")
+	}
+}
+
+func TestIndexZoneIO(t *testing.T) {
+	b := testBase(t)
+	done := b.IndexZoneIO(0, 3)
+	if done <= 0 {
+		t.Fatal("index lookups must take time")
+	}
+	if b.St.IndexDiskIOs != 3 {
+		t.Fatalf("index IOs = %d", b.St.IndexDiskIOs)
+	}
+	if b.IndexZoneIO(100, 0) != 100 {
+		t.Fatal("zero lookups must be free")
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := NewStats()
+	if s.TotalRT() != 0 {
+		t.Fatal("empty TotalRT should be 0")
+	}
+	s.WriteRT.Add(1000)
+	s.ReadRT.Add(3000)
+	if s.TotalRT() != 2000 {
+		t.Fatalf("TotalRT = %f", s.TotalRT())
+	}
+	s.Writes = 4
+	s.WritesRemoved = 1
+	if s.WriteRemovalPct() != 25 {
+		t.Fatal("removal pct wrong")
+	}
+	s.ChunksDeduped, s.ChunksWritten = 1, 3
+	if s.DedupRatioPct() != 25 {
+		t.Fatal("dedup pct wrong")
+	}
+	s.CacheHits, s.CacheMisses = 1, 1
+	if s.CacheHitPct() != 50 {
+		t.Fatal("cache pct wrong")
+	}
+	s.Reset()
+	if s.Writes != 0 || s.WriteRT.N() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: WriteFresh + Map always leaves every written LBA resolvable
+// to its content, for arbitrary position subsets.
+func TestWriteFreshProperty(t *testing.T) {
+	f := func(lbaRaw uint16, mask uint8) bool {
+		b := testBase(t)
+		n := 8
+		ids := make([]chunk.ContentID, n)
+		for i := range ids {
+			ids[i] = chunk.ContentID(1000 + i)
+		}
+		var positions []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				positions = append(positions, i)
+			}
+		}
+		if len(positions) == 0 {
+			return true
+		}
+		req := &trace.Request{Op: trace.Write, LBA: uint64(lbaRaw), N: n, Content: ids}
+		_, pbas := b.WriteFresh(0, req, positions, chunk.Split(ids, chunk.SyntheticFingerprinter{}, false))
+		for k, pos := range positions {
+			pba, ok := b.Map.Lookup(uint64(lbaRaw) + uint64(pos))
+			if !ok || pba != pbas[k] {
+				return false
+			}
+			id, ok := b.Store.Read(pba)
+			if !ok || id != ids[pos] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyWriteCatchesCorruption(t *testing.T) {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(1 << 16))
+	}
+	b := NewBase(Config{
+		Array:       raid.New(raid.RAID5, disks, 16),
+		MemoryBytes: 1 << 20,
+		Verify:      true,
+	})
+	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{7}}
+	b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+	b.VerifyWrite(req) // consistent: fine
+
+	// sabotage the mapping and expect the verifier to catch it
+	pba, _ := b.Map.Lookup(0)
+	b.Store.Write(pba, 999)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VerifyWrite must catch content divergence")
+		}
+	}()
+	b.VerifyWrite(req)
+}
+
+func TestVerifyWriteCatchesMissingMapping(t *testing.T) {
+	b := testBase(t)
+	b.Cfg.Verify = true
+	req := &trace.Request{Op: trace.Write, LBA: 5, N: 1, Content: []chunk.ContentID{7}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VerifyWrite must catch unmapped writes")
+		}
+	}()
+	b.VerifyWrite(req) // never written
+}
+
+func TestRecoverWithoutNVRAM(t *testing.T) {
+	b := testBase(t)
+	if _, err := b.Recover(); err == nil {
+		t.Fatal("recovery without NVRAM must fail")
+	}
+	if b.NVRAM() != nil {
+		t.Fatal("testBase should have no NVRAM device")
+	}
+}
+
+func TestApplyRepartitionReadSwapInsChargeIO(t *testing.T) {
+	b := testBase(t)
+	rep := icacheRepartition(true, []alloc.PBA{10, 11, 12, 500})
+	b.ApplyRepartition(1000, rep)
+	if b.St.SwapInIOs == 0 {
+		t.Fatal("read swap-ins must charge background I/O")
+	}
+	// non-changed repartitions are free
+	before := b.St.SwapInIOs
+	b.ApplyRepartition(2000, icacheRepartition(false, nil))
+	if b.St.SwapInIOs != before {
+		t.Fatal("no-op repartition charged I/O")
+	}
+}

@@ -1,0 +1,11 @@
+package engine
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/icache"
+)
+
+// icacheRepartition builds a Repartition value for tests.
+func icacheRepartition(changed bool, swapIns []alloc.PBA) icache.Repartition {
+	return icache.Repartition{Changed: changed, ReadSwapIns: swapIns}
+}

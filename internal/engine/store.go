@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+)
+
+// Store models the contents of the physical block space: which content
+// identity each physical block holds, and whether the block is live
+// (allocated). It is the ground truth that consistency tests verify
+// engines against — the latency simulator decides *when* an I/O
+// completes, the Store decides *what* it returns.
+//
+// Freeing a block marks it dead without erasing the content, matching
+// physical disks: the bits stay on the platters until overwritten.
+// That distinction matters twice — a dedup decision must never
+// reference a dead block (the allocator may hand it out at any moment),
+// while crash recovery may legitimately re-admit a block whose free was
+// only in DRAM when the power failed.
+type Store struct {
+	m map[alloc.PBA]cell
+}
+
+type cell struct {
+	id   chunk.ContentID
+	live bool
+}
+
+// NewStore returns an empty physical content model.
+func NewStore() *Store {
+	return &Store{m: make(map[alloc.PBA]cell)}
+}
+
+// Write records that pba now holds id and is live.
+func (s *Store) Write(pba alloc.PBA, id chunk.ContentID) { s.m[pba] = cell{id: id, live: true} }
+
+// Read returns the content at pba; ok only for live blocks.
+func (s *Store) Read(pba alloc.PBA) (chunk.ContentID, bool) {
+	c, ok := s.m[pba]
+	if !ok || !c.live {
+		return 0, false
+	}
+	return c.id, true
+}
+
+// Residual returns the content remaining at pba even if the block is
+// dead (what a disk forensics pass would see).
+func (s *Store) Residual(pba alloc.PBA) (chunk.ContentID, bool) {
+	c, ok := s.m[pba]
+	return c.id, ok
+}
+
+// Free marks pba dead; the residual content remains until overwritten.
+func (s *Store) Free(pba alloc.PBA) {
+	if c, ok := s.m[pba]; ok {
+		c.live = false
+		s.m[pba] = c
+	}
+}
+
+// Len reports the number of live physical blocks.
+func (s *Store) Len() int {
+	n := 0
+	for _, c := range s.m {
+		if c.live {
+			n++
+		}
+	}
+	return n
+}
+
+// Retain reconciles liveness with the recovered Map table: blocks in
+// keep become live again (their frees never became durable), everything
+// else is dead. It panics if a kept block holds no residual content —
+// the data write always precedes the journal record, so that would be
+// an ordering bug.
+func (s *Store) Retain(keep map[alloc.PBA]bool) {
+	for pba, c := range s.m {
+		if keep[pba] {
+			if !c.live {
+				c.live = true
+				s.m[pba] = c
+			}
+			continue
+		}
+		if c.live {
+			c.live = false
+			s.m[pba] = c
+		}
+	}
+	for pba := range keep {
+		if _, ok := s.m[pba]; !ok {
+			panic(fmt.Sprintf("store: recovered mapping references block %d with no content", pba))
+		}
+	}
+}
+
+// MustMatch panics unless pba is live and holds id — used by write
+// verification to catch dedup or mapping corruption at the request that
+// caused it.
+func (s *Store) MustMatch(pba alloc.PBA, id chunk.ContentID) {
+	got, ok := s.Read(pba)
+	if !ok {
+		panic(fmt.Sprintf("store: reference to dead or unallocated block %d", pba))
+	}
+	if got != id {
+		panic(fmt.Sprintf("store: corruption: block %d holds content %d, expected %d", pba, got, id))
+	}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"github.com/pod-dedup/pod/internal/core"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/replay"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+// Ablation experiments beyond the paper's figures: sensitivity of the
+// design-choice knobs DESIGN.md calls out.
+
+// ThresholdPoint replays one trace under Select-Dedupe with a given
+// partial-redundancy threshold, returning the mean response time (µs)
+// and the write-removal percentage. Threshold 1 degenerates toward
+// Full-Dedupe's per-chunk behaviour (maximum dedup, maximum
+// fragmentation risk); large thresholds approach iDedup's conservatism.
+func (e *Env) ThresholdPoint(traceName string, threshold int) (float64, float64) {
+	p := e.pack(traceName)
+	cfg := BuildConfig(p.prof, e.Scale)
+	cfg.Threshold = threshold
+	r := replay.Run(core.NewSelectDedupe(cfg), p.tr, p.warmup)
+	return r.MeanRT, r.Stats.WriteRemovalPct()
+}
+
+// ThresholdSweep runs ThresholdPoint across thresholds and formats the
+// result.
+func (e *Env) ThresholdSweep(traceName string, thresholds []int) *stats.Table {
+	if len(thresholds) == 0 {
+		thresholds = []int{1, 2, 3, 4, 6, 8}
+	}
+	t := stats.NewTable("Ablation — Select-Dedupe threshold on "+traceName,
+		"Threshold", "Mean RT", "Writes removed")
+	for _, th := range thresholds {
+		rt, removed := e.ThresholdPoint(traceName, th)
+		t.AddRowf("%d\t%s\t%s", th, stats.Ms(rt), stats.Pct(removed))
+	}
+	return t
+}
+
+// StripeUnitPoint replays one trace under POD with a given RAID5 stripe
+// unit, returning the mean response time (µs).
+func (e *Env) StripeUnitPoint(traceName string, stripeKB int) float64 {
+	p := e.pack(traceName)
+	diskBlocks := p.prof.FootprintChunks / 2
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(diskBlocks))
+	}
+	cfg := BuildConfig(p.prof, e.Scale)
+	cfg.Array = raid.New(raid.RAID5, disks, uint64(stripeKB/4))
+	r := replay.Run(core.NewPOD(cfg), p.tr, p.warmup)
+	return r.MeanRT
+}
+
+// StripeUnitSweep runs StripeUnitPoint across units and formats the
+// result.
+func (e *Env) StripeUnitSweep(traceName string, unitsKB []int) *stats.Table {
+	if len(unitsKB) == 0 {
+		unitsKB = []int{16, 32, 64, 128, 256}
+	}
+	t := stats.NewTable("Ablation — RAID5 stripe unit under POD on "+traceName,
+		"Stripe unit", "Mean RT")
+	for _, kb := range unitsKB {
+		t.AddRowf("%dKB\t%s", kb, stats.Ms(e.StripeUnitPoint(traceName, kb)))
+	}
+	return t
+}
+
+// DupSweepPoint measures mean write response time (µs) under a
+// synthetic workload whose fully-redundant write fraction is exactly
+// dupFrac, for the named engine — isolating how performance scales
+// with available redundancy.
+func (e *Env) DupSweepPoint(engineName string, dupFrac float64) float64 {
+	prof := workload.Profile{
+		Name:            "dupsweep",
+		Seed:            0xD0D0,
+		IOs:             int(20000 * e.Scale * 10), // independent of trace scale granularity
+		WriteRatio:      0.8,
+		WriteSizes:      []workload.SizeWeight{{Chunks: 1, Weight: 50}, {Chunks: 2, Weight: 25}, {Chunks: 4, Weight: 15}, {Chunks: 8, Weight: 10}},
+		ReadSizes:       []workload.SizeWeight{{Chunks: 1, Weight: 50}, {Chunks: 4, Weight: 30}, {Chunks: 8, Weight: 20}},
+		FullDupFrac:     dupFrac,
+		SameLBAFrac:     0.4,
+		WriteDeepFrac:   0.1,
+		FootprintChunks: 1 << 18,
+		MemoryBytes:     8 << 20,
+		PhaseLen:        256,
+		WritePhase:      0.95,
+		ReadPhase:       0.65,
+		BurstGapUS:      11000,
+		IdleGapUS:       2_000_000,
+		WarmupFrac:      0.2,
+	}
+	if prof.IOs < 2000 {
+		prof.IOs = 2000
+	}
+	tr, warmup := workload.Generate(prof, 1.0)
+	cfg := BuildConfig(prof, 1.0)
+	r := replay.Run(NewEngine(engineName, cfg), tr, warmup)
+	return r.MeanWriteRT
+}
+
+// DupSweep compares POD against Native across redundancy levels.
+func (e *Env) DupSweep(fracs []float64) *stats.Table {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.25, 0.5, 0.75, 0.9}
+	}
+	t := stats.NewTable("Ablation — write RT vs workload redundancy",
+		"Redundant writes", "Native", "POD", "POD vs Native")
+	for _, f := range fracs {
+		n := e.DupSweepPoint(Native, f)
+		p := e.DupSweepPoint(POD, f)
+		t.AddRowf("%.0f%%\t%s\t%s\t%.1f%%", f*100, stats.Ms(n), stats.Ms(p), 100*p/n)
+	}
+	return t
+}
+
+// LayoutPoint replays one trace under the named engine on a given RAID
+// layout, returning the mean write RT (µs). The RAID5 read-modify-write
+// penalty is what makes write elimination so valuable; RAID1 and RAID0
+// quantify how much of POD's benefit survives on layouts without it.
+func (e *Env) LayoutPoint(engineName, traceName string, level raid.Level) float64 {
+	p := e.pack(traceName)
+	diskBlocks := p.prof.FootprintChunks / 2
+	nd := 4
+	if level == raid.RAID0 {
+		// RAID0 over 4 disks has 4/3 the data capacity; keep capacity
+		// comparable by shrinking the disks
+		diskBlocks = diskBlocks * 3 / 4
+	}
+	if level == raid.RAID1 {
+		// mirrored pairs halve capacity: double the disk size
+		diskBlocks = diskBlocks * 3 / 2
+	}
+	disks := make([]*disk.Disk, nd)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(diskBlocks))
+	}
+	cfg := BuildConfig(p.prof, e.Scale)
+	cfg.Array = raid.New(level, disks, 16)
+	r := replay.Run(NewEngine(engineName, cfg), p.tr, p.warmup)
+	return r.MeanWriteRT
+}
+
+// LayoutSweep compares Native and POD write latency across layouts.
+func (e *Env) LayoutSweep(traceName string) *stats.Table {
+	t := stats.NewTable("Ablation — RAID layout vs write RT on "+traceName,
+		"Layout", "Native", "POD", "POD vs Native")
+	for _, l := range []struct {
+		name  string
+		level raid.Level
+	}{{"RAID0", raid.RAID0}, {"RAID1", raid.RAID1}, {"RAID5", raid.RAID5}} {
+		n := e.LayoutPoint(Native, traceName, l.level)
+		p := e.LayoutPoint(POD, traceName, l.level)
+		t.AddRowf("%s	%s	%s	%.1f%%", l.name, stats.Ms(n), stats.Ms(p), 100*p/n)
+	}
+	return t
+}
+
+// ChurnPoint replays a sustained-overwrite workload (a small logical
+// region rewritten with fresh content far beyond its size) under POD,
+// with or without the segment cleaner, returning the mean write RT (µs)
+// and the final free-extent count (fragmentation).
+func (e *Env) ChurnPoint(cleaner bool) (float64, int) {
+	prof := workload.Profile{
+		Name:            "churn",
+		Seed:            0xC09D,
+		IOs:             int(20000 * e.Scale * 10),
+		WriteRatio:      0.9,
+		WriteSizes:      []workload.SizeWeight{{Chunks: 3, Weight: 25}, {Chunks: 5, Weight: 25}, {Chunks: 8, Weight: 30}, {Chunks: 16, Weight: 20}},
+		ReadSizes:       []workload.SizeWeight{{Chunks: 1, Weight: 60}, {Chunks: 4, Weight: 40}},
+		FullDupFrac:     0.10,
+		SameLBAFrac:     0.9, // overwhelmingly in-place rewrites: maximum churn
+		WriteDeepFrac:   0.3,
+		FootprintChunks: 1 << 14, // small region: the log wraps many times
+		MemoryBytes:     4 << 20,
+		PhaseLen:        256,
+		WritePhase:      0.95,
+		ReadPhase:       0.7,
+		BurstGapUS:      24000, // light load: latency reflects allocation quality, not queueing
+		IdleGapUS:       2_000_000,
+		WarmupFrac:      0.2,
+	}
+	if prof.IOs < 4000 {
+		prof.IOs = 4000
+	}
+	tr, warmup := workload.Generate(prof, 1.0)
+	cfg := BuildConfig(prof, 1.0)
+	cfg.Cleaner = engine.CleanerParams{
+		Enabled:     cleaner,
+		TriggerFree: 1 << 13,
+		MaxGap:      256,
+		Interval:    sim.Second,
+	}
+	eng := core.NewPOD(cfg)
+	r := replay.Run(eng, tr, warmup)
+	return r.MeanWriteRT, eng.Base().Alloc.NumFreeExtents()
+}
+
+// ChurnSweep formats the cleaner on/off comparison.
+func (e *Env) ChurnSweep() *stats.Table {
+	t := stats.NewTable("Ablation — segment cleaner under sustained overwrite churn (POD; a negative result: extent coalescing already contains fragmentation)",
+		"Cleaner", "Mean write RT", "Free extents at end")
+	for _, on := range []bool{false, true} {
+		rt, frag := e.ChurnPoint(on)
+		label := "off"
+		if on {
+			label = "on"
+		}
+		t.AddRowf("%s	%s	%d", label, stats.Ms(rt), frag)
+	}
+	return t
+}
+
+// DegradedPoint replays one trace under POD with one failed spindle
+// (RAID5 degraded mode) and returns mean read RT (µs) healthy vs
+// degraded — the kind of failure-injection evaluation the paper leaves
+// as future work.
+func (e *Env) DegradedPoint(traceName string) (healthy, degraded float64) {
+	p := e.pack(traceName)
+
+	cfg := BuildConfig(p.prof, e.Scale)
+	r := replay.Run(core.NewPOD(cfg), p.tr, p.warmup)
+	healthy = r.MeanReadRT
+
+	cfg2 := BuildConfig(p.prof, e.Scale)
+	cfg2.Array.Fail(0)
+	r2 := replay.Run(core.NewPOD(cfg2), p.tr, p.warmup)
+	degraded = r2.MeanReadRT
+	return healthy, degraded
+}

@@ -1,0 +1,192 @@
+// Package experiments defines one constructor per table and figure of
+// the POD paper's evaluation (§II and §IV). Each experiment builds the
+// engines over identical substrates, replays the synthetic FIU-like
+// traces, and reports the same rows or series the paper plots, so
+// cmd/podbench and the root benchmark suite can regenerate every
+// artifact from one place.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pod-dedup/pod/internal/baseline"
+	"github.com/pod-dedup/pod/internal/core"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/replay"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+// Engine names, in the paper's presentation order.
+const (
+	Native       = "Native"
+	FullDedupe   = "Full-Dedupe"
+	IDedup       = "iDedup"
+	SelectDedupe = "Select-Dedupe"
+	POD          = "POD"
+	IODedup      = "I/O-Dedup"
+	PostProcess  = "Post-Process"
+)
+
+// AllEngines is every implemented scheme, including the two additional
+// Table I baselines (I/O Deduplication and post-processing dedup).
+var AllEngines = []string{Native, IODedup, PostProcess, FullDedupe, IDedup, SelectDedupe, POD}
+
+// Fig8Engines are the schemes of Figures 8–10.
+var Fig8Engines = []string{Native, FullDedupe, IDedup, SelectDedupe}
+
+// Fig11Engines adds POD (Figure 11).
+var Fig11Engines = []string{Native, FullDedupe, IDedup, SelectDedupe, POD}
+
+// TraceNames are the evaluation traces in Table II order.
+var TraceNames = []string{"web-vm", "homes", "mail"}
+
+// BuildConfig assembles the experimental platform of §IV-A for one
+// trace: a 4-disk RAID5 array with a 64 KB stripe unit and the trace's
+// DRAM budget, split 50/50 between index and read cache unless an
+// engine adapts it. memScale shrinks the cache budget along with the
+// trace scale so that sub-sampled runs keep the paper's cache pressure
+// (an unscaled cache would hold the whole scaled-down working set and
+// hide every miss-path effect).
+func BuildConfig(p workload.Profile, memScale float64) engine.Config {
+	diskBlocks := p.FootprintChunks / 2
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(diskBlocks))
+	}
+	mem := int64(float64(p.MemoryBytes) * memScale)
+	if mem < 1<<18 {
+		mem = 1 << 18
+	}
+	return engine.Config{
+		Array:       raid.New(raid.RAID5, disks, 16), // 16 chunks = 64 KB
+		MemoryBytes: mem,
+		NVRAMBytes:  int(p.FootprintChunks * 40),
+	}
+}
+
+// NewEngine constructs a scheme by name over cfg.
+func NewEngine(name string, cfg engine.Config) engine.Engine {
+	switch name {
+	case Native:
+		return baseline.NewNative(cfg)
+	case FullDedupe:
+		return baseline.NewFullDedupe(cfg)
+	case IDedup:
+		return baseline.NewIDedup(cfg)
+	case SelectDedupe:
+		return core.NewSelectDedupe(cfg)
+	case POD:
+		return core.NewPOD(cfg)
+	case IODedup:
+		return baseline.NewIODedup(cfg)
+	case PostProcess:
+		return baseline.NewPostProcess(cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown engine %q", name))
+	}
+}
+
+// Env caches generated traces and replay results so that experiments
+// sharing runs (Figures 8, 9, 10, 11) pay for each (engine, trace)
+// combination once.
+type Env struct {
+	Scale   float64
+	Workers int
+
+	mu      sync.Mutex
+	traces  map[string]*tracePack
+	results map[string]*replay.Result
+}
+
+type tracePack struct {
+	prof   workload.Profile
+	tr     *trace.Trace
+	warmup int
+}
+
+// NewEnv returns an environment replaying traces at the given scale
+// (1.0 = the paper's request counts) with the given parallelism.
+func NewEnv(scale float64, workers int) *Env {
+	return &Env{
+		Scale:   scale,
+		Workers: workers,
+		traces:  make(map[string]*tracePack),
+		results: make(map[string]*replay.Result),
+	}
+}
+
+func (e *Env) pack(name string) *tracePack {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.traces[name]; ok {
+		return p
+	}
+	prof, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown trace %q", name))
+	}
+	tr, warmup := workload.Generate(prof, e.Scale)
+	p := &tracePack{prof: prof, tr: tr, warmup: warmup}
+	e.traces[name] = p
+	return p
+}
+
+func key(engineName, traceName string) string { return engineName + "/" + traceName }
+
+// EnsureMatrix replays every missing (engine, trace) combination, in
+// parallel, and caches the results.
+func (e *Env) EnsureMatrix(engines, traces []string) {
+	type combo struct{ en, tn string }
+	var missing []combo
+	e.mu.Lock()
+	for _, tn := range traces {
+		for _, en := range engines {
+			if _, ok := e.results[key(en, tn)]; !ok {
+				missing = append(missing, combo{en, tn})
+			}
+		}
+	}
+	e.mu.Unlock()
+	if len(missing) == 0 {
+		return
+	}
+
+	jobs := make([]replay.Job, len(missing))
+	for i, c := range missing {
+		p := e.pack(c.tn)
+		en := c.en
+		jobs[i] = replay.Job{
+			Key:     key(c.en, c.tn),
+			Factory: func() engine.Engine { return NewEngine(en, BuildConfig(p.prof, e.Scale)) },
+			Trace:   p.tr,
+			Warmup:  p.warmup,
+		}
+	}
+	results := replay.RunAll(jobs, e.Workers)
+	e.mu.Lock()
+	for i, r := range results {
+		e.results[jobs[i].Key] = r
+	}
+	e.mu.Unlock()
+}
+
+// Result returns the cached replay of one combination, running it if
+// needed.
+func (e *Env) Result(engineName, traceName string) *replay.Result {
+	e.EnsureMatrix([]string{engineName}, []string{traceName})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.results[key(engineName, traceName)]
+}
+
+// normalize maps a value to percent of its baseline.
+func normalize(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * v / base
+}

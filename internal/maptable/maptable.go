@@ -1,0 +1,399 @@
+// Package maptable implements POD's Map table: the LBA→PBA indirection
+// layer shared by every deduplication engine in this repository.
+//
+// The mapping is m-to-1 — many logical block addresses may reference
+// one physical block — so each physical block carries a reference
+// count; a block is released to the allocator exactly when its last
+// logical reference disappears. This realizes the paper's §III-B
+// protection ("the Count variable is also used to prevent the
+// referenced data blocks from being modified or deleted"): the engines
+// purge every index/cache entry naming a reclaimed block and
+// re-validate content at dedup time, while the optional Pin/Unpin API
+// offers the paper's literal pinning scheme for callers that want it.
+//
+// To survive power failure the table journals every mutation into
+// simulated NVRAM as 20-byte records (the entry size the paper reports
+// in §IV-D2): 8 bytes LBA, 8 bytes PBA+flags, 4 bytes epoch-seeded
+// CRC-32. Recovery scans the journal and stops at the first record
+// whose CRC fails — a torn tail record is thereby discarded, giving
+// prefix consistency. Compaction bumps the journal epoch, which is
+// mixed into every CRC, so stale records from an earlier generation can
+// never be mistaken for live ones.
+package maptable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/nvram"
+)
+
+// EntryBytes is the journal record size — 20 bytes per Map-table entry,
+// matching the paper's memory-overhead accounting.
+const EntryBytes = 20
+
+const (
+	headerBytes = 16
+	magic       = 0x504F4431 // "POD1"
+
+	flagUnset  = 1 << 63
+	flagShared = 1 << 62
+	pbaMask    = (1 << 62) - 1
+)
+
+// Table is the Map table.
+type Table struct {
+	m      map[uint64]mapping
+	refs   map[alloc.PBA]int32
+	pins   map[alloc.PBA]int32
+	shared int64 // live mappings created by deduplication
+	peak   int64 // high-water mark of shared mappings
+
+	// optional reverse index (PBA → referring LBAs), maintained only
+	// when the segment cleaner needs to relocate live blocks
+	rev map[alloc.PBA]map[uint64]struct{}
+
+	dev   *nvram.Device
+	epoch uint32
+	tail  int // next journal append offset
+}
+
+type mapping struct {
+	pba    alloc.PBA
+	shared bool
+}
+
+// New returns an empty table journaling into dev; dev may be nil for a
+// volatile table (used by engines that do not model persistence).
+func New(dev *nvram.Device) *Table {
+	t := &Table{
+		m:    make(map[uint64]mapping),
+		refs: make(map[alloc.PBA]int32),
+		pins: make(map[alloc.PBA]int32),
+		dev:  dev,
+		tail: headerBytes,
+	}
+	if dev != nil {
+		t.writeHeader()
+	}
+	return t
+}
+
+// Len reports the number of mapped LBAs.
+func (t *Table) Len() int { return len(t.m) }
+
+// EnableReverseIndex starts maintaining the PBA → LBAs reverse index
+// (required by Referrers), building it from any existing mappings —
+// recovery re-enables it on a freshly loaded table this way.
+func (t *Table) EnableReverseIndex() {
+	if t.rev != nil {
+		return
+	}
+	t.rev = make(map[alloc.PBA]map[uint64]struct{})
+	for lba, mp := range t.m {
+		t.revAdd(mp.pba, lba)
+	}
+}
+
+// Referrers returns the LBAs currently mapped to pba. It panics unless
+// EnableReverseIndex was called.
+func (t *Table) Referrers(pba alloc.PBA) []uint64 {
+	if t.rev == nil {
+		panic("maptable: Referrers requires EnableReverseIndex")
+	}
+	set := t.rev[pba]
+	out := make([]uint64, 0, len(set))
+	for lba := range set {
+		out = append(out, lba)
+	}
+	return out
+}
+
+// LookupFull returns the mapping and its shared flag.
+func (t *Table) LookupFull(lba uint64) (pba alloc.PBA, shared, ok bool) {
+	mp, ok := t.m[lba]
+	return mp.pba, mp.shared, ok
+}
+
+func (t *Table) revAdd(pba alloc.PBA, lba uint64) {
+	if t.rev == nil {
+		return
+	}
+	set := t.rev[pba]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		t.rev[pba] = set
+	}
+	set[lba] = struct{}{}
+}
+
+func (t *Table) revRemove(pba alloc.PBA, lba uint64) {
+	if t.rev == nil {
+		return
+	}
+	if set := t.rev[pba]; set != nil {
+		delete(set, lba)
+		if len(set) == 0 {
+			delete(t.rev, pba)
+		}
+	}
+}
+
+// SharedEntries reports the number of live mappings that were created
+// by deduplication (write data not written because a copy existed).
+func (t *Table) SharedEntries() int64 { return t.shared }
+
+// PeakSharedEntries reports the high-water mark of SharedEntries.
+func (t *Table) PeakSharedEntries() int64 { return t.peak }
+
+// NVRAMBytes reports the paper's Map-table memory-overhead metric:
+// live dedup-created entries × 20 bytes.
+func (t *Table) NVRAMBytes() int64 { return t.shared * EntryBytes }
+
+// PeakNVRAMBytes reports the high-water mark of NVRAMBytes.
+func (t *Table) PeakNVRAMBytes() int64 { return t.peak * EntryBytes }
+
+// Lookup returns the physical block backing lba.
+func (t *Table) Lookup(lba uint64) (alloc.PBA, bool) {
+	mp, ok := t.m[lba]
+	return mp.pba, ok
+}
+
+// RefCount reports the logical-reference count of pba (pins excluded).
+func (t *Table) RefCount(pba alloc.PBA) int { return int(t.refs[pba]) }
+
+// Pinned reports whether the hot index currently pins pba.
+func (t *Table) Pinned(pba alloc.PBA) bool { return t.pins[pba] > 0 }
+
+// Set maps lba to pba. shared marks mappings created by deduplication
+// (the data was not written; it references a pre-existing copy). The
+// returned slice lists physical blocks whose last reference disappeared
+// with this update — the caller returns them to the allocator.
+func (t *Table) Set(lba uint64, pba alloc.PBA, shared bool) []alloc.PBA {
+	if uint64(pba) > pbaMask {
+		panic(fmt.Sprintf("maptable: pba %d exceeds encodable range", pba))
+	}
+	if mp, ok := t.m[lba]; ok && mp.pba == pba {
+		// same-location update: never let the refcount dip to zero
+		// transiently (the block is still mapped)
+		if mp.shared != shared {
+			if mp.shared {
+				t.shared--
+			} else {
+				t.shared++
+				if t.shared > t.peak {
+					t.peak = t.shared
+				}
+			}
+			t.m[lba] = mapping{pba: pba, shared: shared}
+		}
+		t.journal(lba, uint64(pba), shared, false)
+		return nil
+	}
+	freed := t.dropMapping(lba)
+	t.m[lba] = mapping{pba: pba, shared: shared}
+	t.refs[pba]++
+	t.revAdd(pba, lba)
+	if shared {
+		t.shared++
+		if t.shared > t.peak {
+			t.peak = t.shared
+		}
+	}
+	t.journal(lba, uint64(pba), shared, false)
+	return freed
+}
+
+// Unset removes lba's mapping, returning any block freed by the update.
+func (t *Table) Unset(lba uint64) []alloc.PBA {
+	freed := t.dropMapping(lba)
+	t.journal(lba, 0, false, true)
+	return freed
+}
+
+// dropMapping removes lba's current mapping (if any) and returns the
+// PBA if its reference count reached zero and it is unpinned.
+func (t *Table) dropMapping(lba uint64) []alloc.PBA {
+	mp, ok := t.m[lba]
+	if !ok {
+		return nil
+	}
+	delete(t.m, lba)
+	t.revRemove(mp.pba, lba)
+	if mp.shared {
+		t.shared--
+	}
+	t.refs[mp.pba]--
+	if t.refs[mp.pba] < 0 {
+		panic("maptable: negative refcount")
+	}
+	if t.refs[mp.pba] == 0 {
+		delete(t.refs, mp.pba)
+		if t.pins[mp.pba] == 0 {
+			return []alloc.PBA{mp.pba}
+		}
+	}
+	return nil
+}
+
+// Each visits every live mapping; return false from fn to stop early.
+func (t *Table) Each(fn func(lba uint64, pba alloc.PBA, shared bool) bool) {
+	for lba, mp := range t.m {
+		if !fn(lba, mp.pba, mp.shared) {
+			return
+		}
+	}
+}
+
+// Pin adds an index-cache pin to pba, protecting it from reclamation.
+func (t *Table) Pin(pba alloc.PBA) { t.pins[pba]++ }
+
+// Unpin drops an index pin. It returns true when the block became
+// reclaimable (no pins, no logical references) — the caller frees it.
+func (t *Table) Unpin(pba alloc.PBA) bool {
+	t.pins[pba]--
+	if t.pins[pba] < 0 {
+		panic("maptable: negative pin count")
+	}
+	if t.pins[pba] == 0 {
+		delete(t.pins, pba)
+		return t.refs[pba] == 0
+	}
+	return false
+}
+
+// --- journaling ---
+
+func (t *Table) writeHeader() {
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], t.epoch)
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(hdr[0:8]))
+	_ = t.dev.WriteAt(0, hdr[:]) // a crashed device keeps the old header
+}
+
+func encodeRecord(buf *[EntryBytes]byte, epoch uint32, lba, pbaFlags uint64) {
+	binary.LittleEndian.PutUint64(buf[0:], lba)
+	binary.LittleEndian.PutUint64(buf[8:], pbaFlags)
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], epoch)
+	crc := crc32.Update(crc32.ChecksumIEEE(seed[:]), crc32.IEEETable, buf[0:16])
+	binary.LittleEndian.PutUint32(buf[16:], crc)
+}
+
+func (t *Table) journal(lba, pba uint64, shared, unset bool) {
+	if t.dev == nil {
+		return
+	}
+	pf := pba
+	if shared {
+		pf |= flagShared
+	}
+	if unset {
+		pf |= flagUnset
+	}
+	if t.tail+EntryBytes > t.dev.Size() {
+		t.Compact()
+		if t.tail+EntryBytes > t.dev.Size() {
+			panic(fmt.Sprintf("maptable: NVRAM too small: %d live entries need %d bytes, have %d",
+				len(t.m), headerBytes+(len(t.m)+1)*EntryBytes, t.dev.Size()))
+		}
+	}
+	var rec [EntryBytes]byte
+	encodeRecord(&rec, t.epoch, lba, pf)
+	_ = t.dev.WriteAt(t.tail, rec[:]) // crash mid-record leaves a torn tail; recovery discards it
+	t.tail += EntryBytes
+}
+
+// Compact rewrites the journal as a snapshot of the live mappings under
+// a new epoch, reclaiming space consumed by superseded records.
+func (t *Table) Compact() {
+	if t.dev == nil {
+		return
+	}
+	t.epoch++
+	t.writeHeader()
+	t.tail = headerBytes
+	for lba, mp := range t.m {
+		pf := uint64(mp.pba)
+		if mp.shared {
+			pf |= flagShared
+		}
+		if t.tail+EntryBytes > t.dev.Size() {
+			panic("maptable: NVRAM too small for live snapshot")
+		}
+		var rec [EntryBytes]byte
+		encodeRecord(&rec, t.epoch, lba, pf)
+		_ = t.dev.WriteAt(t.tail, rec[:])
+		t.tail += EntryBytes
+	}
+}
+
+// JournalTail reports the current append offset (for tests and space
+// accounting).
+func (t *Table) JournalTail() int { return t.tail }
+
+// Load reconstructs a table from the journal on dev, applying records
+// until the first CRC failure (prefix consistency after a torn write).
+// Index pins are volatile and come back empty; reference counts are
+// recomputed from the surviving mappings. It returns the rebuilt table
+// and the number of records applied.
+func Load(dev *nvram.Device) (*Table, int, error) {
+	var hdr [headerBytes]byte
+	if err := dev.ReadAt(0, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, 0, fmt.Errorf("maptable: bad journal magic %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if crc32.ChecksumIEEE(hdr[0:8]) != binary.LittleEndian.Uint32(hdr[8:]) {
+		return nil, 0, fmt.Errorf("maptable: corrupt journal header")
+	}
+	epoch := binary.LittleEndian.Uint32(hdr[4:])
+
+	t := &Table{
+		m:     make(map[uint64]mapping),
+		refs:  make(map[alloc.PBA]int32),
+		pins:  make(map[alloc.PBA]int32),
+		dev:   dev,
+		epoch: epoch,
+		tail:  headerBytes,
+	}
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], epoch)
+	seedCRC := crc32.ChecksumIEEE(seed[:])
+
+	applied := 0
+	var rec [EntryBytes]byte
+	for off := headerBytes; off+EntryBytes <= dev.Size(); off += EntryBytes {
+		if err := dev.ReadAt(off, rec[:]); err != nil {
+			break
+		}
+		want := binary.LittleEndian.Uint32(rec[16:])
+		if crc32.Update(seedCRC, crc32.IEEETable, rec[0:16]) != want {
+			break // torn or stale record: stop at the consistent prefix
+		}
+		lba := binary.LittleEndian.Uint64(rec[0:])
+		pf := binary.LittleEndian.Uint64(rec[8:])
+		if pf&flagUnset != 0 {
+			t.dropMapping(lba)
+		} else {
+			t.dropMapping(lba)
+			shared := pf&flagShared != 0
+			pba := alloc.PBA(pf & pbaMask)
+			t.m[lba] = mapping{pba: pba, shared: shared}
+			t.refs[pba]++
+			if shared {
+				t.shared++
+			}
+		}
+		applied++
+		t.tail = off + EntryBytes
+	}
+	if t.shared > t.peak {
+		t.peak = t.shared
+	}
+	return t, applied, nil
+}

@@ -1,0 +1,107 @@
+// Package nvram simulates the byte-addressable non-volatile RAM that
+// POD uses to hold the Map table so that LBA→PBA mappings survive power
+// failure (§III-B, §IV-D2).
+//
+// The simulation supports fault injection: a crash can be armed to
+// occur after a given number of further bytes are written, after which
+// the write in progress is torn (applied only up to the crash point)
+// and all subsequent writes are dropped. Recovery code is tested
+// against every possible tear position.
+package nvram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCrashed is returned by writes after the injected crash point.
+var ErrCrashed = errors.New("nvram: device crashed (injected fault)")
+
+// Device is a fixed-size persistent byte region.
+type Device struct {
+	data []byte
+
+	crashed     bool
+	crashArmed  bool
+	bytesToLive int64 // writes allowed before the crash fires
+
+	bytesWritten int64
+	writeOps     int64
+}
+
+// New returns a zeroed device of the given size.
+func New(size int) *Device {
+	return &Device{data: make([]byte, size)}
+}
+
+// Size reports the device capacity in bytes.
+func (d *Device) Size() int { return len(d.data) }
+
+// BytesWritten reports the cumulative bytes accepted.
+func (d *Device) BytesWritten() int64 { return d.bytesWritten }
+
+// WriteOps reports the number of WriteAt calls that wrote anything.
+func (d *Device) WriteOps() int64 { return d.writeOps }
+
+// ArmCrash schedules a crash after n more bytes are written. A write
+// that straddles the boundary is torn: its first bytes are applied,
+// the rest lost — exactly the hazard a journaled Map table must
+// tolerate.
+func (d *Device) ArmCrash(n int64) {
+	d.crashArmed = true
+	d.bytesToLive = n
+}
+
+// Crashed reports whether the injected crash has fired.
+func (d *Device) Crashed() bool { return d.crashed }
+
+// Recover clears the crash state, modelling a restart: contents are
+// preserved, writes are accepted again.
+func (d *Device) Recover() {
+	d.crashed = false
+	d.crashArmed = false
+}
+
+// WriteAt stores p at off. After a crash it returns ErrCrashed without
+// writing. If the armed crash point falls inside p, the prefix is
+// written, the crash fires, and ErrCrashed is returned.
+func (d *Device) WriteAt(off int, p []byte) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if off < 0 || off+len(p) > len(d.data) {
+		return fmt.Errorf("nvram: write out of range: [%d,%d) size %d", off, off+len(p), len(d.data))
+	}
+	n := len(p)
+	if d.crashArmed && int64(n) > d.bytesToLive {
+		n = int(d.bytesToLive)
+		copy(d.data[off:], p[:n])
+		d.bytesWritten += int64(n)
+		if n > 0 {
+			d.writeOps++
+		}
+		d.crashed = true
+		d.crashArmed = false
+		d.bytesToLive = 0
+		return ErrCrashed
+	}
+	copy(d.data[off:], p)
+	d.bytesWritten += int64(n)
+	if n > 0 {
+		d.writeOps++
+	}
+	if d.crashArmed {
+		d.bytesToLive -= int64(n)
+	}
+	return nil
+}
+
+// ReadAt fills p from off. Reads are always allowed (recovery reads the
+// surviving contents after a crash).
+func (d *Device) ReadAt(off int, p []byte) error {
+	if off < 0 || off+len(p) > len(d.data) {
+		return fmt.Errorf("nvram: read out of range: [%d,%d) size %d", off, off+len(p), len(d.data))
+	}
+	copy(p, d.data[off:])
+	return nil
+}

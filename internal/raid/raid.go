@@ -1,0 +1,416 @@
+// Package raid implements software RAID-0 and RAID-5 layouts over the
+// disk model, reproducing the 4-disk RAID5 with 64 KB stripe unit used
+// in the POD paper's evaluation (§IV-B).
+//
+// Addresses are in 4 KB blocks. RAID5 uses the left-symmetric layout:
+// parity rotates from the last disk downwards and data units fill the
+// remaining disks starting immediately after the parity disk. Partial-
+// stripe writes pay the classic read-modify-write penalty (read old
+// data and old parity, then write new data and new parity, the write
+// phase serialized behind the read phase); full-stripe writes skip the
+// read phase. This write-cost asymmetry is what makes eliminating
+// small writes — POD's central idea — so valuable on parity RAID.
+package raid
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+// Level selects the array layout.
+type Level int
+
+// Supported layouts.
+const (
+	RAID0 Level = iota
+	RAID5
+	RAID1
+)
+
+// Array is a striped disk array presenting a flat data-block space.
+type Array struct {
+	level  Level
+	disks  []*disk.Disk
+	unit   uint64 // stripe unit in blocks
+	failed int    // index of failed disk, -1 if none
+
+	dataBlocks uint64
+	stripes    uint64
+
+	// accounting
+	logicalReads, logicalWrites int64
+	diskIOs                     int64
+	rmwStripes                  int64
+	fullStripes                 int64
+	degradedReads               int64
+}
+
+// New assembles an array. All disks must have equal capacity; unit is
+// the stripe unit in blocks. RAID5 requires at least 3 disks, RAID0 at
+// least 1.
+func New(level Level, disks []*disk.Disk, unit uint64) *Array {
+	if unit == 0 {
+		panic("raid: zero stripe unit")
+	}
+	min := 1
+	switch level {
+	case RAID5:
+		min = 3
+	case RAID1:
+		min = 2
+	}
+	if len(disks) < min {
+		panic(fmt.Sprintf("raid: level %d needs at least %d disks", level, min))
+	}
+	blocks := disks[0].Params().Blocks
+	for _, d := range disks {
+		if d.Params().Blocks != blocks {
+			panic("raid: disks must have equal capacity")
+		}
+	}
+	if level == RAID1 && len(disks)%2 != 0 {
+		panic("raid: RAID1 needs an even number of disks")
+	}
+	a := &Array{level: level, disks: disks, unit: unit, failed: -1}
+	a.stripes = blocks / unit
+	switch level {
+	case RAID0:
+		a.dataBlocks = a.stripes * unit * uint64(len(disks))
+	case RAID5:
+		a.dataBlocks = a.stripes * unit * uint64(len(disks)-1)
+	case RAID1:
+		// mirrored pairs: half the spindles hold data, half mirrors
+		a.dataBlocks = a.stripes * unit * uint64(len(disks)/2)
+	}
+	return a
+}
+
+// DataBlocks reports the usable capacity in blocks.
+func (a *Array) DataBlocks() uint64 { return a.dataBlocks }
+
+// StripeUnit reports the stripe unit in blocks.
+func (a *Array) StripeUnit() uint64 { return a.unit }
+
+// NumDisks reports the number of spindles.
+func (a *Array) NumDisks() int { return len(a.disks) }
+
+// DataDisksPerStripe reports how many data units each stripe holds.
+func (a *Array) DataDisksPerStripe() int {
+	switch a.level {
+	case RAID5:
+		return len(a.disks) - 1
+	case RAID1:
+		return len(a.disks) / 2
+	}
+	return len(a.disks)
+}
+
+// mirrorOf maps a RAID1 primary disk to its mirror.
+func (a *Array) mirrorOf(d int) int { return d + len(a.disks)/2 }
+
+// Fail marks disk i failed; RAID5 reconstructs from survivors, RAID1
+// falls back to the surviving mirror. Failing a second disk panics
+// (data loss — the simulation cannot continue meaningfully).
+func (a *Array) Fail(i int) {
+	if a.level == RAID0 {
+		panic("raid: RAID0 has no redundancy to degrade into")
+	}
+	if a.failed >= 0 && a.failed != i {
+		panic("raid: double disk failure")
+	}
+	a.failed = i
+}
+
+// Heal clears the failure (after a notional rebuild).
+func (a *Array) Heal() { a.failed = -1 }
+
+// Failed reports the failed disk index, or -1.
+func (a *Array) Failed() int { return a.failed }
+
+// segment is one maximal run of a logical request that lives in a
+// single stripe unit on a single disk.
+type segment struct {
+	stripe uint64 // stripe index
+	du     int    // data-unit index within stripe
+	disk   int    // physical disk
+	off    uint64 // physical block offset on disk
+	inUnit uint64 // offset within the stripe unit
+	n      uint64 // blocks
+}
+
+// parityDisk returns the parity spindle for a stripe (left-symmetric).
+func (a *Array) parityDisk(stripe uint64) int {
+	nd := uint64(len(a.disks))
+	return int((nd - 1 - stripe%nd) % nd)
+}
+
+// diskFor maps (stripe, data-unit) to a physical disk.
+func (a *Array) diskFor(stripe uint64, du int) int {
+	switch a.level {
+	case RAID0, RAID1: // RAID1 primaries are the first half of the disks
+		return du
+	}
+	p := a.parityDisk(stripe)
+	return (p + 1 + du) % len(a.disks)
+}
+
+// split decomposes the logical run [start, start+n) into segments.
+func (a *Array) split(start, n uint64) []segment {
+	dps := uint64(a.DataDisksPerStripe())
+	segs := make([]segment, 0, n/a.unit+2)
+	for n > 0 {
+		u := start / a.unit      // global data-unit index
+		inUnit := start % a.unit // offset within unit
+		ln := a.unit - inUnit
+		if ln > n {
+			ln = n
+		}
+		stripe := u / dps
+		du := int(u % dps)
+		d := a.diskFor(stripe, du)
+		segs = append(segs, segment{
+			stripe: stripe,
+			du:     du,
+			disk:   d,
+			off:    stripe*a.unit + inUnit,
+			inUnit: inUnit,
+			n:      ln,
+		})
+		start += ln
+		n -= ln
+	}
+	return segs
+}
+
+func (a *Array) checkRange(start, n uint64) {
+	if start+n > a.dataBlocks {
+		panic(fmt.Sprintf("raid: access out of range: [%d,%d) capacity %d", start, start+n, a.dataBlocks))
+	}
+}
+
+// Read submits a logical read arriving at t and returns the completion
+// time (the max over the parallel per-disk I/Os). In degraded mode,
+// segments on the failed disk are reconstructed by reading the
+// corresponding ranges from every surviving disk.
+func (a *Array) Read(t sim.Time, start, n uint64) sim.Time {
+	if n == 0 {
+		return t
+	}
+	a.checkRange(start, n)
+	a.logicalReads++
+	done := t
+	for _, s := range a.split(start, n) {
+		if a.level == RAID1 {
+			d := s.disk
+			m := a.mirrorOf(d)
+			if d == a.failed {
+				d = m
+			} else if m != a.failed && a.disks[m].BusyUntil() < a.disks[d].BusyUntil() {
+				d = m // serve from the less-loaded copy
+			}
+			a.diskIOs++
+			c := a.disks[d].Access(t, disk.Read, s.off, s.n)
+			done = sim.MaxTime(done, c)
+			continue
+		}
+		if a.level == RAID5 && s.disk == a.failed {
+			a.degradedReads++
+			for i, d := range a.disks {
+				if i == a.failed {
+					continue
+				}
+				a.diskIOs++
+				c := d.Access(t, disk.Read, s.off, s.n)
+				done = sim.MaxTime(done, c)
+			}
+			continue
+		}
+		a.diskIOs++
+		c := a.disks[s.disk].Access(t, disk.Read, s.off, s.n)
+		done = sim.MaxTime(done, c)
+	}
+	return done
+}
+
+// Write submits a logical write arriving at t and returns the
+// completion time. RAID0 writes data units directly. RAID5 groups
+// segments by stripe: a fully covered stripe is written in place
+// (data + parity, no reads); a partially covered stripe performs
+// read-modify-write.
+func (a *Array) Write(t sim.Time, start, n uint64) sim.Time {
+	if n == 0 {
+		return t
+	}
+	a.checkRange(start, n)
+	a.logicalWrites++
+	segs := a.split(start, n)
+
+	if a.level == RAID0 {
+		done := t
+		for _, s := range segs {
+			a.diskIOs++
+			c := a.disks[s.disk].Access(t, disk.Write, s.off, s.n)
+			done = sim.MaxTime(done, c)
+		}
+		return done
+	}
+
+	if a.level == RAID1 {
+		done := t
+		for _, s := range segs {
+			for _, d := range [2]int{s.disk, a.mirrorOf(s.disk)} {
+				if d == a.failed {
+					continue
+				}
+				a.diskIOs++
+				c := a.disks[d].Access(t, disk.Write, s.off, s.n)
+				done = sim.MaxTime(done, c)
+			}
+		}
+		return done
+	}
+
+	// group segments by stripe, preserving order
+	done := t
+	for i := 0; i < len(segs); {
+		j := i
+		for j < len(segs) && segs[j].stripe == segs[i].stripe {
+			j++
+		}
+		c := a.writeStripe(t, segs[i:j])
+		done = sim.MaxTime(done, c)
+		i = j
+	}
+	return done
+}
+
+// writeStripe performs the RAID5 write of one stripe's segments.
+func (a *Array) writeStripe(t sim.Time, segs []segment) sim.Time {
+	stripe := segs[0].stripe
+	pdisk := a.parityDisk(stripe)
+	dps := uint64(a.DataDisksPerStripe())
+
+	var covered uint64
+	lo, hi := a.unit, uint64(0) // within-unit union range for parity
+	for _, s := range segs {
+		covered += s.n
+		if s.inUnit < lo {
+			lo = s.inUnit
+		}
+		if s.inUnit+s.n > hi {
+			hi = s.inUnit + s.n
+		}
+	}
+	full := covered == dps*a.unit
+	parityOff := stripe*a.unit + lo
+	parityLen := hi - lo
+	if full {
+		parityOff = stripe * a.unit
+		parityLen = a.unit
+	}
+
+	writeTo := func(d int, ready sim.Time, off, n uint64) sim.Time {
+		if d == a.failed {
+			return ready // lost writes complete immediately in degraded mode
+		}
+		a.diskIOs++
+		return a.disks[d].AccessAfter(t, ready, disk.Write, off, n)
+	}
+
+	if full {
+		a.fullStripes++
+		done := t
+		for _, s := range segs {
+			done = sim.MaxTime(done, writeTo(s.disk, t, s.off, s.n))
+		}
+		done = sim.MaxTime(done, writeTo(pdisk, t, parityOff, parityLen))
+		return done
+	}
+
+	// read-modify-write: read old data ranges and old parity, then
+	// write new data and parity after all reads complete.
+	a.rmwStripes++
+	readDone := t
+	readFrom := func(d int, off, n uint64) {
+		if d == a.failed {
+			// reconstruct: read the range from all surviving disks
+			for i, dd := range a.disks {
+				if i == a.failed {
+					continue
+				}
+				a.diskIOs++
+				c := dd.Access(t, disk.Read, off, n)
+				readDone = sim.MaxTime(readDone, c)
+			}
+			return
+		}
+		a.diskIOs++
+		c := a.disks[d].Access(t, disk.Read, off, n)
+		readDone = sim.MaxTime(readDone, c)
+	}
+	for _, s := range segs {
+		readFrom(s.disk, s.off, s.n)
+	}
+	readFrom(pdisk, parityOff, parityLen)
+
+	done := readDone
+	for _, s := range segs {
+		done = sim.MaxTime(done, writeTo(s.disk, readDone, s.off, s.n))
+	}
+	done = sim.MaxTime(done, writeTo(pdisk, readDone, parityOff, parityLen))
+	return done
+}
+
+// Stats is a snapshot of array-level accounting.
+type Stats struct {
+	LogicalReads, LogicalWrites int64
+	DiskIOs                     int64
+	RMWStripes, FullStripes     int64
+	DegradedReads               int64
+	Disk                        []disk.Stats
+}
+
+// Stats returns a snapshot of the array's counters.
+func (a *Array) Stats() Stats {
+	s := Stats{
+		LogicalReads: a.logicalReads, LogicalWrites: a.logicalWrites,
+		DiskIOs: a.diskIOs, RMWStripes: a.rmwStripes, FullStripes: a.fullStripes,
+		DegradedReads: a.degradedReads,
+	}
+	for _, d := range a.disks {
+		s.Disk = append(s.Disk, d.Stats())
+	}
+	return s
+}
+
+// BusyUntil reports the latest busy horizon across spindles.
+func (a *Array) BusyUntil() sim.Time {
+	var m sim.Time
+	for _, d := range a.disks {
+		m = sim.MaxTime(m, d.BusyUntil())
+	}
+	return m
+}
+
+// Backlog reports the total queued work across spindles at time t.
+func (a *Array) Backlog(t sim.Time) sim.Duration {
+	var sum sim.Duration
+	for _, d := range a.disks {
+		if d.BusyUntil() > t {
+			sum += d.BusyUntil().Sub(t)
+		}
+	}
+	return sum
+}
+
+// Reset idles every spindle and clears accounting.
+func (a *Array) Reset() {
+	for _, d := range a.disks {
+		d.Reset()
+	}
+	a.failed = -1
+	a.logicalReads, a.logicalWrites, a.diskIOs = 0, 0, 0
+	a.rmwStripes, a.fullStripes, a.degradedReads = 0, 0, 0
+}

@@ -1,0 +1,152 @@
+package replay
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/baseline"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/core"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func newEngine() engine.Engine {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(1 << 16))
+	}
+	return core.NewPOD(engine.Config{
+		Array:       raid.New(raid.RAID5, disks, 16),
+		MemoryBytes: 1 << 20,
+	})
+}
+
+func smallTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "unit"}
+	var tm sim.Time
+	for i := 0; i < n; i++ {
+		tm = tm.Add(1000)
+		if i%3 == 2 {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: tm, Op: trace.Read, LBA: uint64((i - 1) * 4), N: 2,
+			})
+			continue
+		}
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: tm, Op: trace.Write, LBA: uint64(i * 4), N: 2,
+			Content: []chunk.ContentID{chunk.ContentID(i), chunk.ContentID(i + 1)},
+		})
+	}
+	return tr
+}
+
+func TestRunMeasuresOnlyPostWarmup(t *testing.T) {
+	tr := smallTrace(30)
+	res := Run(newEngine(), tr, 10)
+	st := res.Stats
+	if st.Reads+st.Writes != 20 {
+		t.Fatalf("measured %d requests, want 20", st.Reads+st.Writes)
+	}
+	if res.MeanRT <= 0 || res.MeanWriteRT <= 0 {
+		t.Fatal("means must be positive")
+	}
+}
+
+func TestRunZeroWarmup(t *testing.T) {
+	tr := smallTrace(9)
+	res := Run(newEngine(), tr, 0)
+	if res.Stats.Reads+res.Stats.Writes != 9 {
+		t.Fatal("all requests must be measured with zero warmup")
+	}
+}
+
+func TestRunPanicsOnUnorderedTrace(t *testing.T) {
+	tr := smallTrace(3)
+	tr.Requests[2].Time = 0 // violate ordering
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unordered trace")
+		}
+	}()
+	Run(newEngine(), tr, 0)
+}
+
+func TestRunAllParallelOrderPreserved(t *testing.T) {
+	tr := smallTrace(30)
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		i := i
+		factory := func() engine.Engine {
+			if i%2 == 0 {
+				return newEngine()
+			}
+			disks := make([]*disk.Disk, 4)
+			for j := range disks {
+				disks[j] = disk.New(disk.DefaultParams(1 << 16))
+			}
+			return baseline.NewNative(engine.Config{
+				Array:       raid.New(raid.RAID5, disks, 16),
+				MemoryBytes: 1 << 20,
+			})
+		}
+		jobs = append(jobs, Job{Key: "k", Factory: factory, Trace: tr})
+	}
+	results := RunAll(jobs, 3)
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		want := "POD"
+		if i%2 == 1 {
+			want = "Native"
+		}
+		if r.Engine != want {
+			t.Fatalf("result %d = %s, want %s (order not preserved)", i, r.Engine, want)
+		}
+	}
+}
+
+func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	tr := smallTrace(30)
+	mk := func(workers int) []*Result {
+		var jobs []Job
+		for i := 0; i < 4; i++ {
+			jobs = append(jobs, Job{Factory: newEngine, Trace: tr, Warmup: 5})
+		}
+		return RunAll(jobs, workers)
+	}
+	a, b := mk(1), mk(4)
+	for i := range a {
+		if a[i].MeanRT != b[i].MeanRT || a[i].UsedBlocks != b[i].UsedBlocks {
+			t.Fatalf("job %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	if got := RunAll(nil, 4); len(got) != 0 {
+		t.Fatal("empty jobs must produce empty results")
+	}
+}
+
+func TestRunObservedCallback(t *testing.T) {
+	tr := smallTrace(12)
+	var seen int
+	var lastRT int64
+	res := RunObserved(newEngine(), tr, 0, func(i int, r *trace.Request, rt int64) {
+		if i != seen {
+			t.Fatalf("indices out of order: %d vs %d", i, seen)
+		}
+		if rt <= 0 {
+			t.Fatalf("request %d: non-positive rt %d", i, rt)
+		}
+		seen++
+		lastRT = rt
+	})
+	if seen != 12 || res == nil || lastRT == 0 {
+		t.Fatalf("observed %d requests", seen)
+	}
+}

@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewSummary()
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummaryBasic(t *testing.T) {
+	s := NewSummary()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("mean = %f, want 5", got)
+	}
+	// population variance is 4; sample variance is 32/7
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-9 {
+		t.Errorf("variance = %f, want %f", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if got := s.Sum(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("sum = %f, want 40", got)
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, all := NewSummary(), NewSummary(), NewSummary()
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*10 + 50
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean = %f, want %f", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+		t.Errorf("merged variance = %f, want %f", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Add(5)
+	a.Merge(b) // empty other: no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merge with empty changed state")
+	}
+	b.Merge(a) // empty receiver: adopt
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Error("empty receiver did not adopt")
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	s := NewSummary()
+	s.Add(10)
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSummary()
+	s.Add(1)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %d, want 5050", h.Sum())
+	}
+	if h.Max() != 100 {
+		t.Errorf("max = %d, want 100", h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %f, want 50.5", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Sum() != 0 || h.N() != 1 {
+		t.Error("negative sample should clamp to 0")
+	}
+}
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Log-bucketed percentiles must be within a factor of 2 of exact.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var samples []float64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 10000)
+		h.Add(v)
+		samples = append(samples, float64(v))
+	}
+	for _, p := range []float64{50, 90, 99} {
+		est := h.Percentile(p)
+		exact := ExactPercentile(samples, p)
+		if exact == 0 {
+			continue
+		}
+		ratio := est / exact
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("p%.0f: est %f vs exact %f (ratio %f)", p, est, exact, ratio)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(10)
+	b.Add(1000)
+	a.Merge(b)
+	if a.N() != 2 || a.Sum() != 1010 || a.Max() != 1000 {
+		t.Error("merge wrong")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Reset()
+	if h.N() != 0 || h.Sum() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "x"}
+	c.Inc()
+	c.Addn(4)
+	if c.Value != 5 {
+		t.Errorf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 4) != 25 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("ratio with zero denominator should be 0")
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := ExactPercentile(s, 50); got != 5 {
+		t.Errorf("p50 = %f, want 5", got)
+	}
+	if got := ExactPercentile(s, 100); got != 10 {
+		t.Errorf("p100 = %f, want 10", got)
+	}
+	if got := ExactPercentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %f, want 0", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta\t%d", 22)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.34) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(12.34))
+	}
+	if Ms(1500) != "1.50ms" {
+		t.Errorf("Ms = %q", Ms(1500))
+	}
+}
+
+// Property: histogram mean equals true mean exactly (sum is exact), and
+// percentile estimates never exceed max.
+func TestHistogramProperties(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := NewHistogram()
+		var sum int64
+		var max int64
+		for _, v := range vals {
+			x := int64(v % 1_000_000)
+			h.Add(x)
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		if h.Sum() != sum {
+			return false
+		}
+		if len(vals) > 0 && h.Percentile(99) > float64(max) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summary.Merge is associative up to floating error for mean.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := in[:0]
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		a, b, all := NewSummary(), NewSummary(), NewSummary()
+		for _, v := range xs {
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return math.Abs(a.Mean()-all.Mean())/scale < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, wa := Generate(WebVM(), 0.02)
+	b, wb := Generate(WebVM(), 0.02)
+	if wa != wb {
+		t.Fatal("warmup counts differ")
+	}
+	if !reflect.DeepEqual(a.Requests, b.Requests) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tr, warm := Generate(WebVM(), 0.01)
+	scale := 0.01
+	want := int(float64(WebVM().IOs) * scale)
+	if len(tr.Requests) != want {
+		t.Fatalf("requests = %d, want %d", len(tr.Requests), want)
+	}
+	if warm != int(float64(want)*0.15) {
+		t.Fatalf("warmup = %d", warm)
+	}
+}
+
+func TestTimestampsMonotone(t *testing.T) {
+	tr, _ := Generate(Mail(), 0.01)
+	for i := 1; i < len(tr.Requests); i++ {
+		if tr.Requests[i].Time < tr.Requests[i-1].Time {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+}
+
+func TestRequestsValid(t *testing.T) {
+	for _, p := range Profiles() {
+		tr, _ := Generate(p, 0.02)
+		for i := range tr.Requests {
+			if err := tr.Requests[i].Validate(); err != nil {
+				t.Fatalf("%s: request %d: %v", p.Name, i, err)
+			}
+			if tr.Requests[i].LBA+uint64(tr.Requests[i].N) > p.FootprintChunks {
+				t.Fatalf("%s: request %d exceeds footprint", p.Name, i)
+			}
+		}
+	}
+}
+
+// Table II characteristics must hold approximately at full scale shape
+// (verified at reduced scale with loose tolerances; the podbench
+// table2 experiment reports the full-scale numbers).
+func TestTable2Characteristics(t *testing.T) {
+	cases := []struct {
+		p          Profile
+		wantWrites float64 // percent
+		wantAvgKB  float64
+	}{
+		{WebVM(), 69.8, 14.8},
+		{Homes(), 80.5, 13.1},
+		{Mail(), 78.5, 40.8},
+	}
+	for _, c := range cases {
+		tr, _ := Generate(c.p, 0.05)
+		a := trace.Analyze(tr)
+		if math.Abs(a.Chars.WriteRatio-c.wantWrites) > 5 {
+			t.Errorf("%s: write ratio %.1f%%, want ≈%.1f%%", c.p.Name, a.Chars.WriteRatio, c.wantWrites)
+		}
+		if math.Abs(a.Chars.AvgReqKB-c.wantAvgKB)/c.wantAvgKB > 0.30 {
+			t.Errorf("%s: mean request %.1f KB, want ≈%.1f KB", c.p.Name, a.Chars.AvgReqKB, c.wantAvgKB)
+		}
+	}
+}
+
+// The redundancy orderings the paper's figures depend on.
+func TestRedundancyStructure(t *testing.T) {
+	get := func(p Profile) *trace.Analysis {
+		tr, _ := Generate(p, 0.05)
+		return trace.Analyze(tr)
+	}
+	web, homes, mail := get(WebVM()), get(Homes()), get(Mail())
+
+	// mail is the most redundant; homes the least (Fig. 2 shape)
+	if !(mail.IORedundancyPct > web.IORedundancyPct) {
+		t.Errorf("mail redundancy (%.1f) must exceed web-vm (%.1f)",
+			mail.IORedundancyPct, web.IORedundancyPct)
+	}
+	// every trace has both same-LBA and different-LBA redundancy, so
+	// I/O redundancy strictly exceeds capacity redundancy
+	for _, a := range []*trace.Analysis{web, homes, mail} {
+		if a.SameLBAPct <= 0 || a.DiffLBAPct <= 0 {
+			t.Errorf("%s: same=%.1f diff=%.1f, both must be positive",
+				a.Chars.Name, a.SameLBAPct, a.DiffLBAPct)
+		}
+	}
+}
+
+// Fig. 1 shape: small (4-8 KB) write requests dominate and carry
+// substantial redundancy.
+func TestSmallWriteDominance(t *testing.T) {
+	for _, p := range []Profile{WebVM(), Homes()} {
+		tr, _ := Generate(p, 0.05)
+		a := trace.Analyze(tr)
+		var small, total, smallRed int64
+		for i, b := range a.Buckets {
+			total += b.Total
+			if i <= 1 { // 4 KB and 8 KB buckets
+				small += b.Total
+				smallRed += b.Redundant
+			}
+		}
+		if float64(small)/float64(total) < 0.5 {
+			t.Errorf("%s: small writes are %.0f%% of writes, want >50%%",
+				p.Name, 100*float64(small)/float64(total))
+		}
+		if smallRed == 0 {
+			t.Errorf("%s: small writes carry no redundancy", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("mail"); !ok || p.Name != "mail" {
+		t.Fatal("ByName(mail) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName must reject unknown traces")
+	}
+}
+
+func TestTinyScaleStillWorks(t *testing.T) {
+	tr, warm := Generate(Homes(), 0.00001)
+	if len(tr.Requests) != 1 || warm != 0 {
+		t.Fatalf("tiny scale: %d requests, warm %d", len(tr.Requests), warm)
+	}
+}
+
+func TestScaledHistoryRing(t *testing.T) {
+	full := NewScaled(WebVM(), 1.0)
+	small := NewScaled(WebVM(), 0.05)
+	if full.maxSegs != 16384 {
+		t.Fatalf("full-scale ring = %d", full.maxSegs)
+	}
+	if small.maxSegs >= full.maxSegs || small.maxSegs < 512 {
+		t.Fatalf("scaled ring = %d, want within [512, %d)", small.maxSegs, full.maxSegs)
+	}
+	tiny := NewScaled(WebVM(), 0.0001)
+	if tiny.maxSegs != 512 {
+		t.Fatalf("ring floor = %d, want 512", tiny.maxSegs)
+	}
+}

@@ -1,0 +1,300 @@
+// Package pod is the public interface to this reproduction of
+// "POD: Performance Oriented I/O Deduplication for Primary Storage
+// Systems in the Cloud" (Mao, Jiang, Wu, Tian — IPDPS 2014).
+//
+// It exposes the paper's storage engines — Native, Full-Dedupe, iDedup,
+// Select-Dedupe, and POD (Select-Dedupe + adaptive iCache) — over a
+// simulated 4-disk RAID5 primary storage system, together with the
+// synthetic FIU-like trace generators and the experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	sys, err := pod.New(pod.Config{Scheme: pod.SchemePOD})
+//	...
+//	rt, _ := sys.Write(0, 100, []uint64{1, 2, 3}) // 3 chunks at LBA 100
+//	rt, _ = sys.Read(rt, 100, 3)
+//	fmt.Println(sys.Stats())
+//
+// Addresses and lengths are in 4 KiB chunks; times are microseconds of
+// virtual time (requests must be submitted in non-decreasing time
+// order). Content is identified by opaque uint64 content IDs — equal
+// IDs mean byte-identical chunks.
+package pod
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// Scheme selects a storage engine.
+type Scheme string
+
+// The five schemes of the paper's evaluation.
+const (
+	SchemeNative       Scheme = "Native"
+	SchemeFullDedupe   Scheme = "Full-Dedupe"
+	SchemeIDedup       Scheme = "iDedup"
+	SchemeSelectDedupe Scheme = "Select-Dedupe"
+	SchemePOD          Scheme = "POD"
+	// SchemeIODedup is Koller & Rangaswami's I/O Deduplication
+	// (FAST'10): content-aware caching and replica-aware reads, no
+	// write elimination.
+	SchemeIODedup Scheme = "I/O-Dedup"
+	// SchemePostProcess is offline deduplication in the style of
+	// El-Shimi et al. (ATC'12): writes land untouched; a background
+	// scanner merges duplicates later.
+	SchemePostProcess Scheme = "Post-Process"
+)
+
+// Schemes lists every available scheme.
+func Schemes() []Scheme {
+	return []Scheme{SchemeNative, SchemeFullDedupe, SchemeIDedup, SchemeSelectDedupe,
+		SchemePOD, SchemeIODedup, SchemePostProcess}
+}
+
+// Config describes the simulated platform. The zero value of every
+// field selects the paper's setup (§IV-A).
+type Config struct {
+	Scheme Scheme // default SchemePOD
+
+	Disks        int    // spindles in the array (default 4)
+	DiskBlocks   uint64 // capacity per spindle in 4 KiB blocks (default 2^19 = 2 GiB)
+	StripeUnitKB int    // RAID5 stripe unit (default 64)
+	RAID0        bool   // shorthand for Layout: "raid0"
+	// Layout selects the array layout: "raid5" (default), "raid0", or
+	// "raid1" (mirrored pairs; requires an even disk count).
+	Layout string
+
+	MemoryMB int // storage-cache DRAM budget (default 32)
+
+	// Select-Dedupe partial-redundancy threshold (default 3, §III-B)
+	// and iDedup minimum duplicate-sequence length (default 8 chunks).
+	Threshold       int
+	IDedupThreshold int
+
+	// NVRAMKB sizes the Map-table journal (default: sized to the
+	// array; 0 keeps the default, -1 disables journaling).
+	NVRAMKB int
+
+	// Verify re-checks every write against the content model (slower;
+	// intended for tests).
+	Verify bool
+
+	// Cleaner enables the background segment cleaner, which defragments
+	// the log-structured store during idle periods (recommended for
+	// long-running overwrite-heavy workloads).
+	Cleaner bool
+}
+
+// System is a storage system under one scheme.
+type System struct {
+	eng  engine.Engine
+	last sim.Time
+}
+
+// New builds a system. It returns an error (never panics) for invalid
+// configurations.
+func New(cfg Config) (*System, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = SchemePOD
+	}
+	found := false
+	for _, s := range Schemes() {
+		if s == cfg.Scheme {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("pod: unknown scheme %q", cfg.Scheme)
+	}
+	if cfg.Disks == 0 {
+		cfg.Disks = 4
+	}
+	if cfg.RAID0 && cfg.Layout == "" {
+		cfg.Layout = "raid0"
+	}
+	var level raid.Level
+	switch cfg.Layout {
+	case "", "raid5":
+		level = raid.RAID5
+		if cfg.Disks < 3 {
+			return nil, fmt.Errorf("pod: RAID5 needs at least 3 disks, have %d", cfg.Disks)
+		}
+	case "raid0":
+		level = raid.RAID0
+		if cfg.Disks < 1 {
+			return nil, fmt.Errorf("pod: RAID0 needs at least 1 disk")
+		}
+	case "raid1":
+		level = raid.RAID1
+		if cfg.Disks < 2 || cfg.Disks%2 != 0 {
+			return nil, fmt.Errorf("pod: RAID1 needs an even disk count ≥ 2, have %d", cfg.Disks)
+		}
+	default:
+		return nil, fmt.Errorf("pod: unknown layout %q", cfg.Layout)
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 1 << 19
+	}
+	if cfg.StripeUnitKB == 0 {
+		cfg.StripeUnitKB = 64
+	}
+	if cfg.StripeUnitKB%4 != 0 {
+		return nil, fmt.Errorf("pod: stripe unit %d KB is not a multiple of the 4 KB chunk", cfg.StripeUnitKB)
+	}
+	if cfg.MemoryMB == 0 {
+		cfg.MemoryMB = 32
+	}
+	if cfg.MemoryMB < 1 {
+		return nil, fmt.Errorf("pod: memory budget %d MB is too small", cfg.MemoryMB)
+	}
+
+	disks := make([]*disk.Disk, cfg.Disks)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(cfg.DiskBlocks))
+	}
+	array := raid.New(level, disks, uint64(cfg.StripeUnitKB/4))
+
+	nvram := 0
+	switch {
+	case cfg.NVRAMKB > 0:
+		nvram = cfg.NVRAMKB * 1024
+	case cfg.NVRAMKB == 0:
+		nvram = int(array.DataBlocks() * 24)
+	}
+
+	ecfg := engine.Config{
+		Array:           array,
+		MemoryBytes:     int64(cfg.MemoryMB) << 20,
+		Threshold:       cfg.Threshold,
+		IDedupThreshold: cfg.IDedupThreshold,
+		NVRAMBytes:      nvram,
+		Verify:          cfg.Verify,
+		Cleaner:         engine.CleanerParams{Enabled: cfg.Cleaner},
+	}
+	return &System{eng: experiments.NewEngine(string(cfg.Scheme), ecfg)}, nil
+}
+
+// Scheme reports the engine in use.
+func (s *System) Scheme() Scheme { return Scheme(s.eng.Name()) }
+
+// CapacityBlocks reports the physical data capacity in 4 KiB blocks.
+func (s *System) CapacityBlocks() uint64 { return s.eng.UsedBlocks() } // see UsedBlocks
+
+func (s *System) checkTime(atMicros int64) error {
+	if sim.Time(atMicros) < s.last {
+		return fmt.Errorf("pod: request at t=%dµs arrives before the previous request (t=%dµs): submit in time order", atMicros, int64(s.last))
+	}
+	s.last = sim.Time(atMicros)
+	return nil
+}
+
+// Write submits a write of len(content) chunks at the given LBA and
+// virtual time, returning the simulated response time in microseconds.
+func (s *System) Write(atMicros int64, lba uint64, content []uint64) (int64, error) {
+	if len(content) == 0 {
+		return 0, fmt.Errorf("pod: empty write")
+	}
+	if err := s.checkTime(atMicros); err != nil {
+		return 0, err
+	}
+	ids := make([]chunk.ContentID, len(content))
+	for i, c := range content {
+		ids[i] = chunk.ContentID(c)
+	}
+	req := trace.Request{Time: sim.Time(atMicros), Op: trace.Write, LBA: lba, N: len(ids), Content: ids}
+	return int64(s.eng.Write(&req)), nil
+}
+
+// Read submits a read of n chunks at the given LBA and virtual time,
+// returning the simulated response time in microseconds.
+func (s *System) Read(atMicros int64, lba uint64, n int) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("pod: empty read")
+	}
+	if err := s.checkTime(atMicros); err != nil {
+		return 0, err
+	}
+	req := trace.Request{Time: sim.Time(atMicros), Op: trace.Read, LBA: lba, N: n}
+	return int64(s.eng.Read(&req)), nil
+}
+
+// ReadBack returns the content ID stored at lba (ok is false for
+// never-written blocks) without simulating an I/O — the verification
+// path.
+func (s *System) ReadBack(lba uint64) (uint64, bool) { return s.eng.ReadContent(lba) }
+
+// UsedBlocks reports the physical blocks currently occupied.
+func (s *System) UsedBlocks() uint64 { return s.eng.UsedBlocks() }
+
+// CrashAndRecover simulates a power failure followed by a restart: all
+// DRAM state is lost and the Map table is rebuilt from its NVRAM
+// journal. Every acknowledged write survives. It returns the number of
+// journal records replayed, and an error for schemes without NVRAM
+// journaling support.
+func (s *System) CrashAndRecover() (int, error) {
+	if r, ok := s.eng.(interface{ CrashAndRecover() (int, error) }); ok {
+		return r.CrashAndRecover()
+	}
+	return 0, fmt.Errorf("pod: scheme %s does not support crash recovery", s.eng.Name())
+}
+
+// Summary is an exported snapshot of a system's statistics.
+type Summary struct {
+	Scheme               string
+	Reads, Writes        int64
+	MeanReadMicros       float64
+	MeanWriteMicros      float64
+	P95ReadMicros        float64
+	P95WriteMicros       float64
+	WritesRemovedPct     float64
+	ChunksDedupedPct     float64
+	ReadCacheHitPct      float64
+	IndexDiskLookups     int64
+	NVRAMPeakBytes       int64
+	UsedBlocks           uint64
+	Category1, Category2 int64
+	Category3            int64
+}
+
+// Stats snapshots the system's accumulated metrics.
+func (s *System) Stats() Summary {
+	st := s.eng.Stats()
+	return Summary{
+		Scheme:           s.eng.Name(),
+		Reads:            st.Reads,
+		Writes:           st.Writes,
+		MeanReadMicros:   st.ReadRT.Mean(),
+		MeanWriteMicros:  st.WriteRT.Mean(),
+		P95ReadMicros:    st.ReadRT.Percentile(95),
+		P95WriteMicros:   st.WriteRT.Percentile(95),
+		WritesRemovedPct: st.WriteRemovalPct(),
+		ChunksDedupedPct: st.DedupRatioPct(),
+		ReadCacheHitPct:  st.CacheHitPct(),
+		IndexDiskLookups: st.IndexDiskIOs,
+		NVRAMPeakBytes:   st.NVRAMPeakBytes,
+		UsedBlocks:       s.eng.UsedBlocks(),
+		Category1:        st.Cat1,
+		Category2:        st.Cat2,
+		Category3:        st.Cat3,
+	}
+}
+
+// String renders the summary as a short human-readable report.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"%s: %d writes (%.1f%% removed, %.1f%% chunks deduped), %d reads (%.1f%% cache hits); "+
+			"mean RT write %.2fms read %.2fms; %d blocks used",
+		s.Scheme, s.Writes, s.WritesRemovedPct, s.ChunksDedupedPct,
+		s.Reads, s.ReadCacheHitPct,
+		s.MeanWriteMicros/1000, s.MeanReadMicros/1000, s.UsedBlocks)
+}

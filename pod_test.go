@@ -1,0 +1,275 @@
+package pod
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Scheme() != SchemePOD {
+		t.Fatalf("default scheme = %s, want POD", sys.Scheme())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Scheme: "bogus"},
+		{Disks: 2},        // too few for RAID5
+		{StripeUnitKB: 6}, // not chunk-aligned
+		{MemoryMB: -1},    // negative budget
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New(Config{Disks: 2, RAID0: true}); err != nil {
+		t.Errorf("2-disk RAID0 should be accepted: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, scheme := range Schemes() {
+		sys, err := New(Config{Scheme: scheme, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := sys.Write(0, 100, []uint64{11, 22, 33})
+		if err != nil || rt <= 0 {
+			t.Fatalf("%s: write rt=%d err=%v", scheme, rt, err)
+		}
+		rt, err = sys.Read(1_000_000, 100, 3)
+		if err != nil || rt <= 0 {
+			t.Fatalf("%s: read rt=%d err=%v", scheme, rt, err)
+		}
+		for i, want := range []uint64{11, 22, 33} {
+			got, ok := sys.ReadBack(100 + uint64(i))
+			if !ok || got != want {
+				t.Fatalf("%s: readback lba %d = %d,%v want %d", scheme, 100+i, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestTimeOrderingEnforced(t *testing.T) {
+	sys, _ := New(Config{})
+	if _, err := sys.Write(1000, 0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Write(500, 1, []uint64{2}); err == nil {
+		t.Fatal("out-of-order request must be rejected")
+	}
+}
+
+func TestEmptyRequestsRejected(t *testing.T) {
+	sys, _ := New(Config{})
+	if _, err := sys.Write(0, 0, nil); err == nil {
+		t.Fatal("empty write must fail")
+	}
+	if _, err := sys.Read(0, 0, 0); err == nil {
+		t.Fatal("empty read must fail")
+	}
+}
+
+func TestDeduplicationVisibleThroughAPI(t *testing.T) {
+	sys, err := New(Config{Scheme: SchemeSelectDedupe, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Write(0, 0, []uint64{7})
+	sys.Write(1_000_000, 500, []uint64{7}) // same content elsewhere
+	st := sys.Stats()
+	if st.WritesRemovedPct != 50 {
+		t.Fatalf("removed = %.1f%%, want 50%%", st.WritesRemovedPct)
+	}
+	if st.Category1 != 1 {
+		t.Fatalf("cat1 = %d, want 1", st.Category1)
+	}
+	if st.UsedBlocks != 1 {
+		t.Fatalf("used = %d blocks, want 1 (deduplicated)", st.UsedBlocks)
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	reqs, warm, err := GenerateWorkload("web-vm", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 || warm < 0 || warm >= len(reqs) {
+		t.Fatalf("len=%d warm=%d", len(reqs), warm)
+	}
+	if _, _, err := GenerateWorkload("nope", 1); err == nil {
+		t.Fatal("unknown workload must fail")
+	}
+	if _, _, err := GenerateWorkload("mail", 0); err == nil {
+		t.Fatal("zero scale must fail")
+	}
+}
+
+func TestReplayAndReset(t *testing.T) {
+	reqs, warm, err := GenerateWorkload("homes", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{Scheme: SchemePOD, DiskBlocks: 1 << 18, MemoryMB: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Replay(reqs[:warm]); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	sum, err := sys.Replay(reqs[warm:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Reads+sum.Writes != int64(len(reqs)-warm) {
+		t.Fatalf("measured %d requests, want %d", sum.Reads+sum.Writes, len(reqs)-warm)
+	}
+	if !strings.Contains(sum.String(), "POD") {
+		t.Fatalf("summary string = %q", sum.String())
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 3 || names[0] != "web-vm" || names[2] != "mail" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	out, err := RunExperiment("table2", 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"web-vm", "homes", "mail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+	if _, err := RunExperiment("bogus", 0.01, 1); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	if _, err := RunExperiment("fig8", -1, 1); err == nil {
+		t.Fatal("bad scale must fail")
+	}
+	out, err = RunExperiment("table1", 1, 1)
+	if err != nil || !strings.Contains(out, "POD") {
+		t.Fatalf("table1: %v", err)
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 12 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestCrashRecoveryThroughAPI(t *testing.T) {
+	sys, err := New(Config{Scheme: SchemePOD, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Write(0, 0, []uint64{1, 2})
+	sys.Write(1_000_000, 100, []uint64{1, 2}) // deduplicated copy
+	n, err := sys.CrashAndRecover()
+	if err != nil || n == 0 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	for _, lba := range []uint64{0, 1, 100, 101} {
+		want := uint64(1 + lba%2)
+		if got, ok := sys.ReadBack(lba); !ok || got != want {
+			t.Fatalf("lba %d = %d,%v want %d", lba, got, ok, want)
+		}
+	}
+	// unsupported scheme reports an error
+	nat, _ := New(Config{Scheme: SchemeNative})
+	if _, err := nat.CrashAndRecover(); err == nil {
+		t.Fatal("Native must not claim recovery support")
+	}
+}
+
+func TestSchemesComparable(t *testing.T) {
+	// the paper's headline, through the public API: POD beats Native
+	// on a redundant workload
+	reqs, warm, _ := GenerateWorkload("web-vm", 0.02)
+	results := map[Scheme]Summary{}
+	for _, scheme := range []Scheme{SchemeNative, SchemePOD} {
+		sys, err := New(Config{Scheme: scheme, MemoryMB: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Replay(reqs[:warm])
+		sys.ResetStats()
+		sum, err := sys.Replay(reqs[warm:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[scheme] = sum
+	}
+	if results[SchemePOD].MeanWriteMicros >= results[SchemeNative].MeanWriteMicros {
+		t.Errorf("POD write RT (%.0fµs) must beat Native (%.0fµs)",
+			results[SchemePOD].MeanWriteMicros, results[SchemeNative].MeanWriteMicros)
+	}
+	if results[SchemePOD].UsedBlocks >= results[SchemeNative].UsedBlocks {
+		t.Errorf("POD capacity (%d) must beat Native (%d)",
+			results[SchemePOD].UsedBlocks, results[SchemeNative].UsedBlocks)
+	}
+}
+
+func TestNVRAMDisabledBlocksRecovery(t *testing.T) {
+	sys, err := New(Config{Scheme: SchemePOD, NVRAMKB: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Write(0, 0, []uint64{1})
+	if _, err := sys.CrashAndRecover(); err == nil {
+		t.Fatal("recovery must fail with journaling disabled")
+	}
+}
+
+func TestLayoutSelection(t *testing.T) {
+	if _, err := New(Config{Layout: "raid1", Disks: 4}); err != nil {
+		t.Fatalf("raid1: %v", err)
+	}
+	if _, err := New(Config{Layout: "raid1", Disks: 3}); err == nil {
+		t.Fatal("odd-disk raid1 must fail")
+	}
+	if _, err := New(Config{Layout: "zfs"}); err == nil {
+		t.Fatal("unknown layout must fail")
+	}
+	sys, err := New(Config{Layout: "raid0", Disks: 1, Scheme: SchemeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Write(0, 0, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanerConfigAccepted(t *testing.T) {
+	sys, err := New(Config{Scheme: SchemePOD, Cleaner: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		now += 20_000
+		if _, err := sys.Write(now, uint64(i%50)*4, []uint64{uint64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// consistency preserved under churn with the cleaner armed
+	for i := 150; i < 200; i++ {
+		lba := uint64(i%50) * 4
+		if _, ok := sys.ReadBack(lba); !ok {
+			t.Fatalf("lba %d lost", lba)
+		}
+	}
+}

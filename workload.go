@@ -1,0 +1,147 @@
+package pod
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+// Request is one block-level I/O of a workload. Addresses and lengths
+// are in 4 KiB chunks; Content carries one ID per chunk for writes and
+// is nil for reads.
+type Request struct {
+	AtMicros int64
+	Write    bool
+	LBA      uint64
+	N        int
+	Content  []uint64
+}
+
+// WorkloadNames lists the built-in synthetic traces (the FIU-like
+// web-vm / homes / mail workloads of Table II).
+func WorkloadNames() []string {
+	var names []string
+	for _, p := range workload.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// GenerateWorkload produces a built-in workload at the given scale
+// (1.0 = the paper's request count). It returns the requests and the
+// number of leading warm-up requests callers typically exclude from
+// measurement.
+func GenerateWorkload(name string, scale float64) ([]Request, int, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("pod: unknown workload %q (have %s)", name, strings.Join(WorkloadNames(), ", "))
+	}
+	if scale <= 0 {
+		return nil, 0, fmt.Errorf("pod: non-positive scale %f", scale)
+	}
+	tr, warm := workload.Generate(prof, scale)
+	out := make([]Request, len(tr.Requests))
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		out[i] = Request{
+			AtMicros: int64(r.Time),
+			Write:    r.Op == trace.Write,
+			LBA:      r.LBA,
+			N:        r.N,
+		}
+		if r.Op == trace.Write {
+			ids := make([]uint64, r.N)
+			for j, id := range r.Content {
+				ids[j] = uint64(id)
+			}
+			out[i].Content = ids
+		}
+	}
+	return out, warm, nil
+}
+
+// Replay submits a request sequence (must be time-ordered) and returns
+// the final statistics.
+func (s *System) Replay(reqs []Request) (Summary, error) {
+	for i := range reqs {
+		r := &reqs[i]
+		var err error
+		if r.Write {
+			_, err = s.Write(r.AtMicros, r.LBA, r.Content)
+		} else {
+			_, err = s.Read(r.AtMicros, r.LBA, r.N)
+		}
+		if err != nil {
+			return Summary{}, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	return s.Stats(), nil
+}
+
+// ResetStats clears the system's measurement counters (used after a
+// warm-up prefix).
+func (s *System) ResetStats() { s.eng.Stats().Reset() }
+
+// ExperimentIDs lists the reproducible paper artifacts.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "fig1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "overhead", "raw", "schemes"}
+}
+
+// RunExperiment regenerates one paper artifact and returns its
+// formatted table. Scale 1.0 replays the full request counts; workers
+// bounds replay parallelism (≤ 0 = one per replay).
+func RunExperiment(id string, scale float64, workers int) (string, error) {
+	if scale <= 0 {
+		return "", fmt.Errorf("pod: non-positive scale %f", scale)
+	}
+	env := experiments.NewEnv(scale, workers)
+	switch strings.ToLower(id) {
+	case "table1":
+		return experiments.Table1().String(), nil
+	case "table2":
+		t, _ := env.Table2()
+		return t.String(), nil
+	case "fig1":
+		t, _ := env.Fig1()
+		return t.String(), nil
+	case "fig2":
+		t, _ := env.Fig2()
+		return t.String(), nil
+	case "fig3":
+		t, _ := env.Fig3(nil)
+		return t.String(), nil
+	case "fig8":
+		t, _ := env.Fig8()
+		return t.String(), nil
+	case "fig9":
+		a, _ := env.Fig9Write()
+		b, _ := env.Fig9Read()
+		return a.String() + "\n" + b.String(), nil
+	case "fig10":
+		t, _ := env.Fig10()
+		return t.String(), nil
+	case "fig11":
+		t, _ := env.Fig11()
+		return t.String(), nil
+	case "overhead":
+		t, _, _ := env.Overhead()
+		return t.String(), nil
+	case "raw":
+		return env.Raw().String(), nil
+	case "schemes":
+		return env.SchemesTable().String(), nil
+	default:
+		return "", fmt.Errorf("pod: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+}
+
+// ChunkSize is the deduplication granularity in bytes.
+const ChunkSize = chunk.Size
+
+// MicrosPerSecond converts virtual time for callers.
+const MicrosPerSecond = int64(sim.Second)
