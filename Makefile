@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro repro-fast fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast fuzz clean
 
 all: build vet test
+
+# CI gate: vet, build, then the full test suite under the race
+# detector. The experiment-matrix tests already run at reduced scale
+# (see internal/experiments testScale), which keeps the race run to a
+# couple of minutes.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

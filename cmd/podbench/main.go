@@ -2,11 +2,18 @@
 //
 // Usage:
 //
-//	podbench [-scale f] [-workers n] [experiment ...]
+//	podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f]
+//	         [-bench-json f] [-bench-label s] [experiment ...]
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11
 // overhead all (default: all). Scale 1.0 replays the paper's full
 // request counts; smaller scales subsample proportionally.
+//
+// The profiling flags measure the harness itself (how fast the
+// experiments regenerate), never the simulated system: -cpuprofile and
+// -memprofile write pprof profiles, -bench-json writes a perf
+// trajectory with per-experiment wall time, allocation counts, and
+// peak RSS.
 package main
 
 import (
@@ -14,75 +21,104 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/perf"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper request counts)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replays")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	benchJSON := flag.String("bench-json", "", "write a perf trajectory (per-experiment wall/allocs/RSS) to this file")
+	benchLabel := flag.String("bench-label", "run", "label recorded in the -bench-json trajectory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f] [-bench-json f] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	wanted := flag.Args()
 	if len(wanted) == 0 {
 		wanted = []string{"all"}
 	}
 	env := experiments.NewEnv(*scale, *workers)
+	var track perf.Tracker
 
 	run := func(name string) bool {
 		start := time.Now()
-		switch name {
-		case "table1":
-			fmt.Println(experiments.Table1())
-		case "table2":
-			t, _ := env.Table2()
-			fmt.Println(t)
-		case "fig1":
-			t, _ := env.Fig1()
-			fmt.Println(t)
-		case "fig2":
-			t, _ := env.Fig2()
-			fmt.Println(t)
-		case "fig3":
-			t, _ := env.Fig3(nil)
-			fmt.Println(t)
-		case "fig8":
-			t, _ := env.Fig8()
-			fmt.Println(t)
-		case "fig9":
-			t, _ := env.Fig9Write()
-			fmt.Println(t)
-			t, _ = env.Fig9Read()
-			fmt.Println(t)
-		case "fig10":
-			t, _ := env.Fig10()
-			fmt.Println(t)
-		case "fig11":
-			t, _ := env.Fig11()
-			fmt.Println(t)
-		case "overhead":
-			t, _, _ := env.Overhead()
-			fmt.Println(t)
-		case "raw":
-			fmt.Println(env.Raw())
-		case "schemes":
-			fmt.Println(env.SchemesTable())
-		case "ablations":
-			fmt.Println(env.ThresholdSweep("homes", nil))
-			fmt.Println(env.StripeUnitSweep("web-vm", nil))
-			fmt.Println(env.DupSweep(nil))
-			fmt.Println(env.LayoutSweep("web-vm"))
-			fmt.Println(env.ChurnSweep())
-			h, d := env.DegradedPoint("homes")
-			fmt.Printf("Degraded-mode ablation (homes, POD): healthy read %.2fms, one disk failed %.2fms\n\n", h/1000, d/1000)
-		default:
+		ok := true
+		track.Measure(name, func() {
+			switch name {
+			case "table1":
+				fmt.Println(experiments.Table1())
+			case "table2":
+				t, _ := env.Table2()
+				fmt.Println(t)
+			case "fig1":
+				t, _ := env.Fig1()
+				fmt.Println(t)
+			case "fig2":
+				t, _ := env.Fig2()
+				fmt.Println(t)
+			case "fig3":
+				t, _ := env.Fig3(nil)
+				fmt.Println(t)
+			case "fig8":
+				t, _ := env.Fig8()
+				fmt.Println(t)
+			case "fig9":
+				t, _ := env.Fig9Write()
+				fmt.Println(t)
+				t, _ = env.Fig9Read()
+				fmt.Println(t)
+			case "fig10":
+				t, _ := env.Fig10()
+				fmt.Println(t)
+			case "fig11":
+				t, _ := env.Fig11()
+				fmt.Println(t)
+			case "overhead":
+				t, _, _ := env.Overhead()
+				fmt.Println(t)
+			case "raw":
+				fmt.Println(env.Raw())
+			case "schemes":
+				fmt.Println(env.SchemesTable())
+			case "ablations":
+				fmt.Println(env.ThresholdSweep("homes", nil))
+				fmt.Println(env.StripeUnitSweep("web-vm", nil))
+				fmt.Println(env.DupSweep(nil))
+				fmt.Println(env.LayoutSweep("web-vm"))
+				fmt.Println(env.ChurnSweep())
+				h, d := env.DegradedPoint("homes")
+				fmt.Printf("Degraded-mode ablation (homes, POD): healthy read %.2fms, one disk failed %.2fms\n\n", h/1000, d/1000)
+			default:
+				ok = false
+			}
+		})
+		if !ok {
 			return false
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -103,5 +139,25 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
+	}
+
+	if *benchJSON != "" {
+		if err := track.WriteJSON(*benchJSON, *benchLabel, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -13,9 +13,17 @@
 // Free merges with both neighbours when adjacent. Allocation prefers
 // the lowest-addressed extent that fits, which keeps the physical
 // layout compact and the fragmentation metrics meaningful.
+//
+// AllocLargest — the per-write hot path of every log-structured engine
+// — is served by a lazy max-heap of (count, start) candidates layered
+// over the sorted free list. Every mutation pushes the affected
+// extent's new shape onto the heap; entries are validated against the
+// free list when popped, so stale shapes are discarded in O(log n)
+// instead of forcing a full rescan per allocation.
 package alloc
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -37,6 +45,30 @@ type Allocator struct {
 	size uint64
 	free []Extent // sorted by Start, pairwise disjoint, non-adjacent
 	used uint64
+	big  candHeap // lazy max-heap of candidate largest extents
+}
+
+// candHeap orders candidate extents by count descending, breaking ties
+// by start ascending — exactly the extent a linear first-max scan of
+// the sorted free list would select, so the heap-backed AllocLargest
+// makes byte-identical placement decisions.
+type candHeap []Extent
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].Count != h[j].Count {
+		return h[i].Count > h[j].Count
+	}
+	return h[i].Start < h[j].Start
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(Extent)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
 }
 
 // New returns an allocator over a space of size blocks.
@@ -44,8 +76,32 @@ func New(size uint64) *Allocator {
 	a := &Allocator{size: size}
 	if size > 0 {
 		a.free = []Extent{{Start: 0, Count: size}}
+		a.note(a.free[0])
 	}
 	return a
+}
+
+// note records an extent's current shape as a max-heap candidate.
+// Called after every mutation that creates or reshapes a free extent;
+// superseded shapes become stale and are discarded at pop time.
+func (a *Allocator) note(e Extent) {
+	if e.Count == 0 {
+		return
+	}
+	heap.Push(&a.big, e)
+	// Bound staleness: when dead entries dominate, rebuild from the
+	// free list so the heap stays O(live extents).
+	if len(a.big) > 2*len(a.free)+64 {
+		a.big = append(a.big[:0], a.free...)
+		heap.Init(&a.big)
+	}
+}
+
+// liveAt reports whether an extent of exactly this shape currently
+// exists in the free list.
+func (a *Allocator) liveAt(e Extent) bool {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Start >= e.Start })
+	return i < len(a.free) && a.free[i].Start == e.Start && a.free[i].Count == e.Count
 }
 
 // Size reports the total physical space in blocks.
@@ -86,6 +142,8 @@ func (a *Allocator) Alloc(n uint64) (PBA, bool) {
 			a.free[i].Count -= n
 			if a.free[i].Count == 0 {
 				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.note(a.free[i])
 			}
 			a.used += n
 			return start, true
@@ -103,20 +161,25 @@ func (a *Allocator) AllocLargest(n uint64) (PBA, bool) {
 	if n == 0 {
 		return 0, false
 	}
-	best := -1
-	for i := range a.free {
-		if a.free[i].Count >= n && (best < 0 || a.free[i].Count > a.free[best].Count) {
-			best = i
-		}
+	// Discard stale candidates until the heap's top describes a live
+	// extent; that extent is the true largest (lowest-start on ties),
+	// because every live extent's current shape is in the heap.
+	for len(a.big) > 0 && !a.liveAt(a.big[0]) {
+		heap.Pop(&a.big)
 	}
-	if best < 0 {
+	if len(a.big) == 0 || a.big[0].Count < n {
 		return 0, false
 	}
+	e := a.big[0]
+	heap.Pop(&a.big) // its shape is about to change
+	best := sort.Search(len(a.free), func(i int) bool { return a.free[i].Start >= e.Start })
 	start := a.free[best].Start
 	a.free[best].Start += PBA(n)
 	a.free[best].Count -= n
 	if a.free[best].Count == 0 {
 		a.free = append(a.free[:best], a.free[best+1:]...)
+	} else {
+		a.note(a.free[best])
 	}
 	a.used += n
 	return start, true
@@ -147,6 +210,8 @@ func (a *Allocator) AllocScattered(n uint64) ([]Extent, bool) {
 		e.Count -= take
 		if e.Count == 0 {
 			a.free = a.free[1:]
+		} else {
+			a.note(*e)
 		}
 		remaining -= take
 	}
@@ -177,10 +242,14 @@ func (a *Allocator) Reserve(start PBA, n uint64) bool {
 		a.free = append(a.free, Extent{})
 		copy(a.free[i+2:], a.free[i+1:])
 		a.free[i+1] = right
+		a.note(left)
+		a.note(right)
 	case left.Count > 0:
 		a.free[i] = left
+		a.note(left)
 	case right.Count > 0:
 		a.free[i] = right
+		a.note(right)
 	default:
 		a.free = append(a.free[:i], a.free[i+1:]...)
 	}
@@ -218,15 +287,19 @@ func (a *Allocator) Free(start PBA, n uint64) {
 	case mergeLeft && mergeRight:
 		a.free[i-1].Count += n + a.free[i].Count
 		a.free = append(a.free[:i], a.free[i+1:]...)
+		a.note(a.free[i-1])
 	case mergeLeft:
 		a.free[i-1].Count += n
+		a.note(a.free[i-1])
 	case mergeRight:
 		a.free[i].Start = start
 		a.free[i].Count += n
+		a.note(a.free[i])
 	default:
 		a.free = append(a.free, Extent{})
 		copy(a.free[i+1:], a.free[i:])
 		a.free[i] = Extent{Start: start, Count: n}
+		a.note(a.free[i])
 	}
 	a.used -= n
 }
@@ -262,6 +335,17 @@ func (a *Allocator) CheckInvariants() error {
 	}
 	if total+a.used != a.size {
 		return fmt.Errorf("accounting: free %d + used %d != size %d", total, a.used, a.size)
+	}
+	// Heap invariant: every live extent's current shape must be a
+	// candidate, or AllocLargest could silently pick a smaller extent.
+	have := make(map[Extent]bool, len(a.big))
+	for _, e := range a.big {
+		have[e] = true
+	}
+	for i, e := range a.free {
+		if !have[e] {
+			return fmt.Errorf("extent %d %v missing from candidate heap", i, e)
+		}
 	}
 	return nil
 }

@@ -370,3 +370,67 @@ func TestReserveThenFreeRoundTrip(t *testing.T) {
 		t.Fatal("free after reserve must restore a single extent")
 	}
 }
+
+// refAllocLargest is the original linear-scan policy: lowest-start
+// extent of maximal count. The heap-backed implementation must pick
+// byte-identical extents or replayed experiment results would shift.
+func refAllocLargest(free []Extent, n uint64) (PBA, bool) {
+	best := -1
+	for i := range free {
+		if free[i].Count >= n && (best < 0 || free[i].Count > free[best].Count) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return free[best].Start, true
+}
+
+// Property: the candidate-heap AllocLargest always selects exactly the
+// extent the linear reference scan would, across arbitrary interleaved
+// alloc/free/reserve traffic.
+func TestAllocLargestMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := New(1 << 12)
+		type held struct {
+			start PBA
+			n     uint64
+		}
+		var live []held
+		for _, raw := range ops {
+			n := uint64(raw%48) + 1
+			switch raw % 5 {
+			case 0, 1, 2: // AllocLargest, checked against the reference
+				want, wantOK := refAllocLargest(a.FreeExtents(), n)
+				got, ok := a.AllocLargest(n)
+				if ok != wantOK || (ok && got != want) {
+					t.Logf("AllocLargest(%d) = %d,%v want %d,%v", n, got, ok, want, wantOK)
+					return false
+				}
+				if ok {
+					live = append(live, held{got, n})
+				}
+			case 3: // first-fit alloc
+				if p, ok := a.Alloc(n); ok {
+					live = append(live, held{p, n})
+				}
+			default: // free one live run
+				if len(live) > 0 {
+					idx := int(raw/5) % len(live)
+					h := live[idx]
+					a.Free(h.start, h.n)
+					live = append(live[:idx], live[idx+1:]...)
+				}
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"github.com/pod-dedup/pod/internal/alloc"
-	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
@@ -45,10 +44,7 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 
 	if req.N < d.base.Cfg.IDedupThreshold {
 		// small request: bypass deduplication, skip hashing
-		chs := make([]chunk.Chunk, req.N)
-		for i, id := range req.Content {
-			chs[i].Content = id
-		}
+		chs := d.base.SplitRequest(req)
 		positions := allPositions(req.N)
 		done, _ := d.base.WriteFresh(t, req, positions, chs)
 		d.base.VerifyWrite(req)

@@ -84,10 +84,7 @@ func (p *PostProcess) Write(req *trace.Request) sim.Duration {
 	st := p.base.St
 	st.Writes++
 
-	chs := make([]chunk.Chunk, req.N)
-	for i, id := range req.Content {
-		chs[i].Content = id
-	}
+	chs := p.base.SplitRequest(req)
 	positions := make([]int, req.N)
 	for i := range positions {
 		positions[i] = i

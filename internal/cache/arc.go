@@ -46,9 +46,8 @@ func (a *ARC[K, V]) Misses() int64 { return a.misses }
 
 // Get returns the cached value, promoting a T1 hit into T2.
 func (a *ARC[K, V]) Get(key K) (V, bool) {
-	if v, ok := a.t1.Peek(key); ok {
+	if v, ok := a.t1.Take(key); ok {
 		a.hits++
-		a.t1.Remove(key)
 		a.t2.Put(key, v)
 		return v, true
 	}
@@ -69,8 +68,7 @@ func (a *ARC[K, V]) Contains(key K) bool {
 // Put inserts key. Ghost hits adapt p exactly as in the ARC paper.
 func (a *ARC[K, V]) Put(key K, val V) {
 	switch {
-	case a.t1.Contains(key):
-		a.t1.Remove(key)
+	case a.t1.Remove(key): // was in T1: promote into T2
 		a.t2.Put(key, val)
 	case a.t2.Contains(key):
 		a.t2.Put(key, val)

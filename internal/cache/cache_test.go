@@ -286,6 +286,57 @@ func TestARCProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkLRU measures the slab LRU's hot operations in isolation;
+// run with -benchmem — the Put and Touch paths must stay at zero
+// allocations per op once the slab is warm.
+func BenchmarkLRU(b *testing.B) {
+	b.Run("Put", func(b *testing.B) {
+		c := NewLRU[uint64, uint64](1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Put(uint64(i)%4096, uint64(i))
+		}
+	})
+	b.Run("GetHit", func(b *testing.B) {
+		c := NewLRU[uint64, uint64](1024)
+		for i := uint64(0); i < 1024; i++ {
+			c.Put(i, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get(uint64(i) % 1024)
+		}
+	})
+	b.Run("TouchHit", func(b *testing.B) {
+		c := NewLRU[uint64, uint64](1024)
+		for i := uint64(0); i < 1024; i++ {
+			c.Put(i, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if v, ok := c.Touch(uint64(i) % 1024); ok {
+				*v++
+			}
+		}
+	})
+	b.Run("Take", func(b *testing.B) {
+		c := NewLRU[uint64, uint64](1024)
+		for i := uint64(0); i < 1024; i++ {
+			c.Put(i, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := uint64(i) % 1024
+			if v, ok := c.Take(k); ok {
+				c.Put(k, v)
+			}
+		}
+	})
+}
+
 func BenchmarkLRUPutGet(b *testing.B) {
 	c := NewLRU[int, int](1024)
 	for i := 0; i < b.N; i++ {

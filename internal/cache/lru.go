@@ -3,12 +3,14 @@
 // reference ARC implementation used as an ablation baseline for iCache.
 package cache
 
-import "container/list"
-
-// entry is one LRU element.
+// entry is one LRU element, linked into a circular intrusive list
+// through slab indices (slot 0 is the sentinel). Compared to
+// container/list this costs zero heap allocations per insert once the
+// slab is warm, and keeps entries cache-line adjacent.
 type entry[K comparable, V any] struct {
-	key K
-	val V
+	key        K
+	val        V
+	prev, next int32
 }
 
 // Evicted describes one entry pushed out of an LRU.
@@ -22,8 +24,9 @@ type Evicted[K comparable, V any] struct {
 // immediately. Not safe for concurrent use.
 type LRU[K comparable, V any] struct {
 	cap   int
-	ll    *list.List
-	items map[K]*list.Element
+	slab  []entry[K, V] // slot 0 is the sentinel of the circular list
+	freeL int32         // head of the free-slot list, linked via next; -1 none
+	items map[K]int32
 
 	hits, misses int64
 }
@@ -33,11 +36,13 @@ func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &LRU[K, V]{cap: capacity, ll: list.New(), items: make(map[K]*list.Element)}
+	c := &LRU[K, V]{cap: capacity, freeL: -1, items: make(map[K]int32)}
+	c.slab = make([]entry[K, V], 1, 8) // sentinel
+	return c
 }
 
 // Len reports the number of cached entries.
-func (c *LRU[K, V]) Len() int { return c.ll.Len() }
+func (c *LRU[K, V]) Len() int { return len(c.items) }
 
 // Cap reports the capacity.
 func (c *LRU[K, V]) Cap() int { return c.cap }
@@ -49,22 +54,72 @@ func (c *LRU[K, V]) Misses() int64 { return c.misses }
 // ResetStats clears hit/miss accounting without touching contents.
 func (c *LRU[K, V]) ResetStats() { c.hits, c.misses = 0, 0 }
 
+// unlink detaches slot i from the recency list.
+func (c *LRU[K, V]) unlink(i int32) {
+	e := &c.slab[i]
+	c.slab[e.prev].next = e.next
+	c.slab[e.next].prev = e.prev
+}
+
+// pushFront links slot i in as most-recent.
+func (c *LRU[K, V]) pushFront(i int32) {
+	head := &c.slab[0]
+	c.slab[i].prev = 0
+	c.slab[i].next = head.next
+	c.slab[head.next].prev = i
+	head.next = i
+}
+
+// alloc grabs a slot from the free list or grows the slab.
+func (c *LRU[K, V]) alloc() int32 {
+	if i := c.freeL; i >= 0 {
+		c.freeL = c.slab[i].next
+		return i
+	}
+	c.slab = append(c.slab, entry[K, V]{})
+	return int32(len(c.slab) - 1)
+}
+
+// release zeroes slot i (dropping key/value references for the GC) and
+// returns it to the free list.
+func (c *LRU[K, V]) release(i int32) {
+	c.slab[i] = entry[K, V]{next: c.freeL}
+	c.freeL = i
+}
+
 // Get returns the value for key, promoting it to most-recent.
 func (c *LRU[K, V]) Get(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
+	if i, ok := c.items[key]; ok {
 		c.hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*entry[K, V]).val, true
+		c.unlink(i)
+		c.pushFront(i)
+		return c.slab[i].val, true
 	}
 	c.misses++
 	var zero V
 	return zero, false
 }
 
+// Touch promotes key to most-recent and returns a pointer to its value
+// for in-place mutation, with the same hit/miss accounting as Get. The
+// pointer is valid only until the next mutating call on the LRU. It
+// replaces the Get-then-Put idiom, which paid two map lookups and two
+// list moves per update on the fingerprint-index hot path.
+func (c *LRU[K, V]) Touch(key K) (*V, bool) {
+	if i, ok := c.items[key]; ok {
+		c.hits++
+		c.unlink(i)
+		c.pushFront(i)
+		return &c.slab[i].val, true
+	}
+	c.misses++
+	return nil, false
+}
+
 // Peek returns the value without promoting or accounting.
 func (c *LRU[K, V]) Peek(key K) (V, bool) {
-	if el, ok := c.items[key]; ok {
-		return el.Value.(*entry[K, V]).val, true
+	if i, ok := c.items[key]; ok {
+		return c.slab[i].val, true
 	}
 	var zero V
 	return zero, false
@@ -79,17 +134,21 @@ func (c *LRU[K, V]) Contains(key K) bool {
 // Put inserts or updates key, promoting it, and returns the entry
 // evicted to make room, if any.
 func (c *LRU[K, V]) Put(key K, val V) (ev Evicted[K, V], evicted bool) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*entry[K, V]).val = val
+	if i, ok := c.items[key]; ok {
+		c.unlink(i)
+		c.pushFront(i)
+		c.slab[i].val = val
 		return ev, false
 	}
 	if c.cap == 0 {
 		return Evicted[K, V]{Key: key, Val: val}, true
 	}
-	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
-	c.items[key] = el
-	if c.ll.Len() > c.cap {
+	i := c.alloc()
+	c.slab[i].key = key
+	c.slab[i].val = val
+	c.pushFront(i)
+	c.items[key] = i
+	if len(c.items) > c.cap {
 		return c.evictOldest()
 	}
 	return ev, false
@@ -97,25 +156,42 @@ func (c *LRU[K, V]) Put(key K, val V) (ev Evicted[K, V], evicted bool) {
 
 // Remove deletes key, reporting whether it was present.
 func (c *LRU[K, V]) Remove(key K) bool {
-	el, ok := c.items[key]
+	i, ok := c.items[key]
 	if !ok {
 		return false
 	}
-	c.ll.Remove(el)
+	c.unlink(i)
 	delete(c.items, key)
+	c.release(i)
 	return true
+}
+
+// Take removes key and returns its value — a single-traversal
+// Peek+Remove for callers that must surface the evicted value.
+func (c *LRU[K, V]) Take(key K) (V, bool) {
+	i, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	v := c.slab[i].val
+	c.unlink(i)
+	delete(c.items, key)
+	c.release(i)
+	return v, true
 }
 
 // evictOldest removes and returns the LRU entry.
 func (c *LRU[K, V]) evictOldest() (Evicted[K, V], bool) {
-	el := c.ll.Back()
-	if el == nil {
+	i := c.slab[0].prev
+	if i == 0 {
 		return Evicted[K, V]{}, false
 	}
-	e := el.Value.(*entry[K, V])
-	c.ll.Remove(el)
-	delete(c.items, e.key)
-	return Evicted[K, V]{Key: e.key, Val: e.val}, true
+	e := Evicted[K, V]{Key: c.slab[i].key, Val: c.slab[i].val}
+	c.unlink(i)
+	delete(c.items, e.Key)
+	c.release(i)
+	return e, true
 }
 
 // Resize changes the capacity, returning everything evicted when
@@ -126,7 +202,7 @@ func (c *LRU[K, V]) Resize(capacity int) []Evicted[K, V] {
 	}
 	c.cap = capacity
 	var out []Evicted[K, V]
-	for c.ll.Len() > c.cap {
+	for len(c.items) > c.cap {
 		if ev, ok := c.evictOldest(); ok {
 			out = append(out, ev)
 		}
@@ -136,20 +212,19 @@ func (c *LRU[K, V]) Resize(capacity int) []Evicted[K, V] {
 
 // Oldest returns the least-recently-used key without removing it.
 func (c *LRU[K, V]) Oldest() (K, bool) {
-	el := c.ll.Back()
-	if el == nil {
+	i := c.slab[0].prev
+	if i == 0 {
 		var zero K
 		return zero, false
 	}
-	return el.Value.(*entry[K, V]).key, true
+	return c.slab[i].key, true
 }
 
 // Each visits entries from most to least recently used; return false
 // from fn to stop early.
 func (c *LRU[K, V]) Each(fn func(K, V) bool) {
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry[K, V])
-		if !fn(e.key, e.val) {
+	for i := c.slab[0].next; i != 0; i = c.slab[i].next {
+		if !fn(c.slab[i].key, c.slab[i].val) {
 			return
 		}
 	}
@@ -176,8 +251,7 @@ func (g *Ghost[K]) Add(key K) { g.lru.Put(key, struct{}{}) }
 // about to re-admit it to the actual cache) and the ghost-hit counter
 // increments.
 func (g *Ghost[K]) Hit(key K) bool {
-	if g.lru.Contains(key) {
-		g.lru.Remove(key)
+	if g.lru.Remove(key) {
 		g.ghostHits++
 		return true
 	}

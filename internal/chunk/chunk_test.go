@@ -102,6 +102,41 @@ func TestSplit(t *testing.T) {
 	}
 }
 
+func TestSplitIntoReusesAndReinitializes(t *testing.T) {
+	ids := []ContentID{1, 2, 3, 4}
+	buf := SplitInto(nil, ids, SHA1Fingerprinter{}, true)
+	if len(buf) != 4 || buf[0].Data == nil {
+		t.Fatal("first SplitInto must behave like Split")
+	}
+	stale := buf[0].FP
+
+	// reuse with fewer ids, no fp, no payloads: nothing stale survives
+	again := SplitInto(buf, []ContentID{9, 10}, nil, false)
+	if &again[0] != &buf[0] {
+		t.Fatal("SplitInto must reuse dst's backing array when capacity allows")
+	}
+	if len(again) != 2 {
+		t.Fatalf("len = %d, want 2", len(again))
+	}
+	for i, c := range again {
+		if c.Data != nil {
+			t.Fatalf("chunk %d: stale payload leaked through reuse", i)
+		}
+		if c.FP == stale || c.FP != (Fingerprint{}) {
+			t.Fatalf("chunk %d: stale fingerprint leaked through reuse", i)
+		}
+	}
+	if again[0].Content != 9 || again[1].Content != 10 {
+		t.Fatal("content IDs not rewritten")
+	}
+
+	// growth beyond capacity allocates fresh
+	grown := SplitInto(again, make([]ContentID, 100), nil, false)
+	if len(grown) != 100 {
+		t.Fatalf("len = %d, want 100", len(grown))
+	}
+}
+
 func TestHashEngineSerialAndParallelAgree(t *testing.T) {
 	ids := make([]ContentID, 64)
 	for i := range ids {
@@ -140,6 +175,29 @@ func TestFingerprintString(t *testing.T) {
 	if got := f.String(); got != "ab00000000000000" {
 		t.Errorf("String() = %q", got)
 	}
+}
+
+// BenchmarkSplit contrasts the allocating Split with scratch-buffer
+// SplitInto — the hot replay path uses the latter and must stay at
+// zero allocations per request.
+func BenchmarkSplit(b *testing.B) {
+	ids := make([]ContentID, 64)
+	for i := range ids {
+		ids[i] = ContentID(i)
+	}
+	b.Run("Alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Split(ids, nil, false)
+		}
+	})
+	b.Run("Into", func(b *testing.B) {
+		var scratch []Chunk
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scratch = SplitInto(scratch, ids, nil, false)
+		}
+	})
 }
 
 func BenchmarkSHA1Fingerprint(b *testing.B) {

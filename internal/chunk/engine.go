@@ -10,6 +10,12 @@ import (
 // processor" hash engine in the POD architecture (§III-B). It also
 // reports the modeled per-chunk latency that the simulator charges on
 // the write path (32 µs per 4 KB chunk in the paper's evaluation).
+//
+// Parallel batches run on a process-wide persistent worker pool rather
+// than goroutines spawned per call: a replay issues one FingerprintAll
+// per write request, and at trace scale the per-call spawn cost (stack
+// allocation plus scheduling) exceeded the hashing itself for synthetic
+// fingerprints.
 type HashEngine struct {
 	fp          Fingerprinter
 	workers     int
@@ -30,6 +36,42 @@ func NewHashEngine(fp Fingerprinter, workers int) *HashEngine {
 	return &HashEngine{fp: fp, workers: workers, ChunkTimeUS: DefaultChunkTimeUS}
 }
 
+// hashTask is one contiguous segment of a batch, dispatched to the
+// shared pool. Segments of one batch are disjoint, so workers write
+// fingerprints without synchronization; wg signals batch completion.
+type hashTask struct {
+	fp   Fingerprinter
+	part []Chunk
+	wg   *sync.WaitGroup
+}
+
+var (
+	hashPoolOnce  sync.Once
+	hashPoolTasks chan hashTask
+)
+
+// hashPool lazily starts the process-wide worker pool, sized to the
+// machine. Workers live for the life of the process and are shared by
+// every HashEngine, so constructing engines per replay job leaks
+// nothing.
+func hashPool() chan hashTask {
+	hashPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		hashPoolTasks = make(chan hashTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range hashPoolTasks {
+					for i := range t.part {
+						t.part[i].FP = t.fp.Fingerprint(&t.part[i])
+					}
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+	return hashPoolTasks
+}
+
 // FingerprintAll computes fingerprints for every chunk in place and
 // returns the modeled virtual-time cost of doing so serially on the
 // write path (the simulator charges latency per chunk even though the
@@ -44,24 +86,16 @@ func (e *HashEngine) FingerprintAll(chunks []Chunk) int64 {
 		}
 		return int64(len(chunks)) * e.ChunkTimeUS
 	}
+	pool := hashPool()
 	var wg sync.WaitGroup
 	stride := (len(chunks) + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo := w * stride
-		if lo >= len(chunks) {
-			break
-		}
+	for lo := 0; lo < len(chunks); lo += stride {
 		hi := lo + stride
 		if hi > len(chunks) {
 			hi = len(chunks)
 		}
 		wg.Add(1)
-		go func(part []Chunk) {
-			defer wg.Done()
-			for i := range part {
-				part[i].FP = e.fp.Fingerprint(&part[i])
-			}
-		}(chunks[lo:hi])
+		pool <- hashTask{fp: e.fp, part: chunks[lo:hi], wg: &wg}
 	}
 	wg.Wait()
 	return int64(len(chunks)) * e.ChunkTimeUS

@@ -108,6 +108,11 @@ type Base struct {
 	nvdev    *nvram.Device
 	icparams icache.Params
 	cleaner  cleanerState
+
+	// chScratch backs SplitRequest/SplitAndFingerprint. One write
+	// request is chunked, consumed, and forgotten before the next
+	// arrives, so the whole replay shares a single chunk buffer.
+	chScratch []chunk.Chunk
 }
 
 // NewBase wires up the substrates for cfg.
@@ -224,13 +229,21 @@ func (b *Base) ReadContent(lba uint64) (uint64, bool) {
 	return uint64(id), ok
 }
 
+// SplitRequest chunks a write request without fingerprinting (bypass
+// paths skip hashing entirely). The returned slice is the engine's
+// scratch buffer: it is valid only until the next SplitRequest or
+// SplitAndFingerprint call on this Base.
+func (b *Base) SplitRequest(req *trace.Request) []chunk.Chunk {
+	b.chScratch = chunk.SplitInto(b.chScratch, req.Content, nil, false)
+	return b.chScratch
+}
+
 // SplitAndFingerprint chunks a write request and charges the modeled
-// fingerprint latency (32 µs per 4 KB chunk).
+// fingerprint latency (32 µs per 4 KB chunk). Like SplitRequest, the
+// returned slice is scratch, valid only until the next split on this
+// Base.
 func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Duration) {
-	chs := make([]chunk.Chunk, req.N)
-	for i, id := range req.Content {
-		chs[i].Content = id
-	}
+	chs := b.SplitRequest(req)
 	cost := b.Hash.FingerprintAll(chs)
 	return chs, sim.Duration(cost)
 }

@@ -19,27 +19,68 @@ import (
 // reference a dead block (the allocator may hand it out at any moment),
 // while crash recovery may legitimately re-admit a block whose free was
 // only in DRAM when the power failed.
+//
+// Cells live in lazily-allocated fixed-size pages indexed directly by
+// PBA rather than a hash map: the write path touches the Store once per
+// chunk (TryDedupe reads, WriteFresh writes), and at trace scale the
+// map's hashing and growth rehashes dominated the simulator's profile.
 type Store struct {
-	m map[alloc.PBA]cell
+	pages [][]cell
 }
+
+// storePageBits sizes one page at 2^16 cells (1 MiB of cells), small
+// enough that sparse address use stays cheap and large enough that the
+// page directory stays tiny.
+const storePageBits = 16
+const storePageSize = 1 << storePageBits
 
 type cell struct {
-	id   chunk.ContentID
-	live bool
+	id    chunk.ContentID
+	state uint8 // cellEmpty, cellDead, cellLive
 }
 
+const (
+	cellEmpty uint8 = iota // never written
+	cellDead               // freed; residual content remains
+	cellLive               // allocated and holding id
+)
+
 // NewStore returns an empty physical content model.
-func NewStore() *Store {
-	return &Store{m: make(map[alloc.PBA]cell)}
+func NewStore() *Store { return &Store{} }
+
+// page returns the page holding pba, allocating it when grow is set.
+func (s *Store) page(pba alloc.PBA, grow bool) []cell {
+	pg := int(pba >> storePageBits)
+	if pg >= len(s.pages) {
+		if !grow {
+			return nil
+		}
+		pages := make([][]cell, pg+1)
+		copy(pages, s.pages)
+		s.pages = pages
+	}
+	if s.pages[pg] == nil {
+		if !grow {
+			return nil
+		}
+		s.pages[pg] = make([]cell, storePageSize)
+	}
+	return s.pages[pg]
 }
 
 // Write records that pba now holds id and is live.
-func (s *Store) Write(pba alloc.PBA, id chunk.ContentID) { s.m[pba] = cell{id: id, live: true} }
+func (s *Store) Write(pba alloc.PBA, id chunk.ContentID) {
+	s.page(pba, true)[pba&(storePageSize-1)] = cell{id: id, state: cellLive}
+}
 
 // Read returns the content at pba; ok only for live blocks.
 func (s *Store) Read(pba alloc.PBA) (chunk.ContentID, bool) {
-	c, ok := s.m[pba]
-	if !ok || !c.live {
+	p := s.page(pba, false)
+	if p == nil {
+		return 0, false
+	}
+	c := p[pba&(storePageSize-1)]
+	if c.state != cellLive {
 		return 0, false
 	}
 	return c.id, true
@@ -48,24 +89,33 @@ func (s *Store) Read(pba alloc.PBA) (chunk.ContentID, bool) {
 // Residual returns the content remaining at pba even if the block is
 // dead (what a disk forensics pass would see).
 func (s *Store) Residual(pba alloc.PBA) (chunk.ContentID, bool) {
-	c, ok := s.m[pba]
-	return c.id, ok
+	p := s.page(pba, false)
+	if p == nil {
+		return 0, false
+	}
+	c := p[pba&(storePageSize-1)]
+	return c.id, c.state != cellEmpty
 }
 
 // Free marks pba dead; the residual content remains until overwritten.
 func (s *Store) Free(pba alloc.PBA) {
-	if c, ok := s.m[pba]; ok {
-		c.live = false
-		s.m[pba] = c
+	p := s.page(pba, false)
+	if p == nil {
+		return
+	}
+	if c := &p[pba&(storePageSize-1)]; c.state == cellLive {
+		c.state = cellDead
 	}
 }
 
 // Len reports the number of live physical blocks.
 func (s *Store) Len() int {
 	n := 0
-	for _, c := range s.m {
-		if c.live {
-			n++
+	for _, p := range s.pages {
+		for i := range p {
+			if p[i].state == cellLive {
+				n++
+			}
 		}
 	}
 	return n
@@ -77,21 +127,22 @@ func (s *Store) Len() int {
 // the data write always precedes the journal record, so that would be
 // an ordering bug.
 func (s *Store) Retain(keep map[alloc.PBA]bool) {
-	for pba, c := range s.m {
-		if keep[pba] {
-			if !c.live {
-				c.live = true
-				s.m[pba] = c
+	for pg, p := range s.pages {
+		base := alloc.PBA(pg) << storePageBits
+		for i := range p {
+			c := &p[i]
+			if c.state == cellEmpty {
+				continue
 			}
-			continue
-		}
-		if c.live {
-			c.live = false
-			s.m[pba] = c
+			if keep[base+alloc.PBA(i)] {
+				c.state = cellLive
+			} else {
+				c.state = cellDead
+			}
 		}
 	}
 	for pba := range keep {
-		if _, ok := s.m[pba]; !ok {
+		if _, ok := s.Residual(pba); !ok {
 			panic(fmt.Sprintf("store: recovered mapping references block %d with no content", pba))
 		}
 	}

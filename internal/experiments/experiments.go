@@ -90,22 +90,68 @@ func NewEngine(name string, cfg engine.Config) engine.Engine {
 	}
 }
 
-// Env caches generated traces and replay results so that experiments
-// sharing runs (Figures 8, 9, 10, 11) pay for each (engine, trace)
-// combination once.
+// Env caches replay results so that experiments sharing runs (Figures
+// 8, 9, 10, 11) pay for each (engine, trace) combination once. Traces
+// themselves are cached process-wide, keyed by (name, scale): trace
+// generation is deterministic in those two inputs, so every Env at the
+// same scale — podbench runs each experiment in its own Env — shares
+// one generated corpus instead of regenerating it per figure.
 type Env struct {
 	Scale   float64
 	Workers int
 
 	mu      sync.Mutex
-	traces  map[string]*tracePack
 	results map[string]*replay.Result
 }
 
+// tracePack is one (profile, scale) trace, generated at most once via
+// the embedded Once: callers that only need the profile never pay for
+// generation, and replay workers pulling the same pack concurrently
+// block until the single generation finishes.
 type tracePack struct {
-	prof   workload.Profile
+	prof  workload.Profile
+	scale float64
+
+	once   sync.Once
 	tr     *trace.Trace
 	warmup int
+}
+
+// generate materializes the trace (idempotent, safe for concurrent
+// use).
+func (p *tracePack) generate() (*trace.Trace, int) {
+	p.once.Do(func() {
+		p.tr, p.warmup = workload.Generate(p.prof, p.scale)
+	})
+	return p.tr, p.warmup
+}
+
+var (
+	corpusMu sync.Mutex
+	corpus   = map[corpusKey]*tracePack{}
+)
+
+type corpusKey struct {
+	name  string
+	scale float64
+}
+
+// corpusPack returns the shared pack for (name, scale) without
+// generating its trace.
+func corpusPack(name string, scale float64) *tracePack {
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	k := corpusKey{name, scale}
+	if p, ok := corpus[k]; ok {
+		return p
+	}
+	prof, ok := workload.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown trace %q", name))
+	}
+	p := &tracePack{prof: prof, scale: scale}
+	corpus[k] = p
+	return p
 }
 
 // NewEnv returns an environment replaying traces at the given scale
@@ -114,24 +160,14 @@ func NewEnv(scale float64, workers int) *Env {
 	return &Env{
 		Scale:   scale,
 		Workers: workers,
-		traces:  make(map[string]*tracePack),
 		results: make(map[string]*replay.Result),
 	}
 }
 
+// pack returns the generated trace pack for name at this Env's scale.
 func (e *Env) pack(name string) *tracePack {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if p, ok := e.traces[name]; ok {
-		return p
-	}
-	prof, ok := workload.ByName(name)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown trace %q", name))
-	}
-	tr, warmup := workload.Generate(prof, e.Scale)
-	p := &tracePack{prof: prof, tr: tr, warmup: warmup}
-	e.traces[name] = p
+	p := corpusPack(name, e.Scale)
+	p.generate()
 	return p
 }
 
@@ -157,18 +193,21 @@ func (e *Env) EnsureMatrix(engines, traces []string) {
 
 	jobs := make([]replay.Job, len(missing))
 	for i, c := range missing {
-		p := e.pack(c.tn)
+		p := corpusPack(c.tn, e.Scale)
 		en := c.en
 		jobs[i] = replay.Job{
 			Key:     key(c.en, c.tn),
 			Factory: func() engine.Engine { return NewEngine(en, BuildConfig(p.prof, e.Scale)) },
-			Trace:   p.tr,
-			Warmup:  p.warmup,
+			TraceFn: p.generate,
 		}
 	}
 	results := replay.RunAll(jobs, e.Workers)
 	e.mu.Lock()
 	for i, r := range results {
+		if r.Err != nil {
+			e.mu.Unlock()
+			panic(fmt.Sprintf("experiments: %s failed: %v", jobs[i].Key, r.Err))
+		}
 		e.results[jobs[i].Key] = r
 	}
 	e.mu.Unlock()

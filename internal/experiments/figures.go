@@ -120,6 +120,9 @@ func (e *Env) Fig3(fracs []float64) (*stats.Table, []Fig3Row) {
 		"Index cache", "Read RT", "Write RT")
 	var rows []Fig3Row
 	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s failed: %v", jobs[i].Key, r.Err))
+		}
 		rows = append(rows, Fig3Row{
 			IndexFrac: fracs[i],
 			ReadRTms:  r.MeanReadRT / 1000,

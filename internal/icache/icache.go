@@ -258,8 +258,7 @@ func (c *Controller) revAdd(pba alloc.PBA, fp chunk.Fingerprint) {
 }
 
 func (c *Controller) ghostRemoveFP(fp chunk.Fingerprint) {
-	if e, ok := c.ghostIdx.Peek(fp); ok {
-		c.ghostIdx.Remove(fp)
+	if e, ok := c.ghostIdx.Take(fp); ok {
 		c.revRemove(e.pba, fp)
 	}
 }

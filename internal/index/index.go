@@ -60,15 +60,16 @@ func (h *Hot) Misses() int64 { return h.lru.Misses() }
 func (h *Hot) ResetStats() { h.lru.ResetStats() }
 
 // Lookup finds fp, increments its Count (a write-request hit, per the
-// paper), promotes it, and returns the updated entry.
+// paper), promotes it, and returns the updated entry. The update is
+// in-place via LRU.Touch — one map lookup and one list move, where the
+// old Get-then-Put idiom paid both twice per hit.
 func (h *Hot) Lookup(fp chunk.Fingerprint) (Entry, bool) {
-	e, ok := h.lru.Get(fp)
+	e, ok := h.lru.Touch(fp)
 	if !ok {
 		return Entry{}, false
 	}
 	e.Count++
-	h.lru.Put(fp, e)
-	return e, true
+	return *e, true
 }
 
 // Peek returns the entry without promoting it or touching Count.
@@ -97,12 +98,7 @@ func (h *Hot) Insert(fp chunk.Fingerprint, pba alloc.PBA) (Evicted, bool) {
 
 // Remove deletes fp, returning its entry so the caller can unpin.
 func (h *Hot) Remove(fp chunk.Fingerprint) (Entry, bool) {
-	e, ok := h.lru.Peek(fp)
-	if !ok {
-		return Entry{}, false
-	}
-	h.lru.Remove(fp)
-	return e, true
+	return h.lru.Take(fp)
 }
 
 // Resize changes the capacity, returning all evicted entries (the

@@ -338,6 +338,36 @@ func TestRefcountConsistencyProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkMapTableUpdate measures the replay's dominant Map-table
+// pattern: overwriting existing mappings (every re-write of an LBA
+// updates its entry and journals the change).
+func BenchmarkMapTableUpdate(b *testing.B) {
+	const lbas = 1 << 16
+	b.Run("DRAM", func(b *testing.B) {
+		tb := New(nil)
+		for i := uint64(0); i < lbas; i++ {
+			tb.Set(i, alloc.PBA(i), false)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Set(uint64(i)%lbas, alloc.PBA(i), i%4 == 0)
+		}
+	})
+	b.Run("Journaled", func(b *testing.B) {
+		dev := nvram.New(1 << 30)
+		tb := New(dev)
+		for i := uint64(0); i < lbas; i++ {
+			tb.Set(i, alloc.PBA(i), false)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb.Set(uint64(i)%lbas, alloc.PBA(i), i%4 == 0)
+		}
+	})
+}
+
 func BenchmarkSetJournaled(b *testing.B) {
 	dev := nvram.New(1 << 24)
 	tb := New(dev)

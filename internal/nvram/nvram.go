@@ -17,9 +17,16 @@ import (
 // ErrCrashed is returned by writes after the injected crash point.
 var ErrCrashed = errors.New("nvram: device crashed (injected fault)")
 
-// Device is a fixed-size persistent byte region.
+// Device is a fixed-size persistent byte region. The backing buffer
+// grows lazily up to the logical size: the Map-table journal appends
+// sequentially from offset zero, so most of a generously sized device
+// is never touched, and zeroing it eagerly at construction used to be
+// one of the largest allocation costs of a full experiment run. Bytes
+// past the grown region read as zero, exactly as a freshly zeroed
+// buffer would.
 type Device struct {
-	data []byte
+	size int
+	data []byte // grown on demand, len(data) <= size
 
 	crashed     bool
 	crashArmed  bool
@@ -31,11 +38,38 @@ type Device struct {
 
 // New returns a zeroed device of the given size.
 func New(size int) *Device {
-	return &Device{data: make([]byte, size)}
+	return &Device{size: size}
 }
 
 // Size reports the device capacity in bytes.
-func (d *Device) Size() int { return len(d.data) }
+func (d *Device) Size() int { return d.size }
+
+// grow extends the backing buffer to at least n bytes (geometric
+// doubling bounds the amortized zeroing cost).
+func (d *Device) grow(n int) {
+	if n <= len(d.data) {
+		return
+	}
+	if n <= cap(d.data) {
+		// the region between len and cap was zeroed at allocation and
+		// never written (writes land only below len)
+		d.data = d.data[:n]
+		return
+	}
+	newCap := 2 * cap(d.data)
+	if newCap < n {
+		newCap = n
+	}
+	if newCap < 4096 {
+		newCap = 4096
+	}
+	if newCap > d.size {
+		newCap = d.size
+	}
+	nd := make([]byte, n, newCap)
+	copy(nd, d.data)
+	d.data = nd
+}
 
 // BytesWritten reports the cumulative bytes accepted.
 func (d *Device) BytesWritten() int64 { return d.bytesWritten }
@@ -69,12 +103,13 @@ func (d *Device) WriteAt(off int, p []byte) error {
 	if d.crashed {
 		return ErrCrashed
 	}
-	if off < 0 || off+len(p) > len(d.data) {
-		return fmt.Errorf("nvram: write out of range: [%d,%d) size %d", off, off+len(p), len(d.data))
+	if off < 0 || off+len(p) > d.size {
+		return fmt.Errorf("nvram: write out of range: [%d,%d) size %d", off, off+len(p), d.size)
 	}
 	n := len(p)
 	if d.crashArmed && int64(n) > d.bytesToLive {
 		n = int(d.bytesToLive)
+		d.grow(off + n)
 		copy(d.data[off:], p[:n])
 		d.bytesWritten += int64(n)
 		if n > 0 {
@@ -85,6 +120,7 @@ func (d *Device) WriteAt(off int, p []byte) error {
 		d.bytesToLive = 0
 		return ErrCrashed
 	}
+	d.grow(off + n)
 	copy(d.data[off:], p)
 	d.bytesWritten += int64(n)
 	if n > 0 {
@@ -99,9 +135,17 @@ func (d *Device) WriteAt(off int, p []byte) error {
 // ReadAt fills p from off. Reads are always allowed (recovery reads the
 // surviving contents after a crash).
 func (d *Device) ReadAt(off int, p []byte) error {
-	if off < 0 || off+len(p) > len(d.data) {
-		return fmt.Errorf("nvram: read out of range: [%d,%d) size %d", off, off+len(p), len(d.data))
+	if off < 0 || off+len(p) > d.size {
+		return fmt.Errorf("nvram: read out of range: [%d,%d) size %d", off, off+len(p), d.size)
 	}
-	copy(p, d.data[off:])
+	n := 0
+	if off < len(d.data) {
+		n = copy(p, d.data[off:])
+	}
+	// beyond the grown region the device reads as zero; p may be a
+	// reused scratch buffer, so the tail must be cleared explicitly
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
 	return nil
 }

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureRecordsSpan(t *testing.T) {
+	var tr Tracker
+	sink := make([][]byte, 1000)
+	tr.Measure("alloc-burst", func() {
+		for i := range sink {
+			sink[i] = make([]byte, 4096)
+		}
+	})
+	_ = sink
+	es := tr.Entries()
+	if len(es) != 1 {
+		t.Fatalf("entries = %d, want 1", len(es))
+	}
+	e := es[0]
+	if e.Name != "alloc-burst" {
+		t.Fatalf("name = %q", e.Name)
+	}
+	if e.WallMS < 0 {
+		t.Fatalf("wall = %v", e.WallMS)
+	}
+	if e.Allocs == 0 || e.AllocBytes < 1000*4096 {
+		t.Fatalf("allocation delta not captured: allocs=%d bytes=%d", e.Allocs, e.AllocBytes)
+	}
+	if e.PeakRSSKB == 0 {
+		t.Fatal("peak RSS must be non-zero")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var tr Tracker
+	tr.Measure("a", func() {})
+	tr.Measure("b", func() {})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := tr.WriteJSON(path, "unit", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trajectory
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "unit" || got.Scale != 0.5 || len(got.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Entries[0].Name != "a" || got.Entries[1].Name != "b" {
+		t.Fatal("entry order not preserved")
+	}
+	if got.GoVersion == "" || got.GOMAXPROCS < 1 {
+		t.Fatal("run context missing")
+	}
+}
+
+func TestPeakRSSMonotonicSignal(t *testing.T) {
+	if PeakRSSKB() == 0 {
+		t.Fatal("PeakRSSKB returned 0")
+	}
+}

@@ -7,6 +7,7 @@ package replay
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"github.com/pod-dedup/pod/internal/engine"
@@ -32,6 +33,12 @@ type Result struct {
 	// convenience aggregates (µs)
 	MeanRT, MeanReadRT, MeanWriteRT float64
 	P95ReadRT, P95WriteRT           float64
+
+	// Err is set when the job panicked instead of completing; every
+	// other field is zero. RunAll converts panics into errors so one
+	// corrupt combination doesn't take down the worker pool (and with
+	// it the results of every job queued behind it).
+	Err error
 }
 
 // Run replays tr against e, excluding the first warmup requests from
@@ -84,16 +91,41 @@ func RunObserved(e engine.Engine, tr *trace.Trace, warmup int, observe func(int,
 }
 
 // Job is one replay to execute: a factory (each job needs a fresh
-// engine over fresh substrates) plus its trace.
+// engine over fresh substrates) plus its trace. The trace is given
+// either directly (Trace/Warmup) or lazily (TraceFn); when TraceFn is
+// non-nil it wins, and it runs on the worker executing the job — so
+// trace generation overlaps with other jobs' replays instead of
+// serializing in the caller before the pool starts.
 type Job struct {
 	Key     string // caller-chosen identifier
 	Factory func() engine.Engine
 	Trace   *trace.Trace
 	Warmup  int
+	TraceFn func() (*trace.Trace, int) // lazy trace + warmup; overrides Trace/Warmup
+}
+
+// runJob executes one job, converting a panic anywhere in trace
+// generation, engine construction, or the replay itself into an error
+// Result.
+func runJob(j Job) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &Result{
+				Engine: j.Key,
+				Err:    fmt.Errorf("replay: job %q panicked: %v\n%s", j.Key, r, debug.Stack()),
+			}
+		}
+	}()
+	tr, warmup := j.Trace, j.Warmup
+	if j.TraceFn != nil {
+		tr, warmup = j.TraceFn()
+	}
+	return Run(j.Factory(), tr, warmup)
 }
 
 // RunAll executes jobs across a pool of workers and returns results in
-// job order. workers ≤ 0 selects one worker per job.
+// job order. workers ≤ 0 selects one worker per job. A job that panics
+// yields a Result with Err set rather than crashing the pool.
 func RunAll(jobs []Job, workers int) []*Result {
 	if workers <= 0 || workers > len(jobs) {
 		workers = len(jobs)
@@ -109,7 +141,7 @@ func RunAll(jobs []Job, workers int) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = Run(jobs[i].Factory(), jobs[i].Trace, jobs[i].Warmup)
+				results[i] = runJob(jobs[i])
 			}
 		}()
 	}

@@ -1,6 +1,8 @@
 package replay
 
 import (
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/pod-dedup/pod/internal/baseline"
@@ -126,9 +128,95 @@ func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestRunAllRecoversPanickingJob(t *testing.T) {
+	tr := smallTrace(12)
+	jobs := []Job{
+		{Key: "good-before", Factory: newEngine, Trace: tr, Warmup: 2},
+		{Key: "bad", Factory: func() engine.Engine { panic("injected factory failure") }, Trace: tr},
+		{Key: "good-after", Factory: newEngine, Trace: tr, Warmup: 2},
+	}
+	results := RunAll(jobs, 1) // one worker: all three share a goroutine
+	if results[1].Err == nil {
+		t.Fatal("panicking job must surface an error result")
+	}
+	if !strings.Contains(results[1].Err.Error(), "injected factory failure") {
+		t.Fatalf("error must carry the panic value, got: %v", results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil || results[i].Err != nil {
+			t.Fatalf("job %d must complete despite a sibling panic", i)
+		}
+		if results[i].Stats.Reads+results[i].Stats.Writes == 0 {
+			t.Fatalf("job %d measured nothing", i)
+		}
+	}
+}
+
+func TestRunAllLazyTraceFn(t *testing.T) {
+	var calls int32
+	fn := func() (*trace.Trace, int) {
+		atomic.AddInt32(&calls, 1)
+		return smallTrace(12), 2
+	}
+	// TraceFn overrides Trace/Warmup even when both are set.
+	decoy := smallTrace(3)
+	jobs := []Job{
+		{Key: "lazy-a", Factory: newEngine, Trace: decoy, Warmup: 0, TraceFn: fn},
+		{Key: "lazy-b", Factory: newEngine, TraceFn: fn},
+	}
+	results := RunAll(jobs, 2)
+	if n := atomic.LoadInt32(&calls); n != 2 {
+		t.Fatalf("TraceFn called %d times, want once per job", n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if got := r.Stats.Reads + r.Stats.Writes; got != 10 {
+			t.Fatalf("job %d measured %d requests, want 10 (12 minus warmup 2 from TraceFn)", i, got)
+		}
+	}
+}
+
 func TestRunAllEmpty(t *testing.T) {
 	if got := RunAll(nil, 4); len(got) != 0 {
 		t.Fatal("empty jobs must produce empty results")
+	}
+}
+
+// BenchmarkReplayHot drives the full write/read hot path — split,
+// fingerprint, index lookup, allocation, Map-table update, RAID model —
+// through a POD engine on a reusable synthetic trace. Run with
+// -benchmem; this is the end-to-end number the allocation work targets.
+func BenchmarkReplayHot(b *testing.B) {
+	const reqs = 4096
+	tr := &trace.Trace{Name: "bench"}
+	var tm sim.Time
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < reqs; i++ {
+		tm = tm.Add(500)
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if i%4 == 3 {
+			tr.Requests = append(tr.Requests, trace.Request{
+				Time: tm, Op: trace.Read, LBA: (rng % 8192) * 8, N: 8,
+			})
+			continue
+		}
+		ids := make([]chunk.ContentID, 8)
+		for j := range ids {
+			// ~50% duplicate content to exercise both dedupe and fresh-write paths
+			ids[j] = chunk.ContentID((rng + uint64(j)) % (reqs * 4))
+		}
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: tm, Op: trace.Write, LBA: (rng % 8192) * 8, N: 8, Content: ids,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(newEngine(), tr, 0)
 	}
 }
 
