@@ -2,18 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve fuzz clean
 
 all: build vet test
 
-# CI gate: vet, build, then the full test suite under the race
-# detector. The experiment-matrix tests already run at reduced scale
-# (see internal/experiments testScale), which keeps the race run to a
-# couple of minutes.
+# CI gate: vet, build, the full test suite under the race detector,
+# then a short serving-mode smoke run. The experiment-matrix tests
+# already run at reduced scale (see internal/experiments testScale),
+# which keeps the race run to a couple of minutes.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke-serve
+
+# Serving-mode smoke: a small sharded podload run. podload exits
+# non-zero on any error or when zero requests complete, so the target
+# fails if the serving layer ever wedges or drops work.
+smoke-serve:
+	$(GO) run ./cmd/podload -trace mixed -scale 0.01 -shards 4 -route-chunks 256 -rate 200
 
 build:
 	$(GO) build ./...

@@ -29,6 +29,9 @@ import (
 	"github.com/pod-dedup/pod/internal/perf"
 )
 
+var allExperiments = []string{"table1", "table2", "fig1", "fig2", "fig3", "fig8", "fig9",
+	"fig10", "fig11", "overhead", "raw", "schemes", "ablations"}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper request counts)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel replays")
@@ -37,11 +40,35 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write a perf trajectory (per-experiment wall/allocs/RSS) to this file")
 	benchLabel := flag.String("bench-label", "run", "label recorded in the -bench-json trajectory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f] [-bench-json f] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f]\n")
+		fmt.Fprintf(os.Stderr, "                [-bench-json f] [-bench-label s] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
+		fmt.Fprintf(os.Stderr, "profiling flags measure the harness itself: -cpuprofile/-memprofile write pprof\n")
+		fmt.Fprintf(os.Stderr, "profiles, -bench-json writes a perf trajectory tagged with -bench-label\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// flag parsing stops at the first positional argument, so a
+	// misplaced or misspelled flag ("podbench table2 -bogus") would
+	// otherwise ride along as an experiment name; reject everything
+	// up front rather than failing after minutes of replay.
+	known := map[string]bool{"all": true}
+	for _, n := range allExperiments {
+		known[n] = true
+	}
+	for _, name := range flag.Args() {
+		if strings.HasPrefix(name, "-") {
+			fmt.Fprintf(os.Stderr, "podbench: flag %q must come before the experiment names\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if !known[strings.ToLower(name)] {
+			fmt.Fprintf(os.Stderr, "podbench: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -128,17 +155,12 @@ func main() {
 	for _, name := range wanted {
 		name = strings.ToLower(name)
 		if name == "all" {
-			for _, n := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig8", "fig9",
-				"fig10", "fig11", "overhead", "raw", "schemes", "ablations"} {
+			for _, n := range allExperiments {
 				run(n)
 			}
 			continue
 		}
-		if !run(name) {
-			fmt.Fprintf(os.Stderr, "podbench: unknown experiment %q\n", name)
-			flag.Usage()
-			os.Exit(2)
-		}
+		run(name)
 	}
 
 	if *benchJSON != "" {

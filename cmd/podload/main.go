@@ -1,0 +1,261 @@
+// Command podload drives the sharded volume-serving layer
+// (internal/server) with an open-loop synthetic workload and reports
+// serving throughput and latency percentiles.
+//
+// Usage:
+//
+//	podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s]
+//	        [-shards n] [-clients n] [-rate r] [-requests n]
+//	        [-write-ratio f] [-queue n] [-batch n] [-policy block|shed]
+//	        [-route-chunks n] [-bench-json f] [-bench-label s]
+//
+// The generator is open-loop: every request's virtual arrival time is
+// fixed up front from the arrival rate (-rate, requests per simulated
+// second; 0 floods every arrival at t=0), independent of completions —
+// an overloaded configuration therefore shows its congestion as
+// queueing delay in the latency percentiles rather than by slowing the
+// injection. Client goroutines submit concurrently, each owning a
+// disjoint subset of shards (client = shard mod clients): every shard
+// receives its arrival stream in schedule order, so the per-shard FCFS
+// queueing model measures real congestion, not wall-clock submission
+// skew between clients. -clients is therefore capped at -shards.
+//
+// Reported latency is virtual-time sojourn (queue wait + service);
+// reported throughput is completed requests per virtual second across
+// the serving window, plus the wall-clock rate of the harness itself.
+// With -bench-json the run joins the internal/perf trajectory, with
+// throughput and percentiles attached to the entry's "extra" map.
+//
+// The process exits 0 on success, 1 if the run completes no requests
+// or hits an error, and 2 on bad flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/perf"
+	"github.com/pod-dedup/pod/internal/server"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+func main() {
+	traceName := flag.String("trace", "mixed", "workload: mixed, web-vm, homes, or mail")
+	scale := flag.Float64("scale", 0.1, "trace scale (1.0 = paper request counts)")
+	scheme := flag.String("scheme", experiments.POD, "storage scheme per shard (Native, Full-Dedupe, iDedup, Select-Dedupe, POD, ...)")
+	shards := flag.Int("shards", 1, "independent engine shards")
+	clients := flag.Int("clients", 0, "client goroutines (default: one per shard)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate, requests per simulated second (0 = flood)")
+	requests := flag.Int("requests", 0, "cap on requests to serve (0 = whole trace)")
+	writeRatio := flag.Float64("write-ratio", -1, "override the profile's write fraction, 0..1 (-1 = keep; named traces only)")
+	queue := flag.Int("queue", 128, "per-shard queue depth")
+	batch := flag.Int("batch", 32, "max requests a shard worker serves per drain")
+	policyName := flag.String("policy", "block", "backpressure when a shard queue fills: block or shed")
+	routeChunks := flag.Uint64("route-chunks", 0, "routing granule in 4 KiB chunks (0 = default)")
+	benchJSON := flag.String("bench-json", "", "append this run to a perf trajectory JSON file")
+	benchLabel := flag.String("bench-label", "podload", "label recorded in the -bench-json trajectory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
+		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
+		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-bench-json f] [-bench-label s]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "podload: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	policy, err := server.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "podload: -shards must be at least 1")
+		os.Exit(2)
+	}
+	if *clients == 0 || *clients > *shards {
+		*clients = *shards
+	}
+
+	// --- workload ---
+	var (
+		tr   *trace.Trace
+		prof workload.Profile
+	)
+	switch *traceName {
+	case "mixed":
+		if *writeRatio >= 0 {
+			fmt.Fprintln(os.Stderr, "podload: -write-ratio applies to named traces, not mixed")
+			os.Exit(2)
+		}
+		var dims workload.MixedDims
+		tr, _, dims = workload.MixedTrace(*scale)
+		prof = workload.Profile{Name: "mixed", FootprintChunks: dims.FootprintChunks, MemoryBytes: dims.MemoryBytes}
+	default:
+		p, ok := workload.ByName(*traceName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "podload: unknown trace %q (want mixed, web-vm, homes, or mail)\n", *traceName)
+			os.Exit(2)
+		}
+		if *writeRatio >= 0 {
+			if *writeRatio > 1 {
+				fmt.Fprintln(os.Stderr, "podload: -write-ratio must be in [0,1]")
+				os.Exit(2)
+			}
+			p.WriteRatio = *writeRatio
+			p.PhaseLen = 0 // flat mix: the burst phases would override the ratio
+		}
+		tr, _ = workload.Generate(p, *scale)
+		prof = p
+	}
+	if *requests > 0 && *requests < len(tr.Requests) {
+		tr.Requests = tr.Requests[:*requests]
+	}
+	n := len(tr.Requests)
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "podload: empty trace")
+		os.Exit(1)
+	}
+
+	// open-loop arrival schedule: fixed before the run, rate in
+	// requests per *simulated* second
+	arrivals := make([]sim.Time, n)
+	if *rate > 0 {
+		for i := range arrivals {
+			arrivals[i] = sim.Time(float64(i) * 1e6 / *rate)
+		}
+	}
+
+	// --- server over per-shard engines ---
+	srv, err := server.New(server.Config{
+		Shards:     *shards,
+		GranChunks: *routeChunks,
+		QueueDepth: *queue,
+		MaxBatch:   *batch,
+		Policy:     policy,
+		Timing:     server.Queued,
+		NewEngine: func(int) engine.Engine {
+			return experiments.NewEngine(*scheme, experiments.BuildConfig(prof, *scale))
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("podload: trace=%s scheme=%s shards=%d clients=%d rate=%s requests=%d queue=%d batch=%d policy=%s\n",
+		tr.Name, *scheme, *shards, *clients, rateString(*rate), n, *queue, *batch, policy)
+
+	// --- drive ---
+	var track perf.Tracker
+	var submitErrs int64
+	var errMu sync.Mutex
+	start := time.Now()
+	track.Measure("podload-serve", func() {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					r := &tr.Requests[i]
+					if srv.Shard(r.LBA)%*clients != c {
+						continue
+					}
+					err := srv.Submit(&server.Request{
+						Arrival: arrivals[i], Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content,
+					})
+					if err == server.ErrShed {
+						continue // counted by the server
+					}
+					if err != nil {
+						errMu.Lock()
+						submitErrs++
+						errMu.Unlock()
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		srv.Close()
+	})
+	wall := time.Since(start)
+
+	// --- report ---
+	snap := srv.Stats()
+	if submitErrs > 0 {
+		fmt.Fprintf(os.Stderr, "podload: %d clients aborted on submission errors\n", submitErrs)
+		os.Exit(1)
+	}
+	if snap.Completed == 0 {
+		fmt.Fprintln(os.Stderr, "podload: zero completed requests")
+		os.Exit(1)
+	}
+
+	wallRPS := float64(snap.Completed) / wall.Seconds()
+	simTput := snap.Throughput()
+	p50 := snap.Latency.Percentile(50)
+	p95 := snap.Latency.Percentile(95)
+	p99 := snap.Latency.Percentile(99)
+
+	fmt.Printf("completed %d of %d requests (%d shed) in %v wall (%.0f req/s wall)\n",
+		snap.Completed, n, snap.ShedCount, wall.Round(time.Millisecond), wallRPS)
+	fmt.Printf("simulated: window %v, aggregate throughput %.1f req/s\n",
+		snap.LastComplete.Sub(snap.FirstArrival), simTput)
+	fmt.Printf("latency (sojourn): p50 %.2fms p95 %.2fms p99 %.2fms mean %.2fms max %.2fms\n",
+		p50/1000, p95/1000, p99/1000, snap.Latency.Mean()/1000, float64(snap.Latency.Max())/1000)
+	fmt.Printf("dedup: %.1f%% writes removed, %.1f%% chunks deduped, %.1f%% read cache hits, %d blocks used\n",
+		snap.Engine.WriteRemovalPct(), snap.Engine.DedupRatioPct(), snap.Engine.CacheHitPct(), snap.UsedBlocks)
+	lo, hi := snap.PerShard[0].Completed, snap.PerShard[0].Completed
+	for _, ps := range snap.PerShard {
+		if ps.Completed < lo {
+			lo = ps.Completed
+		}
+		if ps.Completed > hi {
+			hi = ps.Completed
+		}
+	}
+	fmt.Printf("shards: %d, completed/shard min %d max %d\n", snap.Shards, lo, hi)
+
+	if *benchJSON != "" {
+		for k, v := range map[string]float64{
+			"shards":           float64(*shards),
+			"clients":          float64(*clients),
+			"rate_rps":         *rate,
+			"completed":        float64(snap.Completed),
+			"shed":             float64(snap.ShedCount),
+			"throughput_sim":   simTput,
+			"throughput_wall":  wallRPS,
+			"p50_sojourn_us":   p50,
+			"p95_sojourn_us":   p95,
+			"p99_sojourn_us":   p99,
+			"mean_sojourn_us":  snap.Latency.Mean(),
+			"gomaxprocs_value": float64(runtime.GOMAXPROCS(0)),
+		} {
+			track.Annotate(k, v)
+		}
+		if err := track.WriteJSON(*benchJSON, *benchLabel, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func rateString(r float64) string {
+	if r <= 0 {
+		return "flood"
+	}
+	return fmt.Sprintf("%.0f/s", r)
+}

@@ -78,6 +78,11 @@ func (s *Stats) Reset() {
 	*s = Stats{ReadRT: stats.NewHistogram(), WriteRT: stats.NewHistogram()}
 }
 
+// Merge folds another engine's counters into s: scalars add, response
+// time histograms merge. The sharded serving layer uses it to
+// aggregate per-shard statistics into one report.
+func (s *Stats) Merge(o *Stats) { stats.MergeStructs(s, o) }
+
 // TotalRT reports the mean response time across reads and writes, µs.
 func (s *Stats) TotalRT() float64 {
 	n := s.ReadRT.N() + s.WriteRT.N()

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatsMergeAggregatesShards(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Writes, b.Writes = 10, 5
+	a.ChunksDeduped, b.ChunksDeduped = 7, 3
+	a.CacheHits, b.CacheHits = 2, 8
+	a.NVRAMPeakBytes, b.NVRAMPeakBytes = 100, 250
+	a.WriteRT.Add(1000)
+	b.WriteRT.Add(3000)
+	b.ReadRT.Add(500)
+
+	a.Merge(b)
+
+	if a.Writes != 15 || a.ChunksDeduped != 10 || a.CacheHits != 10 {
+		t.Fatalf("scalar merge wrong: %+v", a)
+	}
+	// NVRAMPeakBytes is a high-water mark but sums across shards: each
+	// shard owns an independent journal device, so aggregate peak
+	// footprint is the sum of the shard peaks.
+	if a.NVRAMPeakBytes != 350 {
+		t.Fatalf("NVRAMPeakBytes = %d, want 350", a.NVRAMPeakBytes)
+	}
+	if a.WriteRT.N() != 2 || a.WriteRT.Sum() != 4000 || a.ReadRT.N() != 1 {
+		t.Fatalf("histogram merge wrong: %+v", a)
+	}
+}
+
+func TestStatsMergeIntoZeroIsIdentity(t *testing.T) {
+	src := NewStats()
+	src.Reads, src.Writes = 4, 9
+	src.WritesRemoved = 3
+	src.ReadRT.Add(123)
+	src.WriteRT.Add(456)
+
+	dst := NewStats()
+	dst.Merge(src)
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatalf("zero+src != src:\n dst=%+v\n src=%+v", dst, src)
+	}
+}

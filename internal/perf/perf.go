@@ -25,6 +25,12 @@ type Entry struct {
 	Allocs     uint64  `json:"allocs"`      // heap objects allocated during the span
 	AllocBytes uint64  `json:"alloc_bytes"` // bytes allocated during the span
 	PeakRSSKB  uint64  `json:"peak_rss_kb"` // process high-water RSS at span end
+
+	// Extra carries span-specific metrics beyond the harness costs —
+	// the serving-mode load generator records throughput and latency
+	// percentiles here so they ride the same trajectory file as the
+	// replay wall-clock numbers.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Trajectory is an ordered sequence of measured spans plus enough
@@ -65,6 +71,23 @@ func (t *Tracker) Measure(name string, fn func()) {
 
 // Entries returns the recorded spans in measurement order.
 func (t *Tracker) Entries() []Entry { return t.entries }
+
+// Append records a caller-built entry (used for spans whose metrics
+// are computed outside Measure, e.g. podload's throughput report).
+func (t *Tracker) Append(e Entry) { t.entries = append(t.entries, e) }
+
+// Annotate attaches an extra metric to the most recently recorded
+// entry; it is a no-op when nothing has been recorded yet.
+func (t *Tracker) Annotate(key string, v float64) {
+	if len(t.entries) == 0 {
+		return
+	}
+	e := &t.entries[len(t.entries)-1]
+	if e.Extra == nil {
+		e.Extra = make(map[string]float64)
+	}
+	e.Extra[key] = v
+}
 
 // Trajectory packages the recorded entries with run context.
 func (t *Tracker) Trajectory(label string, scale float64) Trajectory {

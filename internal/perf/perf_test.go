@@ -67,3 +67,22 @@ func TestPeakRSSMonotonicSignal(t *testing.T) {
 		t.Fatal("PeakRSSKB returned 0")
 	}
 }
+
+func TestAppendAndAnnotate(t *testing.T) {
+	var tr Tracker
+	tr.Annotate("ignored", 1) // no entries yet: must not panic
+	tr.Append(Entry{Name: "podload", Extra: map[string]float64{"throughput_rps": 123}})
+	tr.Annotate("p99_us", 4500)
+	es := tr.Entries()
+	if len(es) != 1 {
+		t.Fatalf("%d entries", len(es))
+	}
+	if es[0].Extra["throughput_rps"] != 123 || es[0].Extra["p99_us"] != 4500 {
+		t.Fatalf("extra metrics lost: %+v", es[0].Extra)
+	}
+	tr.Measure("span", func() {})
+	tr.Annotate("k", 7)
+	if tr.Entries()[1].Extra["k"] != 7 {
+		t.Fatal("annotate after Measure lost")
+	}
+}

@@ -1,0 +1,507 @@
+// Package server is the concurrent volume-serving layer over the POD
+// storage engines: the piece that turns the single-trace, synchronous
+// replay harness into something shaped like a primary storage front
+// end serving many tenants at once.
+//
+// The LBA space is sharded across N independent engine instances —
+// each shard owns its own allocator, fingerprint index, map table,
+// NVRAM journal and read cache, so the hot path takes no cross-shard
+// locks. A router dispatches each request to the worker goroutine of
+// the shard owning its first chunk over a bounded channel; when a
+// shard's queue is full the server either blocks the submitter or
+// sheds the request, per the configured backpressure policy. Workers
+// opportunistically drain their queue in batches, amortizing
+// synchronization over several requests.
+//
+// Time has two domains here. Engines compute *simulated* service
+// times from request virtual timestamps; the server additionally
+// models per-shard queueing in that same virtual domain (a request
+// arriving while its shard is busy starts when the shard frees up, and
+// its reported sojourn includes the wait). Wall-clock concurrency —
+// the worker goroutines — is real, so serving throughput of the
+// harness itself also scales with shards. With a single shard, a
+// single client, and Passthrough timing the server is byte-identical
+// to the direct replay path; see TestBridgeByteIdenticalToReplay.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// Policy selects the backpressure behavior when a shard queue is full.
+type Policy int
+
+// Backpressure policies.
+const (
+	// Block makes Submit wait until the shard queue has room — the
+	// default, load is pushed back onto the client.
+	Block Policy = iota
+	// Shed makes Submit fail fast with ErrShed, counting the drop.
+	Shed
+)
+
+// String names the policy ("block" or "shed").
+func (p Policy) String() string {
+	if p == Shed {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParsePolicy resolves "block" or "shed".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "shed":
+		return Shed, nil
+	}
+	return Block, fmt.Errorf("server: unknown backpressure policy %q (want block or shed)", s)
+}
+
+// Timing selects how request virtual timestamps reach the engines.
+type Timing int
+
+// Timing modes.
+const (
+	// Queued models each shard as a FCFS queue in virtual time: a
+	// request starts at max(arrival, shard next-free) and its sojourn
+	// includes the queue wait. This is the serving-mode default.
+	Queued Timing = iota
+	// Passthrough hands arrival timestamps to the engine unchanged
+	// (clamped to be non-decreasing per shard) and reports bare
+	// service times — the determinism bridge to the replay path.
+	Passthrough
+)
+
+// Sentinel errors of the submission path.
+var (
+	ErrClosed = errors.New("server: closed")
+	ErrShed   = errors.New("server: request shed (shard queue full)")
+)
+
+// Config assembles a server.
+type Config struct {
+	// Shards is the number of independent engine instances (default 1).
+	Shards int
+	// GranChunks is the routing granule in chunks (default
+	// DefaultGranChunks).
+	GranChunks uint64
+	// QueueDepth bounds each shard's request channel (default 128).
+	QueueDepth int
+	// MaxBatch bounds how many queued requests a worker drains and
+	// serves per synchronization round (default 32).
+	MaxBatch int
+	// Policy is the backpressure policy when a queue is full.
+	Policy Policy
+	// Timing selects Queued (serving) or Passthrough (replay-bridge)
+	// timestamp handling.
+	Timing Timing
+	// NewEngine constructs shard i's engine. Each call must return a
+	// fresh engine over fresh substrates; shards share nothing.
+	NewEngine func(shard int) engine.Engine
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("server: %d shards", c.Shards)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+	if c.QueueDepth < 1 {
+		return c, fmt.Errorf("server: queue depth %d", c.QueueDepth)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBatch < 1 {
+		return c, fmt.Errorf("server: max batch %d", c.MaxBatch)
+	}
+	if c.NewEngine == nil {
+		return c, errors.New("server: Config.NewEngine is required")
+	}
+	return c, nil
+}
+
+// Request is one block-level I/O submitted to the server. LBA and N
+// are in 4 KiB chunks; writes carry a content ID per chunk. Arrival is
+// the request's virtual arrival time (open-loop generators stamp their
+// own schedule here; per shard it need not be monotone — the timing
+// mode clamps).
+type Request struct {
+	Arrival sim.Time
+	Op      trace.Op
+	LBA     uint64
+	N       int
+	Content []chunk.ContentID
+
+	done chan Result // set by Do
+}
+
+// Result is the completion record of one request.
+type Result struct {
+	Shard    int
+	Start    sim.Time     // virtual service start
+	Complete sim.Time     // virtual completion
+	Service  sim.Duration // engine response time
+	Sojourn  sim.Duration // queue wait + service (Queued), Service (Passthrough)
+}
+
+type shard struct {
+	id  int
+	ch  chan *Request
+	eng engine.Engine
+
+	// mu serializes the worker's serving rounds against snapshots,
+	// ReadContent, WithEngine, and recovery. The worker holds it only
+	// while serving a drained batch, never while blocked on the
+	// channel.
+	mu        sync.Mutex
+	nextFree  sim.Time // Queued: virtual time the engine frees up
+	lastStart sim.Time // monotonicity clamp for Passthrough
+	lat       *stats.Histogram
+	completed int64
+	batches   int64
+	maxBatch  int
+	firstArr  sim.Time
+	lastDone  sim.Time
+	anyServed bool
+}
+
+// flusher matches engines with background work to drain at shutdown
+// (same contract as replay.Flusher, declared locally to keep the
+// dependency arrow pointing one way).
+type flusher interface {
+	Flush(now sim.Time)
+}
+
+// Server is a sharded volume service.
+type Server struct {
+	cfg    Config
+	router Router
+	shards []*shard
+
+	wg      sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  bool
+
+	shed int64 // atomic
+}
+
+// New builds and starts a server: engines are constructed and one
+// worker goroutine per shard begins consuming its queue.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		router: NewRouter(cfg.Shards, cfg.GranChunks),
+		shards: make([]*shard, cfg.Shards),
+	}
+	for i := range s.shards {
+		eng := cfg.NewEngine(i)
+		if eng == nil {
+			return nil, fmt.Errorf("server: NewEngine(%d) returned nil", i)
+		}
+		s.shards[i] = &shard{
+			id:  i,
+			ch:  make(chan *Request, cfg.QueueDepth),
+			eng: eng,
+			lat: stats.NewHistogram(),
+		}
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// Shards reports the shard count.
+func (s *Server) Shards() int { return s.cfg.Shards }
+
+// Shard reports which shard owns lba.
+func (s *Server) Shard(lba uint64) int { return s.router.Shard(lba) }
+
+// worker serves one shard: it blocks for a request, then drains up to
+// MaxBatch-1 more without blocking and serves the whole batch under
+// one lock acquisition. When the channel closes it finishes the
+// backlog (a closed channel yields its buffered requests first) and
+// flushes the engine's background work.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]*Request, 0, s.cfg.MaxBatch)
+	for {
+		r, ok := <-sh.ch
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], r)
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r2, ok2 := <-sh.ch:
+				if !ok2 {
+					break fill
+				}
+				batch = append(batch, r2)
+			default:
+				break fill
+			}
+		}
+		sh.mu.Lock()
+		for _, r := range batch {
+			sh.serve(r, s.cfg.Timing)
+		}
+		sh.batches++
+		if len(batch) > sh.maxBatch {
+			sh.maxBatch = len(batch)
+		}
+		sh.mu.Unlock()
+	}
+	sh.mu.Lock()
+	if f, ok := sh.eng.(flusher); ok {
+		f.Flush(sh.lastStart)
+	}
+	sh.mu.Unlock()
+}
+
+// serve runs one request through the shard engine. Caller holds sh.mu.
+func (sh *shard) serve(r *Request, timing Timing) {
+	start := r.Arrival
+	switch timing {
+	case Queued:
+		if start < sh.nextFree {
+			start = sh.nextFree
+		}
+	case Passthrough:
+		if start < sh.lastStart {
+			start = sh.lastStart
+		}
+	}
+	treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content}
+	var rt sim.Duration
+	if r.Op == trace.Write {
+		rt = sh.eng.Write(&treq)
+	} else {
+		rt = sh.eng.Read(&treq)
+	}
+	complete := start.Add(rt)
+	sojourn := complete.Sub(r.Arrival)
+	if timing == Passthrough {
+		sojourn = rt
+	} else {
+		sh.nextFree = complete
+	}
+	sh.lastStart = start
+
+	sh.lat.Add(int64(sojourn))
+	sh.completed++
+	if !sh.anyServed || r.Arrival < sh.firstArr {
+		sh.firstArr = r.Arrival
+	}
+	if complete > sh.lastDone {
+		sh.lastDone = complete
+	}
+	sh.anyServed = true
+
+	if r.done != nil {
+		r.done <- Result{Shard: sh.id, Start: start, Complete: complete, Service: rt, Sojourn: sojourn}
+	}
+}
+
+// Submit routes r to its shard's queue and returns without waiting for
+// completion. Under the Block policy a full queue blocks the caller;
+// under Shed it returns ErrShed. After Close it returns ErrClosed.
+func (s *Server) Submit(r *Request) error {
+	if r.N <= 0 {
+		return fmt.Errorf("server: request with %d chunks", r.N)
+	}
+	if r.Op == trace.Write && len(r.Content) != r.N {
+		return fmt.Errorf("server: write with %d chunks but %d content ids", r.N, len(r.Content))
+	}
+	sh := s.shards[s.router.Shard(r.LBA)]
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.cfg.Policy == Shed {
+		select {
+		case sh.ch <- r:
+			return nil
+		default:
+			atomic.AddInt64(&s.shed, 1)
+			return ErrShed
+		}
+	}
+	sh.ch <- r
+	return nil
+}
+
+// Do submits r and waits for its completion record.
+func (s *Server) Do(r *Request) (Result, error) {
+	if r.done == nil {
+		r.done = make(chan Result, 1)
+	}
+	if err := s.Submit(r); err != nil {
+		return Result{}, err
+	}
+	return <-r.done, nil
+}
+
+// Close is the graceful drain: new submissions are refused, every
+// queued request is served, background engine work is flushed, and the
+// workers exit. It is idempotent and safe to call concurrently with
+// Submit (a submitter blocked on a full queue completes its send
+// before Close proceeds, and that request is served).
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+}
+
+// WithEngine runs fn against shard i's engine while that shard's
+// serving loop is paused — the hook tests use to inject faults
+// (nvram.Device.ArmCrash) mid-serve without racing the worker.
+func (s *Server) WithEngine(i int, fn func(engine.Engine)) {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.eng)
+}
+
+// ReadContent resolves lba through its owning shard's engine (the
+// verification path; no simulated I/O).
+func (s *Server) ReadContent(lba uint64) (uint64, bool) {
+	sh := s.shards[s.router.Shard(lba)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.ReadContent(lba)
+}
+
+// CrashAndRecover simulates a whole-node power failure after Close:
+// every shard loses DRAM state and rebuilds its map table from its
+// NVRAM journal. It returns the total journal records replayed across
+// shards, and an error if the server is still serving or any shard's
+// engine lacks recovery support.
+func (s *Server) CrashAndRecover() (int, error) {
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if !closed {
+		return 0, errors.New("server: CrashAndRecover before Close")
+	}
+	total := 0
+	for _, sh := range s.shards {
+		r, ok := sh.eng.(interface{ CrashAndRecover() (int, error) })
+		if !ok {
+			return total, fmt.Errorf("server: shard %d engine %s does not support crash recovery", sh.id, sh.eng.Name())
+		}
+		n, err := r.CrashAndRecover()
+		if err != nil {
+			return total, fmt.Errorf("server: shard %d: %w", sh.id, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ShardSnapshot is one shard's contribution to a Snapshot.
+type ShardSnapshot struct {
+	Shard     int
+	Completed int64
+	Queued    int // requests waiting in the channel at snapshot time
+	Batches   int64
+	MaxBatch  int
+}
+
+// Snapshot is a merged view of the server's counters: per-shard engine
+// statistics aggregated with engine.Stats.Merge, sojourn latency
+// histograms merged, plus serving-layer counters.
+type Snapshot struct {
+	Shards     int
+	Completed  int64
+	ShedCount  int64
+	Engine     *engine.Stats    // merged across shards
+	Latency    *stats.Histogram // merged sojourn latencies, µs
+	UsedBlocks uint64           // summed physical occupancy
+
+	// Virtual-time serving window: earliest arrival and latest
+	// completion observed across shards. Aggregate throughput is
+	// Completed / (LastComplete - FirstArrival).
+	FirstArrival sim.Time
+	LastComplete sim.Time
+
+	PerShard []ShardSnapshot
+}
+
+// Throughput reports completed requests per virtual second over the
+// serving window, 0 before anything completes.
+func (s Snapshot) Throughput() float64 {
+	window := s.LastComplete.Sub(s.FirstArrival)
+	if window <= 0 || s.Completed == 0 {
+		return 0
+	}
+	return float64(s.Completed) / window.Seconds()
+}
+
+// Stats takes a snapshot. It is safe while serving (each shard is
+// paused briefly in turn), and exact once Close has returned.
+func (s *Server) Stats() Snapshot {
+	snap := Snapshot{
+		Shards:    s.cfg.Shards,
+		ShedCount: atomic.LoadInt64(&s.shed),
+		Engine:    engine.NewStats(),
+		Latency:   stats.NewHistogram(),
+	}
+	first := false
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		snap.Completed += sh.completed
+		snap.Engine.Merge(sh.eng.Stats())
+		snap.Latency.Merge(sh.lat)
+		snap.UsedBlocks += sh.eng.UsedBlocks()
+		if sh.anyServed {
+			if !first || sh.firstArr < snap.FirstArrival {
+				snap.FirstArrival = sh.firstArr
+			}
+			if sh.lastDone > snap.LastComplete {
+				snap.LastComplete = sh.lastDone
+			}
+			first = true
+		}
+		snap.PerShard = append(snap.PerShard, ShardSnapshot{
+			Shard:     sh.id,
+			Completed: sh.completed,
+			Queued:    len(sh.ch),
+			Batches:   sh.batches,
+			MaxBatch:  sh.maxBatch,
+		})
+		sh.mu.Unlock()
+	}
+	return snap
+}

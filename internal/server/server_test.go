@@ -1,0 +1,284 @@
+package server
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/replay"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+const testScale = 0.02
+
+func testTrace(t *testing.T) (*trace.Trace, workload.Profile) {
+	t.Helper()
+	prof := workload.WebVM()
+	tr, _ := workload.Generate(prof, testScale)
+	return tr, prof
+}
+
+func podFactory(prof workload.Profile) func(int) engine.Engine {
+	return func(int) engine.Engine {
+		return experiments.NewEngine(experiments.POD, experiments.BuildConfig(prof, testScale))
+	}
+}
+
+// TestBridgeByteIdenticalToReplay is the determinism bridge of the
+// serving layer: with one shard, one client, and Passthrough timing,
+// pushing a trace through the server must leave the engine in exactly
+// the state the direct replay path produces — every counter, every
+// histogram bucket, every physical block.
+func TestBridgeByteIdenticalToReplay(t *testing.T) {
+	tr, prof := testTrace(t)
+
+	direct := experiments.NewEngine(experiments.POD, experiments.BuildConfig(prof, testScale))
+	directRes := replay.Run(direct, tr, 0)
+
+	srv, err := New(Config{
+		Shards:    1,
+		Timing:    Passthrough,
+		NewEngine: podFactory(prof),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		res, err := srv.Do(&Request{Arrival: r.Time, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if res.Shard != 0 {
+			t.Fatalf("request %d routed to shard %d with 1 shard", i, res.Shard)
+		}
+	}
+	srv.Close()
+
+	snap := srv.Stats()
+	if !reflect.DeepEqual(snap.Engine, directRes.Stats) {
+		t.Fatalf("served stats diverge from direct replay:\n server: %+v\n direct: %+v", snap.Engine, directRes.Stats)
+	}
+	if snap.UsedBlocks != directRes.UsedBlocks {
+		t.Fatalf("used blocks: server %d, direct %d", snap.UsedBlocks, directRes.UsedBlocks)
+	}
+	if snap.Completed != int64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d", snap.Completed, len(tr.Requests))
+	}
+	// spot-check the logical view block by block
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if r.Op != trace.Write || i%7 != 0 {
+			continue
+		}
+		for j := 0; j < r.N; j++ {
+			lba := r.LBA + uint64(j)
+			sg, sok := srv.ReadContent(lba)
+			dg, dok := direct.ReadContent(lba)
+			if sg != dg || sok != dok {
+				t.Fatalf("lba %d: server %d,%v direct %d,%v", lba, sg, sok, dg, dok)
+			}
+		}
+	}
+}
+
+// TestConcurrentClientsDrainCompletely drives a sharded server from
+// many client goroutines and checks that the graceful drain serves
+// everything: completed equals submitted, the work spread across every
+// shard, and the merged request counters add up.
+func TestConcurrentClientsDrainCompletely(t *testing.T) {
+	tr, prof := testTrace(t)
+	const shards, clients = 4, 8
+
+	srv, err := New(Config{
+		Shards:     shards,
+		GranChunks: 256, // fine granules: the sub-sampled trace only touches an address-space prefix
+		QueueDepth: 64,
+		MaxBatch:   16,
+		Timing:     Queued,
+		NewEngine:  podFactory(prof),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(tr.Requests); i += clients {
+				r := &tr.Requests[i]
+				if err := srv.Submit(&Request{Arrival: r.Time, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content}); err != nil {
+					t.Errorf("submit %d: %v", i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Close()
+
+	snap := srv.Stats()
+	if snap.Completed != int64(len(tr.Requests)) {
+		t.Fatalf("completed %d of %d submitted", snap.Completed, len(tr.Requests))
+	}
+	if got := snap.Engine.Reads + snap.Engine.Writes; got != int64(len(tr.Requests)) {
+		t.Fatalf("merged engine counters %d, want %d", got, len(tr.Requests))
+	}
+	var sum int64
+	for _, ps := range snap.PerShard {
+		if ps.Completed == 0 {
+			t.Fatalf("shard %d served nothing — routing skew", ps.Shard)
+		}
+		if ps.Queued != 0 {
+			t.Fatalf("shard %d still has %d queued after Close", ps.Shard, ps.Queued)
+		}
+		sum += ps.Completed
+	}
+	if sum != snap.Completed {
+		t.Fatalf("per-shard completions %d != total %d", sum, snap.Completed)
+	}
+	if snap.Latency.N() != snap.Completed {
+		t.Fatalf("latency samples %d != completions %d", snap.Latency.N(), snap.Completed)
+	}
+	if snap.Throughput() <= 0 {
+		t.Fatal("no aggregate throughput measured")
+	}
+}
+
+// TestShedPolicyBoundsQueue verifies the load-shedding backpressure
+// path: with the sole worker paused and a depth-1 queue, surplus
+// submissions must be refused with ErrShed and counted, never queued
+// without bound or blocked.
+func TestShedPolicyBoundsQueue(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{
+		Shards:     1,
+		QueueDepth: 1,
+		Policy:     Shed,
+		NewEngine:  podFactory(prof),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	paused := make(chan struct{})
+	release := make(chan struct{})
+	go srv.WithEngine(0, func(engine.Engine) {
+		close(paused)
+		<-release
+	})
+	<-paused
+
+	// worker can absorb at most one in-flight request plus one queued
+	const n = 6
+	sheds := 0
+	for i := 0; i < n; i++ {
+		err := srv.Submit(&Request{Op: trace.Write, LBA: uint64(i), N: 1, Content: []chunk.ContentID{chunk.ContentID(i + 1)}})
+		if err == ErrShed {
+			sheds++
+		} else if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if sheds < n-2 {
+		t.Fatalf("only %d of %d surplus submissions shed", sheds, n)
+	}
+	close(release)
+	srv.Close()
+
+	snap := srv.Stats()
+	if snap.ShedCount != int64(sheds) {
+		t.Fatalf("shed counter %d, want %d", snap.ShedCount, sheds)
+	}
+	if snap.Completed != int64(n-sheds) {
+		t.Fatalf("completed %d, want %d", snap.Completed, n-sheds)
+	}
+}
+
+// TestCloseFlushesBackgroundWork drains a Post-Process engine through
+// Close: the offline dedup scanner must run during the graceful drain,
+// so duplicate blocks written through the server are merged by the
+// time Close returns.
+func TestCloseFlushesBackgroundWork(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{
+		Shards: 1,
+		NewEngine: func(int) engine.Engine {
+			return experiments.NewEngine(experiments.PostProcess, experiments.BuildConfig(prof, testScale))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []chunk.ContentID{11, 12, 13}
+	if _, err := srv.Do(&Request{Arrival: 0, Op: trace.Write, LBA: 0, N: 3, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Do(&Request{Arrival: 1000, Op: trace.Write, LBA: 100, N: 3, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if used := srv.Stats().UsedBlocks; used != 3 {
+		t.Fatalf("used %d blocks after drain, want 3 (duplicates merged by the flushed scanner)", used)
+	}
+}
+
+// TestSubmitAfterCloseRefused checks the closed-server path.
+func TestSubmitAfterCloseRefused(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{Shards: 2, NewEngine: podFactory(prof)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	err = srv.Submit(&Request{Op: trace.Read, LBA: 0, N: 1})
+	if err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestQueuedTimingMonotonePerShard floods one shard with identical
+// arrival stamps and checks the virtual queue: starts never go
+// backwards, completions serialize, and sojourn ≥ service.
+func TestQueuedTimingMonotonePerShard(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{Shards: 1, Timing: Queued, NewEngine: podFactory(prof)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastStart sim.Time = -1
+	for i := 0; i < 50; i++ {
+		res, err := srv.Do(&Request{Arrival: 0, Op: trace.Write, LBA: uint64(i * 4), N: 2,
+			Content: []chunk.ContentID{chunk.ContentID(2*i + 1), chunk.ContentID(2*i + 2)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Start < lastStart {
+			t.Fatalf("request %d started at %v before previous start %v", i, res.Start, lastStart)
+		}
+		if res.Sojourn < res.Service {
+			t.Fatalf("request %d sojourn %v < service %v", i, res.Sojourn, res.Service)
+		}
+		lastStart = res.Start
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil NewEngine accepted")
+	}
+	if _, err := New(Config{Shards: -1, NewEngine: func(int) engine.Engine { return nil }}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := New(Config{NewEngine: func(int) engine.Engine { return nil }}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

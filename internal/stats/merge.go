@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// MergeStructs folds src's counters into dst, field by field. Both
+// must be pointers to the same struct type with only exported fields.
+// Integer and float fields are summed; pointer fields are merged by
+// calling their Merge method (nil src fields are skipped). Any other
+// field kind panics — a new field type in a stats struct must decide
+// explicitly how it aggregates across shards rather than being
+// silently dropped.
+//
+// This is what lets per-shard counter structs (engine.Stats and
+// friends) aggregate into one report without hand-maintained
+// field-by-field summing at every call site.
+func MergeStructs(dst, src interface{}) {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Ptr || sv.Kind() != reflect.Ptr || dv.IsNil() || sv.IsNil() {
+		panic("stats: MergeStructs needs non-nil pointers to structs")
+	}
+	dv, sv = dv.Elem(), sv.Elem()
+	if dv.Type() != sv.Type() || dv.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("stats: MergeStructs type mismatch: %v vs %v", dv.Type(), sv.Type()))
+	}
+	for i := 0; i < dv.NumField(); i++ {
+		df, sf := dv.Field(i), sv.Field(i)
+		name := dv.Type().Field(i).Name
+		switch df.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			df.SetInt(df.Int() + sf.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			df.SetUint(df.Uint() + sf.Uint())
+		case reflect.Float32, reflect.Float64:
+			df.SetFloat(df.Float() + sf.Float())
+		case reflect.Ptr:
+			if sf.IsNil() {
+				continue
+			}
+			if df.IsNil() {
+				panic(fmt.Sprintf("stats: MergeStructs: destination field %s is nil", name))
+			}
+			m := df.MethodByName("Merge")
+			if !m.IsValid() || m.Type().NumIn() != 1 || !sf.Type().AssignableTo(m.Type().In(0)) {
+				panic(fmt.Sprintf("stats: MergeStructs: field %s (%v) has no Merge(%v) method", name, df.Type(), sf.Type()))
+			}
+			m.Call([]reflect.Value{sf})
+		default:
+			panic(fmt.Sprintf("stats: MergeStructs: field %s has unsupported kind %v", name, df.Kind()))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+type counters struct {
+	A     int64
+	B     int
+	U     uint64
+	F     float64
+	Hist  *Histogram
+	Summ  *Summary
+	Empty *Histogram
+}
+
+func newCounters() *counters {
+	return &counters{Hist: NewHistogram(), Summ: NewSummary(), Empty: NewHistogram()}
+}
+
+func TestMergeStructsSumsAndMerges(t *testing.T) {
+	a, b := newCounters(), newCounters()
+	a.A, b.A = 3, 4
+	a.B, b.B = 1, 2
+	a.U, b.U = 10, 20
+	a.F, b.F = 0.5, 0.25
+	a.Hist.Add(100)
+	b.Hist.Add(300)
+	a.Summ.Add(1)
+	b.Summ.Add(3)
+
+	MergeStructs(a, b)
+
+	if a.A != 7 || a.B != 3 || a.U != 30 || a.F != 0.75 {
+		t.Fatalf("scalar merge wrong: %+v", a)
+	}
+	if a.Hist.N() != 2 || a.Hist.Sum() != 400 || a.Hist.Max() != 300 {
+		t.Fatalf("histogram merge wrong: n=%d sum=%d max=%d", a.Hist.N(), a.Hist.Sum(), a.Hist.Max())
+	}
+	if a.Summ.N() != 2 || a.Summ.Mean() != 2 {
+		t.Fatalf("summary merge wrong: %v", a.Summ)
+	}
+	// b must be untouched
+	if b.A != 4 || b.Hist.N() != 1 {
+		t.Fatalf("source mutated: %+v", b)
+	}
+}
+
+func TestMergeStructsIdentity(t *testing.T) {
+	// merging into a zeroed struct must reproduce the source exactly —
+	// the property the per-shard snapshot aggregation relies on.
+	src := newCounters()
+	src.A = 42
+	src.Hist.Add(7)
+	src.Hist.Add(9000)
+	src.Summ.Add(3.5)
+
+	dst := newCounters()
+	MergeStructs(dst, src)
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatalf("zero+src != src:\n dst=%+v\n src=%+v", dst, src)
+	}
+}
+
+func TestMergeStructsNilSourceFieldSkipped(t *testing.T) {
+	a, b := newCounters(), newCounters()
+	b.Empty = nil
+	MergeStructs(a, b) // must not panic
+	if a.Empty == nil {
+		t.Fatal("destination field lost")
+	}
+}
+
+func TestMergeStructsRejectsUnsupported(t *testing.T) {
+	type bad struct{ S string }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported field kind")
+		}
+	}()
+	MergeStructs(&bad{}, &bad{})
+}
+
+func TestMergeStructsRejectsMismatch(t *testing.T) {
+	type x struct{ A int64 }
+	type y struct{ A int64 }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for type mismatch")
+		}
+	}()
+	MergeStructs(&x{}, &y{})
+}

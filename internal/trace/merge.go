@@ -1,0 +1,41 @@
+package trace
+
+// Merge interleaves time-ordered traces into one time-ordered stream,
+// the multi-tenant composition step: each input models one tenant's
+// volume, and the merged trace is what the shared front end actually
+// sees. Ties on timestamp are broken by input order (stable), so the
+// result is deterministic in the inputs. Requests are copied by value;
+// Content slices are shared with the inputs.
+//
+// Inputs must individually be time-ordered; Merge panics otherwise,
+// matching the replayer's contract (a silently mis-ordered merge would
+// corrupt every downstream latency number).
+func Merge(name string, traces ...*Trace) *Trace {
+	total := 0
+	for _, t := range traces {
+		total += len(t.Requests)
+	}
+	out := &Trace{Name: name, Requests: make([]Request, 0, total)}
+	heads := make([]int, len(traces))
+	for {
+		best := -1
+		for i, t := range traces {
+			h := heads[i]
+			if h >= len(t.Requests) {
+				continue
+			}
+			if best < 0 || t.Requests[h].Time < traces[best].Requests[heads[best]].Time {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		r := traces[best].Requests[heads[best]]
+		if n := len(out.Requests); n > 0 && r.Time < out.Requests[n-1].Time {
+			panic("trace: Merge input " + traces[best].Name + " is not time-ordered")
+		}
+		out.Requests = append(out.Requests, r)
+		heads[best]++
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+func mkTrace(name string, times ...int64) *Trace {
+	t := &Trace{Name: name}
+	for _, tm := range times {
+		t.Requests = append(t.Requests, Request{
+			Time: sim.Time(tm), Op: Write, LBA: uint64(tm), N: 1,
+			Content: []chunk.ContentID{chunk.ContentID(tm + 1)},
+		})
+	}
+	return t
+}
+
+func TestMergeInterleavesByTime(t *testing.T) {
+	a := mkTrace("a", 1, 4, 9)
+	b := mkTrace("b", 2, 3, 10)
+	c := mkTrace("c", 5)
+	m := Merge("abc", a, b, c)
+
+	if m.Name != "abc" {
+		t.Fatalf("name %q", m.Name)
+	}
+	want := []int64{1, 2, 3, 4, 5, 9, 10}
+	if len(m.Requests) != len(want) {
+		t.Fatalf("got %d requests, want %d", len(m.Requests), len(want))
+	}
+	for i, w := range want {
+		if int64(m.Requests[i].Time) != w {
+			t.Fatalf("request %d at t=%d, want %d", i, int64(m.Requests[i].Time), w)
+		}
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	a := mkTrace("a", 7)
+	b := mkTrace("b", 7)
+	a.Requests[0].LBA = 100
+	b.Requests[0].LBA = 200
+	m := Merge("t", a, b)
+	if m.Requests[0].LBA != 100 || m.Requests[1].LBA != 200 {
+		t.Fatalf("tie not broken by input order: %d then %d", m.Requests[0].LBA, m.Requests[1].LBA)
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	m := Merge("e", &Trace{Name: "x"}, mkTrace("y", 3))
+	if len(m.Requests) != 1 {
+		t.Fatalf("got %d requests", len(m.Requests))
+	}
+	if m := Merge("none"); len(m.Requests) != 0 {
+		t.Fatalf("empty merge produced %d requests", len(m.Requests))
+	}
+}
+
+func TestMergePanicsOnUnorderedInput(t *testing.T) {
+	bad := mkTrace("bad", 9, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unordered input")
+		}
+	}()
+	Merge("m", bad, mkTrace("ok", 1))
+}

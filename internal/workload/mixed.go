@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// MixedDims describes the platform a merged multi-tenant trace needs:
+// the combined logical address space and the summed storage-cache
+// budget of its tenants.
+type MixedDims struct {
+	FootprintChunks uint64
+	MemoryBytes     int64
+}
+
+// tenantIDBits offsets each tenant's content-ID space so that equal
+// IDs from different tenants never alias: the generators all start
+// counting at 1, and cross-tenant deduplication would otherwise
+// manufacture redundancy the single-tenant profiles don't model.
+const tenantIDBits = 40
+
+// MixedTrace interleaves the three Table II profiles into one
+// multi-tenant stream — the workload a consolidated cloud front end
+// sees. Each tenant keeps its own timeline (the merge is by arrival
+// time), gets a disjoint LBA region (tenant i's addresses are offset
+// by the footprints before it), and a disjoint content-ID space.
+// Warm-up is the same leading fraction the per-tenant profiles use.
+//
+// Generation is deterministic in scale alone.
+func MixedTrace(scale float64) (*trace.Trace, int, MixedDims) {
+	profiles := Profiles()
+	tenants := make([]*trace.Trace, len(profiles))
+	var dims MixedDims
+	var lbaBase uint64
+	warmFrac := 0.0
+	for i, p := range profiles {
+		tr, _ := Generate(p, scale)
+		offsetTenant(tr, lbaBase, uint64(i)<<tenantIDBits)
+		tenants[i] = tr
+		lbaBase += p.FootprintChunks
+		dims.MemoryBytes += p.MemoryBytes
+		if p.WarmupFrac > warmFrac {
+			warmFrac = p.WarmupFrac
+		}
+	}
+	dims.FootprintChunks = lbaBase
+	merged := trace.Merge("mixed", tenants...)
+	warmup := int(float64(len(merged.Requests)) * warmFrac)
+	return merged, warmup, dims
+}
+
+// offsetTenant relocates a tenant trace into its slice of the shared
+// platform: LBAs shift by lbaOff, content IDs by idOff.
+func offsetTenant(tr *trace.Trace, lbaOff uint64, idOff uint64) {
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		r.LBA += lbaOff
+		for j := range r.Content {
+			r.Content[j] += chunk.ContentID(idOff)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+func TestMixedTraceIsOrderedAndPartitioned(t *testing.T) {
+	tr, warmup, dims := MixedTrace(0.02)
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty mixed trace")
+	}
+	if warmup <= 0 || warmup >= len(tr.Requests) {
+		t.Fatalf("warmup %d of %d", warmup, len(tr.Requests))
+	}
+
+	wantFootprint := uint64(0)
+	for _, p := range Profiles() {
+		wantFootprint += p.FootprintChunks
+	}
+	if dims.FootprintChunks != wantFootprint {
+		t.Fatalf("footprint %d, want %d", dims.FootprintChunks, wantFootprint)
+	}
+
+	var last int64 = -1
+	idSpaces := map[uint64]bool{}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if int64(r.Time) < last {
+			t.Fatalf("request %d out of order", i)
+		}
+		last = int64(r.Time)
+		if r.LBA+uint64(r.N) > dims.FootprintChunks {
+			t.Fatalf("request %d at lba %d overruns the combined footprint", i, r.LBA)
+		}
+		for _, id := range r.Content {
+			idSpaces[uint64(id)>>tenantIDBits] = true
+		}
+	}
+	if len(idSpaces) != len(Profiles()) {
+		t.Fatalf("content drawn from %d tenant ID spaces, want %d", len(idSpaces), len(Profiles()))
+	}
+}
+
+func TestMixedTraceDeterministic(t *testing.T) {
+	a, wa, _ := MixedTrace(0.01)
+	b, wb, _ := MixedTrace(0.01)
+	if wa != wb || len(a.Requests) != len(b.Requests) {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", wa, len(a.Requests), wb, len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := &a.Requests[i], &b.Requests[i]
+		if ra.Time != rb.Time || ra.Op != rb.Op || ra.LBA != rb.LBA || ra.N != rb.N {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
