@@ -2,25 +2,36 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics fuzz clean
 
 all: build vet test
 
 # CI gate: vet, build, the full test suite under the race detector,
-# then a short serving-mode smoke run. The experiment-matrix tests
-# already run at reduced scale (see internal/experiments testScale),
-# which keeps the race run to a couple of minutes.
+# then short serving-mode and metrics smoke runs. The experiment-matrix
+# tests already run at reduced scale (see internal/experiments
+# testScale), which keeps the race run to a couple of minutes.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) smoke-serve
+	$(MAKE) smoke-metrics
 
 # Serving-mode smoke: a small sharded podload run. podload exits
 # non-zero on any error or when zero requests complete, so the target
 # fails if the serving layer ever wedges or drops work.
 smoke-serve:
 	$(GO) run ./cmd/podload -trace mixed -scale 0.01 -shards 4 -route-chunks 256 -rate 200
+
+# Metrics smoke: the registry's own tests under the race detector, then
+# an instrumented podload run. With -metrics-out podload exits non-zero
+# when the snapshot has no histogram samples, so the target fails if
+# the observability pipeline ever goes dark.
+smoke-metrics:
+	$(GO) vet ./internal/metrics/
+	$(GO) test -race ./internal/metrics/
+	$(GO) run ./cmd/podload -trace mixed -scale 0.01 -shards 8 -route-chunks 256 -rate 200 \
+		-trace-sample 50 -metrics-out /tmp/pod-metrics-smoke.json -metrics-prom /tmp/pod-metrics-smoke.prom
 
 build:
 	$(GO) build ./...

@@ -198,11 +198,12 @@ func benchWritePath(b *testing.B, scheme Scheme) {
 	for i := 0; i < b.N; i++ {
 		now += 1000
 		// alternate fresh and duplicate content
-		id := uint64(i)
+		id := ContentID(i)
 		if i%2 == 1 {
-			id = uint64(i - 1)
+			id = ContentID(i - 1)
 		}
-		if _, err := sys.Write(now, uint64(i%100000)*4, []uint64{id, id + 1, id + 2, id + 3}); err != nil {
+		req := Request{Time: now, Op: OpWrite, LBA: uint64(i%100000) * 4, Content: []ContentID{id, id + 1, id + 2, id + 3}}
+		if _, err := sys.Do(&req); err != nil {
 			b.Fatal(err)
 		}
 	}

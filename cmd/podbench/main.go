@@ -3,7 +3,9 @@
 // Usage:
 //
 //	podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f]
-//	         [-bench-json f] [-bench-label s] [experiment ...]
+//	         [-bench-json f] [-bench-label s]
+//	         [-metrics-out f] [-metrics-prom f] [-trace-sample n]
+//	         [experiment ...]
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11
 // overhead all (default: all). Scale 1.0 replays the paper's full
@@ -14,11 +16,21 @@
 // -memprofile write pprof profiles, -bench-json writes a perf
 // trajectory with per-experiment wall time, allocation counts, and
 // peak RSS.
+//
+// The observability flags expose the simulated system instead:
+// -metrics-out / -metrics-prom write the merged metrics snapshot of
+// every replay (per-phase latency histograms, substrate gauges) as
+// JSON / Prometheus text; -trace-sample n samples every nth measured
+// request of each replay with its phase timeline into the snapshot.
+// With -bench-json, per-phase histogram summaries additionally join the
+// trajectory as a "phases" entry, so BENCH_replay.json carries the
+// breakdown alongside wall-clock numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/perf"
 )
 
@@ -39,15 +52,23 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchJSON := flag.String("bench-json", "", "write a perf trajectory (per-experiment wall/allocs/RSS) to this file")
 	benchLabel := flag.String("bench-label", "run", "label recorded in the -bench-json trajectory")
+	metricsOut := flag.String("metrics-out", "", "write the merged replay metrics snapshot as JSON to this file")
+	metricsProm := flag.String("metrics-prom", "", "write the merged replay metrics snapshot as Prometheus text to this file")
+	traceSample := flag.Int("trace-sample", 0, "sample every nth measured request of each replay with its phase timeline (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podbench [-scale f] [-workers n] [-cpuprofile f] [-memprofile f]\n")
-		fmt.Fprintf(os.Stderr, "                [-bench-json f] [-bench-label s] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "                [-bench-json f] [-bench-label s] [-metrics-out f] [-metrics-prom f]\n")
+		fmt.Fprintf(os.Stderr, "                [-trace-sample n] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
 		fmt.Fprintf(os.Stderr, "profiling flags measure the harness itself: -cpuprofile/-memprofile write pprof\n")
 		fmt.Fprintf(os.Stderr, "profiles, -bench-json writes a perf trajectory tagged with -bench-label\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *traceSample < 0 {
+		fmt.Fprintf(os.Stderr, "podbench: -trace-sample must be >= 0 (got %d)\n", *traceSample)
+		os.Exit(2)
+	}
 
 	// flag parsing stops at the first positional argument, so a
 	// misplaced or misspelled flag ("podbench table2 -bogus") would
@@ -91,6 +112,7 @@ func main() {
 		wanted = []string{"all"}
 	}
 	env := experiments.NewEnv(*scale, *workers)
+	env.TraceEvery = *traceSample
 	var track perf.Tracker
 
 	run := func(name string) bool {
@@ -163,7 +185,26 @@ func main() {
 		run(name)
 	}
 
+	snap := env.MetricsSnapshot()
+	if *metricsOut != "" {
+		if err := writeSnapshot(*metricsOut, snap.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsProm != "" {
+		if err := writeSnapshot(*metricsProm, snap.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *benchJSON != "" {
+		// Per-phase latency summaries ride the trajectory as their own
+		// entry, so BENCH_replay.json carries the simulated breakdown
+		// next to the harness wall-clock numbers.
+		if e := phasesEntry(snap); e != nil {
+			track.Append(*e)
+		}
 		if err := track.WriteJSON(*benchJSON, *benchLabel, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "podbench: %v\n", err)
 			os.Exit(1)
@@ -182,4 +223,42 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// phasesEntry condenses the merged snapshot's per-phase latency
+// histograms into one trajectory entry (mean/p50/p95/count per phase,
+// in simulated microseconds); nil when no phase recorded a sample.
+func phasesEntry(snap *metrics.Snapshot) *perf.Entry {
+	extra := make(map[string]float64)
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "phase_") || h.N == 0 {
+			continue
+		}
+		base := strings.TrimSuffix(name, "_us")
+		extra[base+"_mean_us"] = h.Mean()
+		extra[base+"_p50_us"] = h.Percentile(50)
+		extra[base+"_p95_us"] = h.Percentile(95)
+		extra[base+"_count"] = float64(h.N)
+	}
+	if len(extra) == 0 {
+		return nil
+	}
+	return &perf.Entry{Name: "phases", Extra: extra}
+}
+
+// writeSnapshot writes one snapshot encoding ("-" = stdout) via the
+// given writer method.
+func writeSnapshot(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

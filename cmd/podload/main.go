@@ -8,6 +8,7 @@
 //	        [-shards n] [-clients n] [-rate r] [-requests n]
 //	        [-write-ratio f] [-queue n] [-batch n] [-policy block|shed]
 //	        [-route-chunks n] [-bench-json f] [-bench-label s]
+//	        [-metrics-out f] [-metrics-prom f] [-trace-sample n]
 //
 // The generator is open-loop: every request's virtual arrival time is
 // fixed up front from the arrival rate (-rate, requests per simulated
@@ -26,6 +27,15 @@
 // With -bench-json the run joins the internal/perf trajectory, with
 // throughput and percentiles attached to the entry's "extra" map.
 //
+// Observability: -metrics-out writes the merged metrics snapshot
+// (per-phase latency histograms, shard-labeled queue-wait and service
+// series, substrate gauges, and any sampled traces) as JSON;
+// -metrics-prom writes the same snapshot as a Prometheus text dump;
+// -trace-sample n records every nth request per shard with its full
+// phase timeline. With -metrics-out the run additionally fails (exit 1)
+// if the snapshot contains no histogram samples — the CI smoke
+// assertion that the metrics pipeline is live.
+//
 // The process exits 0 on success, 1 if the run completes no requests
 // or hits an error, and 2 on bad flags.
 package main
@@ -33,13 +43,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	pod "github.com/pod-dedup/pod"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/perf"
 	"github.com/pod-dedup/pod/internal/server"
 	"github.com/pod-dedup/pod/internal/sim"
@@ -62,10 +76,14 @@ func main() {
 	routeChunks := flag.Uint64("route-chunks", 0, "routing granule in 4 KiB chunks (0 = default)")
 	benchJSON := flag.String("bench-json", "", "append this run to a perf trajectory JSON file")
 	benchLabel := flag.String("bench-label", "podload", "label recorded in the -bench-json trajectory")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot (with sampled traces) as JSON to this file")
+	metricsProm := flag.String("metrics-prom", "", "write the merged metrics snapshot as Prometheus text to this file")
+	traceSample := flag.Int("trace-sample", 0, "record every nth request per shard with its phase timeline (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
 		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
 		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-bench-json f] [-bench-label s]\n")
+		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,6 +96,15 @@ func main() {
 	policy, err := server.ParsePolicy(*policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(2)
+	}
+	schemeName, err := pod.ParseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(2)
+	}
+	if *traceSample < 0 {
+		fmt.Fprintf(os.Stderr, "podload: -trace-sample must be >= 0 (got %d)\n", *traceSample)
 		os.Exit(2)
 	}
 	if *shards < 1 {
@@ -139,14 +166,15 @@ func main() {
 
 	// --- server over per-shard engines ---
 	srv, err := server.New(server.Config{
-		Shards:     *shards,
-		GranChunks: *routeChunks,
-		QueueDepth: *queue,
-		MaxBatch:   *batch,
-		Policy:     policy,
-		Timing:     server.Queued,
+		Shards:      *shards,
+		GranChunks:  *routeChunks,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		Policy:      policy,
+		Timing:      server.Queued,
+		TraceSample: *traceSample,
 		NewEngine: func(int) engine.Engine {
-			return experiments.NewEngine(*scheme, experiments.BuildConfig(prof, *scale))
+			return experiments.NewEngine(string(schemeName), experiments.BuildConfig(prof, *scale))
 		},
 	})
 	if err != nil {
@@ -155,7 +183,7 @@ func main() {
 	}
 
 	fmt.Printf("podload: trace=%s scheme=%s shards=%d clients=%d rate=%s requests=%d queue=%d batch=%d policy=%s\n",
-		tr.Name, *scheme, *shards, *clients, rateString(*rate), n, *queue, *batch, policy)
+		tr.Name, schemeName, *shards, *clients, rateString(*rate), n, *queue, *batch, policy)
 
 	// --- drive ---
 	var track perf.Tracker
@@ -173,9 +201,13 @@ func main() {
 					if srv.Shard(r.LBA)%*clients != c {
 						continue
 					}
-					err := srv.Submit(&server.Request{
-						Arrival: arrivals[i], Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content,
-					})
+					req := server.Request{Time: int64(arrivals[i]), Op: r.Op, LBA: r.LBA}
+					if r.Op == trace.Read {
+						req.Chunks = r.N
+					} else {
+						req.Content = r.Content
+					}
+					err := srv.Submit(&req)
 					if err == server.ErrShed {
 						continue // counted by the server
 					}
@@ -229,6 +261,51 @@ func main() {
 	}
 	fmt.Printf("shards: %d, completed/shard min %d max %d\n", snap.Shards, lo, hi)
 
+	// --- metrics ---
+	m := snap.Metrics
+	m.Traces = srv.Traces()
+	// Per-shard queue wait vs. service time, from the shard-labeled
+	// histograms the server publishes into each shard engine's registry.
+	for k := 0; k < snap.Shards; k++ {
+		label := strconv.Itoa(k)
+		qw := m.Histograms[metrics.Labeled("server_queue_wait_us", "shard", label)]
+		svc := m.Histograms[metrics.Labeled("server_service_us", "shard", label)]
+		if qw == nil || svc == nil {
+			continue
+		}
+		fmt.Printf("shard %d: queue-wait p50 %.2fms p95 %.2fms | service p50 %.2fms p95 %.2fms (%d served)\n",
+			k, qw.Percentile(50)/1000, qw.Percentile(95)/1000,
+			svc.Percentile(50)/1000, svc.Percentile(95)/1000, svc.N)
+	}
+	if len(m.Traces) > 0 {
+		t := m.Traces[0]
+		fmt.Printf("traces: %d sampled (every %d per shard); first: shard=%d op=%v lba=%d chunks=%d sojourn=%dus phases=%v\n",
+			len(m.Traces), *traceSample, t.Shard, t.Op, t.LBA, t.Chunks, t.Sojourn, t.Phases)
+	}
+	if *metricsOut != "" {
+		if err := writeSnapshot(*metricsOut, m.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+			os.Exit(1)
+		}
+		// Smoke assertion: an instrumented run must have recorded
+		// latency samples somewhere, or the pipeline is dead.
+		samples := int64(0)
+		for _, h := range m.Histograms {
+			samples += h.N
+		}
+		if samples == 0 {
+			fmt.Fprintln(os.Stderr, "podload: metrics snapshot has no histogram samples")
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %d series (%d histogram samples) -> %s\n", len(m.Histograms)+len(m.Gauges)+len(m.Counters), samples, *metricsOut)
+	}
+	if *metricsProm != "" {
+		if err := writeSnapshot(*metricsProm, m.WritePrometheus); err != nil {
+			fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *benchJSON != "" {
 		for k, v := range map[string]float64{
 			"shards":           float64(*shards),
@@ -258,4 +335,21 @@ func rateString(r float64) string {
 		return "flood"
 	}
 	return fmt.Sprintf("%.0f/s", r)
+}
+
+// writeSnapshot writes one snapshot encoding ("-" = stdout) via the
+// given writer method.
+func writeSnapshot(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	pod "github.com/pod-dedup/pod"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -38,6 +39,12 @@ func main() {
 	history := flag.Bool("history", false, "print the iCache partition trajectory (POD only)")
 	latencies := flag.String("latencies", "", "write per-request latencies as CSV to this file")
 	flag.Parse()
+
+	schemeName, err := pod.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	*scheme = string(schemeName)
 
 	var tr *trace.Trace
 	var warmup int

@@ -70,14 +70,9 @@ func main() {
 		tr.Requests = kept
 	}
 	if *ops != "" {
-		var want trace.Op
-		switch *ops {
-		case "W", "w":
-			want = trace.Write
-		case "R", "r":
-			want = trace.Read
-		default:
-			fatal(fmt.Errorf("bad -ops %q (want W or R)", *ops))
+		want, err := trace.ParseOp(*ops)
+		if err != nil {
+			fatal(err)
 		}
 		kept := tr.Requests[:0]
 		for _, r := range tr.Requests {

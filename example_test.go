@@ -13,8 +13,8 @@ func Example() {
 		panic(err)
 	}
 	// write three chunks, then the same content at another address
-	sys.Write(0, 0, []uint64{1, 2, 3})
-	sys.Write(1_000_000, 4096, []uint64{1, 2, 3})
+	sys.Do(&pod.Request{Time: 0, Op: pod.OpWrite, LBA: 0, Content: []pod.ContentID{1, 2, 3}})
+	sys.Do(&pod.Request{Time: 1_000_000, Op: pod.OpWrite, LBA: 4096, Content: []pod.ContentID{1, 2, 3}})
 
 	st := sys.Stats()
 	fmt.Printf("writes removed: %.0f%%\n", st.WritesRemovedPct)
@@ -46,8 +46,8 @@ func ExampleGenerateWorkload() {
 // power failure because the Map table lives in NVRAM.
 func ExampleSystem_CrashAndRecover() {
 	sys, _ := pod.New(pod.Config{Scheme: pod.SchemePOD})
-	sys.Write(0, 0, []uint64{7})
-	sys.Write(1_000_000, 100, []uint64{7}) // deduplicated copy
+	sys.Do(&pod.Request{Time: 0, Op: pod.OpWrite, LBA: 0, Content: []pod.ContentID{7}})
+	sys.Do(&pod.Request{Time: 1_000_000, Op: pod.OpWrite, LBA: 100, Content: []pod.ContentID{7}}) // deduplicated copy
 
 	if _, err := sys.CrashAndRecover(); err != nil {
 		panic(err)

@@ -35,7 +35,7 @@ func main() {
 		now := int64(0)
 		nextLBA := uint64(0)
 		var written []uint64 // LBAs with known content
-		content := func() uint64 { return uint64(rng.Intn(hotContent)) + 1 }
+		content := func() pod.ContentID { return pod.ContentID(rng.Intn(hotContent)) + 1 }
 
 		for phase := 0; phase < phases; phase++ {
 			writeHeavy := phase%2 == 0
@@ -50,11 +50,11 @@ func main() {
 					if rng.Intn(5) == 0 {
 						n = 2
 					}
-					ids := make([]uint64, n)
+					ids := make([]pod.ContentID, n)
 					for j := range ids {
 						ids[j] = content()
 					}
-					if _, err := sys.Write(now, nextLBA, ids); err != nil {
+					if _, err := sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: nextLBA, Content: ids}); err != nil {
 						log.Fatal(err)
 					}
 					written = append(written, nextLBA)
@@ -68,7 +68,7 @@ func main() {
 						window = len(written)
 					}
 					lba := written[len(written)-window+rng.Intn(window)]
-					if _, err := sys.Read(now, lba, 1); err != nil {
+					if _, err := sys.Do(&pod.Request{Time: now, Op: pod.OpRead, LBA: lba, Chunks: 1}); err != nil {
 						log.Fatal(err)
 					}
 				}

@@ -24,18 +24,18 @@ func main() {
 	}
 
 	// a document, saved...
-	doc := []uint64{501, 502, 503, 504}
+	doc := []pod.ContentID{501, 502, 503, 504}
 	now := int64(0)
-	must(sys.Write(now, 0, doc))
+	must(sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 0, Content: doc}))
 
 	// ...then "saved as" a copy: fully deduplicated, the copy exists
 	// only as Map-table entries in NVRAM
 	now += pod.MicrosPerSecond
-	must(sys.Write(now, 4096, doc))
+	must(sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 4096, Content: doc}))
 
 	// plus some unique data for good measure
 	now += pod.MicrosPerSecond
-	must(sys.Write(now, 8192, []uint64{900, 901}))
+	must(sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 8192, Content: []pod.ContentID{900, 901}}))
 
 	before := sys.Stats()
 	fmt.Printf("before the crash:  %d writes acked, %.0f%% removed, %d blocks used\n",
@@ -62,15 +62,15 @@ func main() {
 
 	// and the system keeps serving I/O
 	now += pod.MicrosPerSecond
-	if _, err := sys.Read(now, 4096, 4); err != nil {
+	if _, err := sys.Do(&pod.Request{Time: now, Op: pod.OpRead, LBA: 4096, Chunks: 4}); err != nil {
 		log.Fatal(err)
 	}
 	now += pod.MicrosPerSecond
-	must(sys.Write(now, 12000, []uint64{777}))
+	must(sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 12000, Content: []pod.ContentID{777}}))
 	fmt.Println("post-recovery I/O: OK")
 }
 
-func must(_ int64, err error) {
+func must(_ pod.Result, err error) {
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,16 +33,16 @@ func main() {
 
 		// The blast: one message body, delivered to every mailbox at a
 		// distinct location, interleaved with inbox reads.
-		body := make([]uint64, *msgChunks)
+		body := make([]pod.ContentID, *msgChunks)
 		for i := range body {
-			body[i] = uint64(1_000_000 + i)
+			body[i] = pod.ContentID(1_000_000 + i)
 		}
 		now := int64(0)
 		var delivered []uint64
 		for m := 0; m < *mailboxes; m++ {
 			now += int64(rng.Intn(12000)) + 6000
 			mbox := uint64(m) * 64 // each mailbox owns a 256 KiB region
-			if _, err := sys.Write(now, mbox, body); err != nil {
+			if _, err := sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: mbox, Content: body}); err != nil {
 				log.Fatal(err)
 			}
 			delivered = append(delivered, mbox)
@@ -50,14 +50,14 @@ func main() {
 			if m%8 == 0 && len(delivered) > 1 {
 				now += int64(rng.Intn(6000)) + 2000
 				victim := delivered[rng.Intn(len(delivered))]
-				if _, err := sys.Read(now, victim, *msgChunks); err != nil {
+				if _, err := sys.Do(&pod.Request{Time: now, Op: pod.OpRead, LBA: victim, Chunks: *msgChunks}); err != nil {
 					log.Fatal(err)
 				}
 			}
 		}
 
 		// verify one delivery survived deduplication intact
-		if id, ok := sys.ReadBack(delivered[len(delivered)/2]); !ok || id != body[0] {
+		if id, ok := sys.ReadBack(delivered[len(delivered)/2]); !ok || id != uint64(body[0]) {
 			log.Fatalf("%s: mailbox corrupted (got %d)", scheme, id)
 		}
 

@@ -19,36 +19,36 @@ func main() {
 
 	// A "file" of 8 chunks (32 KiB). Content IDs stand for chunk
 	// contents: equal IDs are byte-identical chunks.
-	file := []uint64{101, 102, 103, 104, 105, 106, 107, 108}
+	file := []pod.ContentID{101, 102, 103, 104, 105, 106, 107, 108}
 
 	// First write: all content is new, so everything hits the disks.
 	now := int64(0)
-	rt, err := sys.Write(now, 0, file)
+	res, err := sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 0, Content: file})
 	must(err)
-	fmt.Printf("initial write of 8 chunks:       %6.2f ms (cold: full disk write)\n", ms(rt))
+	fmt.Printf("initial write of 8 chunks:       %6.2f ms (cold: full disk write)\n", ms(res.Service))
 
 	// Second write of the same content at a different location — a VM
 	// image clone, a mail blast, a re-saved document. POD classifies
 	// this as a category-1 fully redundant request and absorbs it in
 	// the Map table: no data touches the disks.
 	now += pod.MicrosPerSecond
-	rt, err = sys.Write(now, 5000, file)
+	res, err = sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 5000, Content: file})
 	must(err)
-	fmt.Printf("duplicate write elsewhere:       %6.2f ms (deduplicated: no disk I/O)\n", ms(rt))
+	fmt.Printf("duplicate write elsewhere:       %6.2f ms (deduplicated: no disk I/O)\n", ms(res.Service))
 
 	// A small 4 KiB redundant write — the case capacity-oriented
 	// schemes like iDedup skip and POD exists to eliminate.
 	now += pod.MicrosPerSecond
-	rt, err = sys.Write(now, 9000, []uint64{103})
+	res, err = sys.Do(&pod.Request{Time: now, Op: pod.OpWrite, LBA: 9000, Content: []pod.ContentID{103}})
 	must(err)
-	fmt.Printf("small duplicate write:           %6.2f ms (category 1: eliminated)\n", ms(rt))
+	fmt.Printf("small duplicate write:           %6.2f ms (category 1: eliminated)\n", ms(res.Service))
 
 	// Reads are served through the Map table; both copies resolve to
 	// the same physical blocks.
 	now += pod.MicrosPerSecond
-	rt, err = sys.Read(now, 5000, 8)
+	res, err = sys.Do(&pod.Request{Time: now, Op: pod.OpRead, LBA: 5000, Chunks: 8})
 	must(err)
-	fmt.Printf("read of the deduplicated copy:   %6.2f ms\n", ms(rt))
+	fmt.Printf("read of the deduplicated copy:   %6.2f ms\n", ms(res.Service))
 
 	if id, ok := sys.ReadBack(5000); !ok || id != 101 {
 		log.Fatalf("consistency violation: lba 5000 holds %d", id)

@@ -1,0 +1,114 @@
+// Package api defines the request/result types shared by the public
+// pod package and the internal serving layer. Both re-export these
+// types as aliases, so a request built against the public API can be
+// submitted to a sharded server without conversion or copying.
+package api
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// Op is a request direction; the values are trace.Read and trace.Write.
+type Op = trace.Op
+
+// Re-exported so api users can name operations without importing
+// internal/trace.
+const (
+	OpRead  Op = trace.Read
+	OpWrite Op = trace.Write
+)
+
+// ContentID identifies a chunk's content; equal IDs mean duplicate
+// chunks.
+type ContentID = chunk.ContentID
+
+// Request is one I/O against a simulated volume.
+//
+// Time is the arrival time in simulated microseconds. For writes,
+// Content carries one ContentID per 4 KB chunk and determines the
+// request length; Chunks is ignored. For reads, Chunks is the number
+// of 4 KB chunks to read.
+type Request struct {
+	Time    int64
+	Op      Op
+	LBA     uint64
+	Chunks  int
+	Content []ContentID
+}
+
+// Len reports the request length in chunks.
+func (r *Request) Len() int {
+	if r.Op == OpWrite {
+		return len(r.Content)
+	}
+	return r.Chunks
+}
+
+// Validate reports why the request is malformed, or nil.
+func (r *Request) Validate() error {
+	if r.Time < 0 {
+		return fmt.Errorf("api: negative request time %d", r.Time)
+	}
+	switch r.Op {
+	case OpWrite:
+		if len(r.Content) == 0 {
+			return fmt.Errorf("api: write at lba %d has no content", r.LBA)
+		}
+	case OpRead:
+		if r.Chunks <= 0 {
+			return fmt.Errorf("api: read at lba %d has length %d", r.LBA, r.Chunks)
+		}
+		if r.Content != nil {
+			return fmt.Errorf("api: read at lba %d carries content", r.LBA)
+		}
+	default:
+		return fmt.Errorf("api: unknown op %d", r.Op)
+	}
+	return nil
+}
+
+// Trace converts the request to the internal trace representation.
+// Content is shared, not copied.
+func (r *Request) Trace() trace.Request {
+	return trace.Request{
+		Time:    sim.Time(r.Time),
+		Op:      r.Op,
+		LBA:     r.LBA,
+		N:       r.Len(),
+		Content: r.Content,
+	}
+}
+
+// FromTrace converts an internal trace request to the API shape.
+// Content is shared, not copied.
+func FromTrace(tr trace.Request) Request {
+	req := Request{
+		Time:    int64(tr.Time),
+		Op:      tr.Op,
+		LBA:     tr.LBA,
+		Content: tr.Content,
+	}
+	if tr.Op == OpRead {
+		req.Chunks = tr.N
+	}
+	return req
+}
+
+// Result describes one completed request. All fields are simulated
+// microseconds except Shard, the serving shard index (0 outside the
+// sharded server).
+//
+// Service is the engine's response time; Sojourn additionally includes
+// queue wait, so Sojourn >= Service under queued timing and
+// Sojourn == Service in passthrough/replay modes.
+type Result struct {
+	Shard    int
+	Start    int64
+	Complete int64
+	Service  int64
+	Sojourn  int64
+}

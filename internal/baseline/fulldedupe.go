@@ -7,6 +7,7 @@ import (
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/index"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -47,6 +48,9 @@ func (f *FullDedupe) Name() string { return "Full-Dedupe" }
 // Stats implements engine.Engine.
 func (f *FullDedupe) Stats() *engine.Stats { return f.base.St }
 
+// Metrics implements engine.Engine.
+func (f *FullDedupe) Metrics() *metrics.Registry { return f.base.Metrics() }
+
 // UsedBlocks implements engine.Engine.
 func (f *FullDedupe) UsedBlocks() uint64 { return f.base.UsedBlocks() }
 
@@ -64,6 +68,7 @@ func bloomAdmits(fp chunk.Fingerprint) bool {
 // Write deduplicates every redundant chunk of the request.
 func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	f.base.StartRequest()
 	chs, fpCost := f.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
@@ -99,8 +104,7 @@ func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 			f.full.Insert(chs[pos].FP, pbas[k])
 		}
 	} else {
-		f.base.St.WritesRemoved++
-		done = done.Add(engine.MapUpdateUS)
+		done = f.base.AbsorbWrite(done)
 	}
 
 	f.base.St.Writes++
@@ -112,6 +116,7 @@ func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 
 // Read services a read through the Map table.
 func (f *FullDedupe) Read(req *trace.Request) sim.Duration {
+	f.base.StartRequest()
 	rt := f.base.ReadMapped(req, false)
 	f.base.St.Reads++
 	f.base.St.ReadRT.Add(int64(rt))

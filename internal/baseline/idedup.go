@@ -3,6 +3,7 @@ package baseline
 import (
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -29,6 +30,9 @@ func (d *IDedup) Name() string { return "iDedup" }
 // Stats implements engine.Engine.
 func (d *IDedup) Stats() *engine.Stats { return d.base.St }
 
+// Metrics implements engine.Engine.
+func (d *IDedup) Metrics() *metrics.Registry { return d.base.Metrics() }
+
 // UsedBlocks implements engine.Engine.
 func (d *IDedup) UsedBlocks() uint64 { return d.base.UsedBlocks() }
 
@@ -39,6 +43,7 @@ func (d *IDedup) ReadContent(lba uint64) (uint64, bool) { return d.base.ReadCont
 // threshold length within sufficiently large requests.
 func (d *IDedup) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	d.base.StartRequest()
 	st := d.base.St
 	st.Writes++
 
@@ -102,8 +107,7 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 			d.base.InsertIndex(chs[pos].FP, pbas[k])
 		}
 	} else {
-		st.WritesRemoved++
-		done = done.Add(engine.MapUpdateUS)
+		done = d.base.AbsorbWrite(done)
 	}
 
 	d.base.VerifyWrite(req)
@@ -114,6 +118,7 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 
 // Read services a read through the Map table.
 func (d *IDedup) Read(req *trace.Request) sim.Duration {
+	d.base.StartRequest()
 	rt := d.base.ReadMapped(req, false)
 	d.base.St.Reads++
 	d.base.St.ReadRT.Add(int64(rt))

@@ -5,6 +5,7 @@ import (
 	"github.com/pod-dedup/pod/internal/cache"
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -66,6 +67,9 @@ func (d *IODedup) Name() string { return "I/O-Dedup" }
 // Stats implements engine.Engine.
 func (d *IODedup) Stats() *engine.Stats { return d.base.St }
 
+// Metrics implements engine.Engine.
+func (d *IODedup) Metrics() *metrics.Registry { return d.base.Metrics() }
+
 // UsedBlocks implements engine.Engine: no elimination, full footprint.
 func (d *IODedup) UsedBlocks() uint64 { return d.base.UsedBlocks() }
 
@@ -76,6 +80,7 @@ func (d *IODedup) ReadContent(lba uint64) (uint64, bool) { return d.base.ReadCon
 // records replica locations for the read path.
 func (d *IODedup) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	d.base.StartRequest()
 	st := d.base.St
 	st.Writes++
 
@@ -152,6 +157,7 @@ func dist(a, b alloc.PBA) uint64 {
 // misses from the nearest replica of the content.
 func (d *IODedup) Read(req *trace.Request) sim.Duration {
 	t := req.Time
+	d.base.StartRequest()
 	st := d.base.St
 	st.Reads++
 
@@ -193,6 +199,7 @@ func (d *IODedup) Read(req *trace.Request) sim.Duration {
 		rt = engine.MemHitUS
 	} else {
 		rt = done.Sub(t)
+		d.base.Ph.Observe(metrics.PhaseDiskRead, int64(rt))
 	}
 	st.ReadRT.Add(int64(rt))
 	return rt

@@ -9,6 +9,7 @@ package baseline
 import (
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -31,6 +32,9 @@ func (n *Native) Name() string { return "Native" }
 // Stats implements engine.Engine.
 func (n *Native) Stats() *engine.Stats { return n.base.St }
 
+// Metrics implements engine.Engine.
+func (n *Native) Metrics() *metrics.Registry { return n.base.Metrics() }
+
 // UsedBlocks reports the in-place footprint: every distinct logical
 // block ever written occupies its own physical block.
 func (n *Native) UsedBlocks() uint64 { return uint64(n.base.Store.Len()) }
@@ -44,8 +48,10 @@ func (n *Native) ReadContent(lba uint64) (uint64, bool) {
 // Write services a write in place.
 func (n *Native) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	n.base.StartRequest()
 	start := req.LBA % n.base.DataBlocks()
 	done := n.base.Array.Write(t, start, uint64(req.N))
+	n.base.Ph.Observe(metrics.PhaseDiskWrite, int64(done.Sub(t)))
 	for i := 0; i < req.N; i++ {
 		pba := alloc.PBA(start + uint64(i))
 		n.base.Store.Write(pba, req.Content[i])
@@ -59,6 +65,7 @@ func (n *Native) Write(req *trace.Request) sim.Duration {
 
 // Read services a read at identity addresses.
 func (n *Native) Read(req *trace.Request) sim.Duration {
+	n.base.StartRequest()
 	rt := n.base.ReadMapped(req, true)
 	n.base.St.Reads++
 	n.base.St.ReadRT.Add(int64(rt))

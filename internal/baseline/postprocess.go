@@ -7,6 +7,7 @@ import (
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/index"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -56,6 +57,10 @@ func NewPostProcess(cfg engine.Config) *PostProcess {
 	}
 	p.nextScan = sim.Time(p.ScanInterval)
 	b.OnFree = p.full.Forget
+	b.Reg.GaugeFunc("postprocess_scan_passes", func() int64 { return p.scans })
+	b.Reg.GaugeFunc("postprocess_blocks_scanned", func() int64 { return p.scanned })
+	b.Reg.GaugeFunc("postprocess_blocks_merged", func() int64 { return p.merged })
+	b.Reg.GaugeFunc("postprocess_scan_backlog", func() int64 { return int64(len(p.pending)) })
 	return p
 }
 
@@ -64,6 +69,9 @@ func (p *PostProcess) Name() string { return "Post-Process" }
 
 // Stats implements engine.Engine.
 func (p *PostProcess) Stats() *engine.Stats { return p.base.St }
+
+// Metrics implements engine.Engine.
+func (p *PostProcess) Metrics() *metrics.Registry { return p.base.Metrics() }
 
 // UsedBlocks implements engine.Engine.
 func (p *PostProcess) UsedBlocks() uint64 { return p.base.UsedBlocks() }
@@ -80,6 +88,7 @@ func (p *PostProcess) Scans() (passes, scanned, merged int64) {
 // then lets the background scanner catch up.
 func (p *PostProcess) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	p.base.StartRequest()
 	p.scan(t)
 	st := p.base.St
 	st.Writes++
@@ -101,6 +110,7 @@ func (p *PostProcess) Write(req *trace.Request) sim.Duration {
 
 // Read is the standard mapped read path.
 func (p *PostProcess) Read(req *trace.Request) sim.Duration {
+	p.base.StartRequest()
 	p.scan(req.Time)
 	rt := p.base.ReadMapped(req, false)
 	p.base.St.Reads++

@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
@@ -35,6 +36,9 @@ func (s *SelectDedupe) Name() string { return s.name }
 // Stats implements engine.Engine.
 func (s *SelectDedupe) Stats() *engine.Stats { return s.base.St }
 
+// Metrics implements engine.Engine.
+func (s *SelectDedupe) Metrics() *metrics.Registry { return s.base.Metrics() }
+
 // UsedBlocks implements engine.Engine.
 func (s *SelectDedupe) UsedBlocks() uint64 { return s.base.UsedBlocks() }
 
@@ -56,6 +60,7 @@ func (s *SelectDedupe) CrashAndRecover() (int, error) { return s.base.Recover() 
 // chunks into the Map table, and write the rest contiguously.
 func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
 	t := req.Time
+	s.base.StartRequest()
 	s.base.Tick(t)
 	st := s.base.St
 	st.Writes++
@@ -99,8 +104,7 @@ func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
 			s.base.InsertIndex(chs[pos].FP, pbas[k])
 		}
 	} else {
-		st.WritesRemoved++
-		done = done.Add(engine.MapUpdateUS)
+		done = s.base.AbsorbWrite(done)
 	}
 
 	s.base.VerifyWrite(req)
@@ -114,6 +118,7 @@ func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
 // data, shorter disk queues) and, in adaptive mode, from read-cache
 // growth during read bursts.
 func (s *SelectDedupe) Read(req *trace.Request) sim.Duration {
+	s.base.StartRequest()
 	s.base.Tick(req.Time)
 	rt := s.base.ReadMapped(req, false)
 	s.base.St.Reads++

@@ -7,6 +7,7 @@ import (
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/icache"
 	"github.com/pod-dedup/pod/internal/maptable"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/nvram"
 	"github.com/pod-dedup/pod/internal/raid"
 	"github.com/pod-dedup/pod/internal/sim"
@@ -96,6 +97,12 @@ type Base struct {
 	IC    *icache.Controller
 	St    *Stats
 
+	// Reg is the engine's metrics registry; Ph its per-phase latency
+	// recorder (a pre-resolved handle — observing a phase is plain
+	// integer arithmetic on the hot path).
+	Reg *metrics.Registry
+	Ph  *metrics.PhaseSet
+
 	// OnFree, when set, is invoked for every reclaimed physical block
 	// (Full-Dedupe uses it to drop full-index entries).
 	OnFree func(alloc.PBA)
@@ -139,6 +146,7 @@ func NewBase(cfg Config) *Base {
 		dev = nvram.New(cfg.NVRAMBytes)
 	}
 
+	reg := metrics.NewRegistry()
 	b := &Base{
 		Cfg:        cfg,
 		Array:      cfg.Array,
@@ -148,6 +156,8 @@ func NewBase(cfg Config) *Base {
 		Hash:       chunk.NewHashEngine(cfg.Fingerprinter, cfg.HashWorkers),
 		IC:         icache.New(icp),
 		St:         NewStats(),
+		Reg:        reg,
+		Ph:         reg.Phases(),
 		dataBlocks: data,
 		zoneBlocks: zone,
 		rngState:   0x9E3779B97F4A7C15,
@@ -158,7 +168,37 @@ func NewBase(cfg Config) *Base {
 		b.cleaner = cleanerState{p: cfg.Cleaner.withDefaults(data)}
 		b.Map.EnableReverseIndex()
 	}
+	b.instrument()
 	return b
+}
+
+// instrument wires the substrates' live gauges into the registry. It
+// runs at construction and again after Recover replaces the map table
+// and caches (GaugeFunc re-registration swaps the callbacks, so the
+// gauges always read the live objects).
+func (b *Base) instrument() {
+	b.Array.Instrument(b.Reg)
+	b.Map.Instrument(b.Reg)
+	b.IC.Instrument(b.Reg)
+	b.Reg.GaugeFunc("engine_used_blocks", func() int64 { return int64(b.Alloc.Used()) })
+}
+
+// Metrics implements part of the Engine interface.
+func (b *Base) Metrics() *metrics.Registry { return b.Reg }
+
+// StartRequest marks the beginning of one request's service, resetting
+// the per-request phase scratch that sampled traces read back. Engines
+// call it first thing in Write and Read.
+func (b *Base) StartRequest() { b.Ph.Begin() }
+
+// AbsorbWrite accounts a write request fully absorbed by the Map table
+// (every chunk deduplicated — no data I/O): the request is counted as
+// removed, the map-update bookkeeping cost is charged and attributed to
+// the map_update phase, and the completion time moves accordingly.
+func (b *Base) AbsorbWrite(done sim.Time) sim.Time {
+	b.St.WritesRemoved++
+	b.Ph.Observe(metrics.PhaseMapUpdate, MapUpdateUS)
+	return done.Add(MapUpdateUS)
 }
 
 // NVRAM exposes the Map-table journal device (nil when journaling is
@@ -206,6 +246,8 @@ func (b *Base) Recover() (int, error) {
 	}
 	// volatile caches come back cold
 	b.IC = icache.New(b.icparams)
+	// re-point the live gauges at the rebuilt substrates
+	b.instrument()
 	return applied, nil
 }
 
@@ -245,6 +287,7 @@ func (b *Base) SplitRequest(req *trace.Request) []chunk.Chunk {
 func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Duration) {
 	chs := b.SplitRequest(req)
 	cost := b.Hash.FingerprintAll(chs)
+	b.Ph.Observe(metrics.PhaseFingerprint, int64(cost))
 	return chs, sim.Duration(cost)
 }
 
@@ -337,6 +380,7 @@ func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs 
 	}
 	b.St.ChunksWritten += int64(len(positions))
 	b.St.NVRAMPeakBytes = b.Map.PeakNVRAMBytes()
+	b.Ph.Observe(metrics.PhaseDiskWrite, int64(done.Sub(at)))
 	return done, pbas
 }
 
@@ -407,6 +451,7 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
 	if !anyMiss {
 		return MemHitUS
 	}
+	b.Ph.Observe(metrics.PhaseDiskRead, int64(done.Sub(t)))
 	return done.Sub(t)
 }
 
@@ -414,6 +459,9 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
 // index zone (Full-Dedupe's index-lookup traffic) starting at time at,
 // returning the time the last lookup completes.
 func (b *Base) IndexZoneIO(at sim.Time, k int) sim.Time {
+	if k <= 0 {
+		return at
+	}
 	done := at
 	for ; k > 0; k-- {
 		b.rngState ^= b.rngState << 13
@@ -424,6 +472,7 @@ func (b *Base) IndexZoneIO(at sim.Time, k int) sim.Time {
 		done = sim.MaxTime(done, c)
 		b.St.IndexDiskIOs++
 	}
+	b.Ph.Observe(metrics.PhaseIndexProbe, int64(done.Sub(at)))
 	return done
 }
 

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/stats"
 	"github.com/pod-dedup/pod/internal/trace"
@@ -31,6 +32,11 @@ type Engine interface {
 	Read(req *trace.Request) sim.Duration
 	// Stats exposes the engine's accumulated metrics.
 	Stats() *Stats
+	// Metrics exposes the engine's metrics registry: per-phase latency
+	// histograms plus the live gauges of its substrates (iCache
+	// partition, map table, RAID accounting). One registry per engine;
+	// the sharded server merges per-shard snapshots.
+	Metrics() *metrics.Registry
 	// UsedBlocks reports the physical capacity currently occupied, in
 	// 4 KB blocks (Figure 10's metric).
 	UsedBlocks() uint64

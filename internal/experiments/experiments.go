@@ -8,12 +8,14 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/pod-dedup/pod/internal/baseline"
 	"github.com/pod-dedup/pod/internal/core"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/raid"
 	"github.com/pod-dedup/pod/internal/replay"
 	"github.com/pod-dedup/pod/internal/trace"
@@ -99,6 +101,11 @@ func NewEngine(name string, cfg engine.Config) engine.Engine {
 type Env struct {
 	Scale   float64
 	Workers int
+
+	// TraceEvery > 0 samples every nth measured request of each replay
+	// into its result's Metrics.Traces (set before the first replay
+	// runs; cached results keep whatever sampling they ran with).
+	TraceEvery int
 
 	mu      sync.Mutex
 	results map[string]*replay.Result
@@ -196,9 +203,10 @@ func (e *Env) EnsureMatrix(engines, traces []string) {
 		p := corpusPack(c.tn, e.Scale)
 		en := c.en
 		jobs[i] = replay.Job{
-			Key:     key(c.en, c.tn),
-			Factory: func() engine.Engine { return NewEngine(en, BuildConfig(p.prof, e.Scale)) },
-			TraceFn: p.generate,
+			Key:        key(c.en, c.tn),
+			Factory:    func() engine.Engine { return NewEngine(en, BuildConfig(p.prof, e.Scale)) },
+			TraceFn:    p.generate,
+			TraceEvery: e.TraceEvery,
 		}
 	}
 	results := replay.RunAll(jobs, e.Workers)
@@ -220,6 +228,32 @@ func (e *Env) Result(engineName, traceName string) *replay.Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.results[key(engineName, traceName)]
+}
+
+// MetricsSnapshot merges the metrics of every replay this Env has run
+// so far into one snapshot (per-phase histograms merge bucket-wise;
+// sampled traces append). Keys are sorted for determinism.
+func (e *Env) MetricsSnapshot() *metrics.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]string, 0, len(e.results))
+	for k := range e.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := metrics.NewSnapshot()
+	for _, k := range keys {
+		if r := e.results[k]; r != nil && r.Metrics != nil {
+			out.Merge(r.Metrics)
+		}
+	}
+	return out
+}
+
+// SampledTraces returns the sampled request timelines collected across
+// every replay run so far (empty unless TraceEvery was set).
+func (e *Env) SampledTraces() []metrics.TraceRecord {
+	return e.MetricsSnapshot().Traces
 }
 
 // normalize maps a value to percent of its baseline.

@@ -1,0 +1,23 @@
+package icache
+
+import "github.com/pod-dedup/pod/internal/metrics"
+
+// Instrument publishes the controller's partition state and the Access
+// Monitor's lifetime accounting into reg as live gauges — the telemetry
+// behind the paper's Fig. 9 iCache-adaptation analysis: partition sizes
+// on both sides, ghost-cache hit totals (the adaptation signal), and
+// the swap traffic repartitioning causes. The engine re-calls it after
+// crash recovery rebuilds the caches.
+func (c *Controller) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("icache_index_entries", func() int64 { return int64(c.idx.Len()) })
+	reg.GaugeFunc("icache_index_cap", func() int64 { return int64(c.idx.Cap()) })
+	reg.GaugeFunc("icache_read_blocks", func() int64 { return int64(c.read.Len()) })
+	reg.GaugeFunc("icache_read_cap", func() int64 { return int64(c.read.Cap()) })
+	reg.GaugeFunc("icache_index_frac_permille", func() int64 { return int64(c.indexFrac * 1000) })
+	reg.GaugeFunc("icache_repartitions", func() int64 { return c.repartitions })
+	reg.GaugeFunc("icache_ghost_index_hits_total", func() int64 { return c.totalGhostIdxHits })
+	reg.GaugeFunc("icache_ghost_read_hits_total", func() int64 { return c.totalGhostReadHits })
+	reg.GaugeFunc("icache_swapins_index", func() int64 { return c.swapInsIdx })
+	reg.GaugeFunc("icache_swapins_read", func() int64 { return c.swapInsRd })
+	c.idx.Instrument(reg)
+}

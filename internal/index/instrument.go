@@ -1,0 +1,12 @@
+package index
+
+import "github.com/pod-dedup/pod/internal/metrics"
+
+// Instrument publishes the hot index's occupancy and hit accounting
+// into reg as live gauges.
+func (h *Hot) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("index_hot_entries", func() int64 { return int64(h.Len()) })
+	reg.GaugeFunc("index_hot_cap", func() int64 { return int64(h.Cap()) })
+	reg.GaugeFunc("index_hot_hits", func() int64 { return h.Hits() })
+	reg.GaugeFunc("index_hot_misses", func() int64 { return h.Misses() })
+}

@@ -1,0 +1,15 @@
+package maptable
+
+import "github.com/pod-dedup/pod/internal/metrics"
+
+// Instrument publishes the table's occupancy and journal accounting
+// into reg as live gauges. The engine re-calls it after crash recovery
+// replaces the table, so the callbacks always follow the live instance.
+func (t *Table) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("maptable_entries", func() int64 { return int64(t.Len()) })
+	reg.GaugeFunc("maptable_shared_entries", func() int64 { return t.SharedEntries() })
+	reg.GaugeFunc("maptable_shared_entries_peak", func() int64 { return t.PeakSharedEntries() })
+	reg.GaugeFunc("maptable_nvram_bytes", func() int64 { return t.NVRAMBytes() })
+	reg.GaugeFunc("maptable_nvram_bytes_peak", func() int64 { return t.PeakNVRAMBytes() })
+	reg.GaugeFunc("maptable_journal_tail", func() int64 { return int64(t.JournalTail()) })
+}

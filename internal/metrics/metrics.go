@@ -1,0 +1,338 @@
+// Package metrics is the observability layer of this repository: a
+// small, zero-allocation-on-hot-path metrics registry that the storage
+// substrates (engine, icache, index, maptable, raid) and the serving
+// layer publish into, plus sampled structured request traces.
+//
+// Design rules:
+//
+//   - Handles (Counter, Gauge, Histogram) are resolved by name once, at
+//     construction/instrumentation time; the hot path then performs
+//     plain integer arithmetic on pre-allocated state. No map lookups,
+//     no interface boxing, no allocation per observation.
+//   - A Registry is single-writer: it belongs to one engine (one shard)
+//     and is mutated only by that engine's serving goroutine. Readers
+//     (snapshots) must synchronize externally — the sharded server
+//     pauses a shard before snapshotting it, and the replay harness
+//     snapshots after the replay completes.
+//   - Cross-shard aggregation happens on immutable Snapshots: merging
+//     sums counters and gauges and adds histograms bucket-wise.
+//     Per-shard views stay available through shard-labeled metric names
+//     (see Labeled).
+//   - All durations are simulated microseconds, matching the rest of
+//     the repository; histograms are fixed-size log₂-bucketed so they
+//     merge exactly and never allocate after creation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing tally. Not synchronized: owned
+// by the registry's single writer.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (negative deltas are a bug; they are added as-is so tests
+// catch them in snapshots rather than silently clamping).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value reports the current tally.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is an instantaneous value set by its owner.
+type Gauge struct {
+	name string
+	v    int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// HistBuckets is the fixed bucket count of every histogram: bucket i
+// covers [2^(i-1), 2^i) microseconds (bucket 0 holds only zero), the
+// same log₂ layout as the response-time histograms in internal/stats,
+// so the two views of one replay always agree.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket log₂-scale histogram over non-negative
+// integer samples (simulated microseconds). Observing never allocates.
+type Histogram struct {
+	name    string
+	buckets [HistBuckets]int64
+	n       int64
+	sum     int64
+	max     int64
+}
+
+func histBucketOf(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := 64 - bits.LeadingZeros64(uint64(v))
+	if b > HistBuckets-1 {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample; negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N reports the number of samples.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum reports the sample total.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max reports the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean reports the arithmetic mean, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// gaugeFunc is a callback gauge, evaluated at snapshot time. It costs
+// nothing on the hot path, which makes it the right shape for values a
+// substrate already tracks (cache occupancy, journal tail, hit totals).
+type gaugeFunc struct {
+	name string
+	fn   func() int64
+}
+
+// Registry holds the named metrics of one engine shard (or one
+// process-level component). The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]*gaugeFunc
+	hists      map[string]*Histogram
+	phases     *PhaseSet
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]*gaugeFunc),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) checkFree(name, kind string) {
+	if _, ok := r.counters[name]; ok && kind != "counter" {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
+	}
+	if _, ok := r.gauges[name]; ok && kind != "gauge" {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+	}
+	if _, ok := r.gaugeFuncs[name]; ok && kind != "gaugefunc" {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge func", name))
+	}
+	if _, ok := r.hists[name]; ok && kind != "histogram" {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram", name))
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering a name under two different kinds panics.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers fn to be evaluated at snapshot time under name.
+// Re-registering the same name replaces the callback — substrates that
+// are rebuilt (crash recovery replaces the map table and caches)
+// re-instrument so the callbacks follow the live object.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gaugeFuncs[name]; ok {
+		g.fn = fn
+		return
+	}
+	r.checkFree(name, "gaugefunc")
+	r.gaugeFuncs[name] = &gaugeFunc{name: name, fn: fn}
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h := &Histogram{name: name}
+	r.hists[name] = h
+	return h
+}
+
+// Phases returns the registry's per-phase latency recorder, creating it
+// (and its backing histograms) on first use.
+func (r *Registry) Phases() *PhaseSet {
+	r.mu.Lock()
+	ps := r.phases
+	r.mu.Unlock()
+	if ps != nil {
+		return ps
+	}
+	ps = newPhaseSet(r)
+	r.mu.Lock()
+	if r.phases == nil {
+		r.phases = ps
+	}
+	ps = r.phases
+	r.mu.Unlock()
+	return ps
+}
+
+// Reset zeroes every counter, gauge and histogram in place (gauge
+// callbacks are left registered — they always report live state). The
+// replay harness calls it at the end of the warm-up window, mirroring
+// engine.Stats.Reset.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for _, h := range r.hists {
+		name := h.name
+		*h = Histogram{name: name}
+	}
+	if r.phases != nil {
+		r.phases.last = [NumPhases]int64{}
+	}
+}
+
+// Snapshot captures every metric as plain data, evaluating gauge
+// callbacks. The caller must ensure the registry's writer is paused.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := NewSnapshot()
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, g := range r.gaugeFuncs {
+		s.Gauges[name] = g.fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = snapHistogram(h)
+	}
+	return s
+}
+
+// Labeled composes a metric name with Prometheus-style labels:
+// Labeled("server_queue_wait_us", "shard", "3") is
+// `server_queue_wait_us{shard="3"}`. The registry treats the result as
+// an opaque name; the Prometheus dump re-parses it so bucket labels
+// merge correctly.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic("metrics: Labeled needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a possibly-labeled metric name into its base name
+// and the label body (without braces, "" when unlabeled).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// bucketUpper reports the exclusive upper bound of log₂ bucket i,
+// saturating at MaxInt64 for the last bucket.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// sortedKeys returns map keys in lexical order, for deterministic text
+// output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,15 @@
+package raid
+
+import "github.com/pod-dedup/pod/internal/metrics"
+
+// Instrument publishes the array's I/O accounting into reg as live
+// gauges (evaluated at snapshot time; zero hot-path cost). Safe to call
+// again after reconfiguration — callbacks are replaced.
+func (a *Array) Instrument(reg *metrics.Registry) {
+	reg.GaugeFunc("raid_logical_reads", func() int64 { return a.logicalReads })
+	reg.GaugeFunc("raid_logical_writes", func() int64 { return a.logicalWrites })
+	reg.GaugeFunc("raid_disk_ios", func() int64 { return a.diskIOs })
+	reg.GaugeFunc("raid_rmw_stripes", func() int64 { return a.rmwStripes })
+	reg.GaugeFunc("raid_full_stripes", func() int64 { return a.fullStripes })
+	reg.GaugeFunc("raid_degraded_reads", func() int64 { return a.degradedReads })
+}

@@ -11,9 +11,14 @@ import (
 	"sync"
 
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 )
+
+// traceRingCap bounds sampled traces kept per replay: newest win, like
+// the serving layer's per-shard rings.
+const traceRingCap = 256
 
 // Flusher is implemented by engines with background work (the
 // post-processing scanner); Run drains it after the last request so
@@ -34,6 +39,12 @@ type Result struct {
 	MeanRT, MeanReadRT, MeanWriteRT float64
 	P95ReadRT, P95WriteRT           float64
 
+	// Metrics is the engine's registry snapshot over the measured
+	// portion (the registry is reset at the warm-up boundary alongside
+	// Stats); its Traces field holds the sampled request timelines when
+	// the job asked for them (Job.TraceEvery).
+	Metrics *metrics.Snapshot
+
 	// Err is set when the job panicked instead of completing; every
 	// other field is zero. RunAll converts panics into errors so one
 	// corrupt combination doesn't take down the worker pool (and with
@@ -46,14 +57,26 @@ type Result struct {
 // Run panics otherwise (a malformed trace would silently corrupt every
 // downstream number).
 func Run(e engine.Engine, tr *trace.Trace, warmup int) *Result {
-	return RunObserved(e, tr, warmup, nil)
+	return run(e, tr, warmup, 0, nil)
 }
 
 // RunObserved is Run with a per-request callback receiving the request
 // index, the request, and its simulated response time in microseconds
 // (for latency logging and custom analyses).
 func RunObserved(e engine.Engine, tr *trace.Trace, warmup int, observe func(int, *trace.Request, int64)) *Result {
+	return run(e, tr, warmup, 0, observe)
+}
+
+// run is the shared replay loop. traceEvery > 0 samples every nth
+// measured request into the result's Metrics.Traces with its full
+// per-phase timeline (at most traceRingCap kept, newest win).
+func run(e engine.Engine, tr *trace.Trace, warmup, traceEvery int, observe func(int, *trace.Request, int64)) *Result {
 	var last int64 = -1
+	var ring *metrics.TraceRing
+	if traceEvery > 0 {
+		ring = metrics.NewTraceRing(traceRingCap)
+	}
+	sampled := int64(0)
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
 		if int64(r.Time) < last {
@@ -62,12 +85,26 @@ func RunObserved(e engine.Engine, tr *trace.Trace, warmup int, observe func(int,
 		last = int64(r.Time)
 		if i == warmup {
 			e.Stats().Reset()
+			e.Metrics().Reset()
 		}
 		var rt sim.Duration
 		if r.Op == trace.Write {
 			rt = e.Write(r)
 		} else {
 			rt = e.Read(r)
+		}
+		if ring != nil && i >= warmup {
+			sampled++
+			if sampled%int64(traceEvery) == 0 {
+				// replay is unqueued: arrival == start, sojourn == service
+				ring.Add(metrics.TraceRecord{
+					Seq: int64(i), Op: r.Op.String(), LBA: r.LBA, Chunks: r.N,
+					Arrival: int64(r.Time), Start: int64(r.Time),
+					Complete: int64(r.Time) + int64(rt),
+					Service:  int64(rt), Sojourn: int64(rt),
+					Phases: e.Metrics().Phases().LastTimeline(),
+				})
+			}
 		}
 		if observe != nil {
 			observe(i, r, int64(rt))
@@ -77,6 +114,10 @@ func RunObserved(e engine.Engine, tr *trace.Trace, warmup int, observe func(int,
 		f.Flush(sim.Time(last))
 	}
 	st := e.Stats()
+	m := e.Metrics().Snapshot()
+	if ring != nil {
+		m.Traces = ring.Drain()
+	}
 	return &Result{
 		Engine:      e.Name(),
 		Trace:       tr.Name,
@@ -87,6 +128,7 @@ func RunObserved(e engine.Engine, tr *trace.Trace, warmup int, observe func(int,
 		MeanWriteRT: st.WriteRT.Mean(),
 		P95ReadRT:   st.ReadRT.Percentile(95),
 		P95WriteRT:  st.WriteRT.Percentile(95),
+		Metrics:     m,
 	}
 }
 
@@ -102,6 +144,10 @@ type Job struct {
 	Trace   *trace.Trace
 	Warmup  int
 	TraceFn func() (*trace.Trace, int) // lazy trace + warmup; overrides Trace/Warmup
+
+	// TraceEvery > 0 samples every nth measured request into the
+	// result's Metrics.Traces with its per-phase timeline.
+	TraceEvery int
 }
 
 // runJob executes one job, converting a panic anywhere in trace
@@ -120,7 +166,7 @@ func runJob(j Job) (res *Result) {
 	if j.TraceFn != nil {
 		tr, warmup = j.TraceFn()
 	}
-	return Run(j.Factory(), tr, warmup)
+	return run(j.Factory(), tr, warmup, j.TraceEvery, nil)
 }
 
 // RunAll executes jobs across a pool of workers and returns results in

@@ -27,11 +27,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
-	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/stats"
 	"github.com/pod-dedup/pod/internal/trace"
@@ -109,6 +112,14 @@ type Config struct {
 	// NewEngine constructs shard i's engine. Each call must return a
 	// fresh engine over fresh substrates; shards share nothing.
 	NewEngine func(shard int) engine.Engine
+
+	// TraceSample, when positive, records every TraceSample-th request
+	// served by each shard as a structured trace (full phase timeline)
+	// into a per-shard ring buffer drained via Traces(). 0 disables
+	// sampling.
+	TraceSample int
+	// TraceBuf caps each shard's trace ring (default 256).
+	TraceBuf int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -133,37 +144,53 @@ func (c Config) withDefaults() (Config, error) {
 	if c.NewEngine == nil {
 		return c, errors.New("server: Config.NewEngine is required")
 	}
+	if c.TraceSample < 0 {
+		return c, fmt.Errorf("server: trace sample %d (want >= 0)", c.TraceSample)
+	}
+	if c.TraceBuf == 0 {
+		c.TraceBuf = 256
+	}
+	if c.TraceBuf < 1 {
+		return c, fmt.Errorf("server: trace buffer %d", c.TraceBuf)
+	}
 	return c, nil
 }
 
-// Request is one block-level I/O submitted to the server. LBA and N
-// are in 4 KiB chunks; writes carry a content ID per chunk. Arrival is
-// the request's virtual arrival time (open-loop generators stamp their
-// own schedule here; per shard it need not be monotone — the timing
-// mode clamps).
-type Request struct {
-	Arrival sim.Time
-	Op      trace.Op
-	LBA     uint64
-	N       int
-	Content []chunk.ContentID
+// Request is one block-level I/O submitted to the server — the shared
+// api.Request type the public pod package also exposes, so requests
+// built against either surface are interchangeable. Request.Time is
+// the virtual arrival time (open-loop generators stamp their own
+// schedule here; per shard it need not be monotone — the timing mode
+// clamps). LBA and lengths are in 4 KiB chunks; writes carry a content
+// ID per chunk.
+type Request = api.Request
 
-	done chan Result // set by Do
-}
+// Result is the completion record of one request (shared api.Result):
+// Sojourn is queue wait + service under Queued timing, equal to
+// Service under Passthrough.
+type Result = api.Result
 
-// Result is the completion record of one request.
-type Result struct {
-	Shard    int
-	Start    sim.Time     // virtual service start
-	Complete sim.Time     // virtual completion
-	Service  sim.Duration // engine response time
-	Sojourn  sim.Duration // queue wait + service (Queued), Service (Passthrough)
+// envelope pairs a queued request with its optional completion channel
+// (set by Do; Submit leaves it nil).
+type envelope struct {
+	req  *Request
+	done chan Result
 }
 
 type shard struct {
 	id  int
-	ch  chan *Request
+	ch  chan envelope
 	eng engine.Engine
+
+	// metric handles resolved at construction: the engine's phase set
+	// (queue wait is observed into it after each serve so sampled
+	// traces carry the full timeline) and shard-labeled queue-wait and
+	// service histograms, registered in the shard engine's registry.
+	ph    *metrics.PhaseSet
+	qwait *metrics.Histogram
+	svc   *metrics.Histogram
+	seq   int64
+	ring  *metrics.TraceRing
 
 	// mu serializes the worker's serving rounds against snapshots,
 	// ReadContent, WithEngine, and recovery. The worker holds it only
@@ -194,6 +221,10 @@ type Server struct {
 	router Router
 	shards []*shard
 
+	// reg holds server-level metrics (shed count); per-shard serving
+	// metrics live in each shard engine's registry under shard labels.
+	reg *metrics.Registry
+
 	wg      sync.WaitGroup
 	closeMu sync.RWMutex
 	closed  bool
@@ -212,18 +243,33 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		router: NewRouter(cfg.Shards, cfg.GranChunks),
 		shards: make([]*shard, cfg.Shards),
+		reg:    metrics.NewRegistry(),
 	}
+	s.reg.GaugeFunc("server_shed_total", func() int64 { return atomic.LoadInt64(&s.shed) })
 	for i := range s.shards {
 		eng := cfg.NewEngine(i)
 		if eng == nil {
 			return nil, fmt.Errorf("server: NewEngine(%d) returned nil", i)
 		}
-		s.shards[i] = &shard{
-			id:  i,
-			ch:  make(chan *Request, cfg.QueueDepth),
-			eng: eng,
-			lat: stats.NewHistogram(),
+		label := strconv.Itoa(i)
+		reg := eng.Metrics()
+		sh := &shard{
+			id:    i,
+			ch:    make(chan envelope, cfg.QueueDepth),
+			eng:   eng,
+			lat:   stats.NewHistogram(),
+			ph:    reg.Phases(),
+			qwait: reg.Histogram(metrics.Labeled("server_queue_wait_us", "shard", label)),
+			svc:   reg.Histogram(metrics.Labeled("server_service_us", "shard", label)),
 		}
+		if cfg.TraceSample > 0 {
+			sh.ring = metrics.NewTraceRing(cfg.TraceBuf)
+		}
+		// queue depth is read by snapshots while the worker serves;
+		// len() on a channel is safe from other goroutines
+		reg.GaugeFunc(metrics.Labeled("server_queue_depth", "shard", label),
+			func() int64 { return int64(len(sh.ch)) })
+		s.shards[i] = sh
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -245,7 +291,7 @@ func (s *Server) Shard(lba uint64) int { return s.router.Shard(lba) }
 // flushes the engine's background work.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
-	batch := make([]*Request, 0, s.cfg.MaxBatch)
+	batch := make([]envelope, 0, s.cfg.MaxBatch)
 	for {
 		r, ok := <-sh.ch
 		if !ok {
@@ -266,7 +312,7 @@ func (s *Server) worker(sh *shard) {
 		}
 		sh.mu.Lock()
 		for _, r := range batch {
-			sh.serve(r, s.cfg.Timing)
+			sh.serve(r, s.cfg.Timing, s.cfg.TraceSample)
 		}
 		sh.batches++
 		if len(batch) > sh.maxBatch {
@@ -282,8 +328,10 @@ func (s *Server) worker(sh *shard) {
 }
 
 // serve runs one request through the shard engine. Caller holds sh.mu.
-func (sh *shard) serve(r *Request, timing Timing) {
-	start := r.Arrival
+func (sh *shard) serve(env envelope, timing Timing, traceSample int) {
+	r := env.req
+	arrival := sim.Time(r.Time)
+	start := arrival
 	switch timing {
 	case Queued:
 		if start < sh.nextFree {
@@ -294,7 +342,7 @@ func (sh *shard) serve(r *Request, timing Timing) {
 			start = sh.lastStart
 		}
 	}
-	treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content}
+	treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.Len(), Content: r.Content}
 	var rt sim.Duration
 	if r.Op == trace.Write {
 		rt = sh.eng.Write(&treq)
@@ -302,7 +350,7 @@ func (sh *shard) serve(r *Request, timing Timing) {
 		rt = sh.eng.Read(&treq)
 	}
 	complete := start.Add(rt)
-	sojourn := complete.Sub(r.Arrival)
+	sojourn := complete.Sub(arrival)
 	if timing == Passthrough {
 		sojourn = rt
 	} else {
@@ -310,18 +358,44 @@ func (sh *shard) serve(r *Request, timing Timing) {
 	}
 	sh.lastStart = start
 
+	// The engine's StartRequest reset the phase scratch at the top of
+	// its Write/Read, so queue wait must be observed after the engine
+	// returns for the sampled timeline to include it.
+	qw := int64(start.Sub(arrival))
+	sh.ph.Observe(metrics.PhaseQueueWait, qw)
+	sh.qwait.Observe(qw)
+	sh.svc.Observe(int64(rt))
+
 	sh.lat.Add(int64(sojourn))
 	sh.completed++
-	if !sh.anyServed || r.Arrival < sh.firstArr {
-		sh.firstArr = r.Arrival
+	sh.seq++
+	if !sh.anyServed || arrival < sh.firstArr {
+		sh.firstArr = arrival
 	}
 	if complete > sh.lastDone {
 		sh.lastDone = complete
 	}
 	sh.anyServed = true
 
-	if r.done != nil {
-		r.done <- Result{Shard: sh.id, Start: start, Complete: complete, Service: rt, Sojourn: sojourn}
+	if traceSample > 0 && sh.seq%int64(traceSample) == 0 {
+		sh.ring.Add(metrics.TraceRecord{
+			Seq:      sh.seq,
+			Shard:    sh.id,
+			Op:       r.Op.String(),
+			LBA:      r.LBA,
+			Chunks:   r.Len(),
+			Arrival:  int64(arrival),
+			Start:    int64(start),
+			Complete: int64(complete),
+			Service:  int64(rt),
+			Sojourn:  int64(sojourn),
+			Phases:   sh.ph.LastTimeline(),
+		})
+	}
+
+	if env.done != nil {
+		env.done <- Result{Shard: sh.id, Start: int64(start), Complete: int64(complete),
+			Service: int64(rt), Sojourn: int64(sojourn)}
 	}
 }
 
@@ -329,11 +403,13 @@ func (sh *shard) serve(r *Request, timing Timing) {
 // completion. Under the Block policy a full queue blocks the caller;
 // under Shed it returns ErrShed. After Close it returns ErrClosed.
 func (s *Server) Submit(r *Request) error {
-	if r.N <= 0 {
-		return fmt.Errorf("server: request with %d chunks", r.N)
-	}
-	if r.Op == trace.Write && len(r.Content) != r.N {
-		return fmt.Errorf("server: write with %d chunks but %d content ids", r.N, len(r.Content))
+	return s.submit(envelope{req: r})
+}
+
+func (s *Server) submit(env envelope) error {
+	r := env.req
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("server: %w", err)
 	}
 	sh := s.shards[s.router.Shard(r.LBA)]
 	s.closeMu.RLock()
@@ -343,26 +419,24 @@ func (s *Server) Submit(r *Request) error {
 	}
 	if s.cfg.Policy == Shed {
 		select {
-		case sh.ch <- r:
+		case sh.ch <- env:
 			return nil
 		default:
 			atomic.AddInt64(&s.shed, 1)
 			return ErrShed
 		}
 	}
-	sh.ch <- r
+	sh.ch <- env
 	return nil
 }
 
 // Do submits r and waits for its completion record.
 func (s *Server) Do(r *Request) (Result, error) {
-	if r.done == nil {
-		r.done = make(chan Result, 1)
-	}
-	if err := s.Submit(r); err != nil {
+	env := envelope{req: r, done: make(chan Result, 1)}
+	if err := s.submit(env); err != nil {
 		return Result{}, err
 	}
-	return <-r.done, nil
+	return <-env.done, nil
 }
 
 // Close is the graceful drain: new submissions are refused, every
@@ -450,6 +524,11 @@ type Snapshot struct {
 	Latency    *stats.Histogram // merged sojourn latencies, µs
 	UsedBlocks uint64           // summed physical occupancy
 
+	// Metrics is the merged metrics snapshot: per-shard engine
+	// registries (phase histograms, substrate gauges, shard-labeled
+	// queue-wait/service series) plus the server-level registry.
+	Metrics *metrics.Snapshot
+
 	// Virtual-time serving window: earliest arrival and latest
 	// completion observed across shards. Aggregate throughput is
 	// Completed / (LastComplete - FirstArrival).
@@ -477,6 +556,7 @@ func (s *Server) Stats() Snapshot {
 		ShedCount: atomic.LoadInt64(&s.shed),
 		Engine:    engine.NewStats(),
 		Latency:   stats.NewHistogram(),
+		Metrics:   s.reg.Snapshot(),
 	}
 	first := false
 	for _, sh := range s.shards {
@@ -485,6 +565,7 @@ func (s *Server) Stats() Snapshot {
 		snap.Engine.Merge(sh.eng.Stats())
 		snap.Latency.Merge(sh.lat)
 		snap.UsedBlocks += sh.eng.UsedBlocks()
+		snap.Metrics.Merge(sh.eng.Metrics().Snapshot())
 		if sh.anyServed {
 			if !first || sh.firstArr < snap.FirstArrival {
 				snap.FirstArrival = sh.firstArr
@@ -504,4 +585,27 @@ func (s *Server) Stats() Snapshot {
 		sh.mu.Unlock()
 	}
 	return snap
+}
+
+// Traces drains every shard's sampled-trace ring, returning the records
+// ordered by service start time. Empty unless Config.TraceSample was
+// set. Each record is returned once; a later call returns only traces
+// sampled since.
+func (s *Server) Traces() []metrics.TraceRecord {
+	var out []metrics.TraceRecord
+	for _, sh := range s.shards {
+		if sh.ring == nil {
+			continue
+		}
+		sh.mu.Lock()
+		out = append(out, sh.ring.Drain()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
 }

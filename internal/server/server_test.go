@@ -9,7 +9,6 @@ import (
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
 	"github.com/pod-dedup/pod/internal/replay"
-	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 	"github.com/pod-dedup/pod/internal/workload"
 )
@@ -27,6 +26,18 @@ func podFactory(prof workload.Profile) func(int) engine.Engine {
 	return func(int) engine.Engine {
 		return experiments.NewEngine(experiments.POD, experiments.BuildConfig(prof, testScale))
 	}
+}
+
+// apiReq converts a trace request to the shared API shape (reads carry
+// Chunks, writes carry Content).
+func apiReq(r *trace.Request) *Request {
+	req := &Request{Time: int64(r.Time), Op: r.Op, LBA: r.LBA}
+	if r.Op == trace.Read {
+		req.Chunks = r.N
+	} else {
+		req.Content = r.Content
+	}
+	return req
 }
 
 // TestBridgeByteIdenticalToReplay is the determinism bridge of the
@@ -50,7 +61,7 @@ func TestBridgeByteIdenticalToReplay(t *testing.T) {
 	}
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
-		res, err := srv.Do(&Request{Arrival: r.Time, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content})
+		res, err := srv.Do(apiReq(r))
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
@@ -114,7 +125,7 @@ func TestConcurrentClientsDrainCompletely(t *testing.T) {
 			defer wg.Done()
 			for i := c; i < len(tr.Requests); i += clients {
 				r := &tr.Requests[i]
-				if err := srv.Submit(&Request{Arrival: r.Time, Op: r.Op, LBA: r.LBA, N: r.N, Content: r.Content}); err != nil {
+				if err := srv.Submit(apiReq(r)); err != nil {
 					t.Errorf("submit %d: %v", i, err)
 					return
 				}
@@ -180,7 +191,7 @@ func TestShedPolicyBoundsQueue(t *testing.T) {
 	const n = 6
 	sheds := 0
 	for i := 0; i < n; i++ {
-		err := srv.Submit(&Request{Op: trace.Write, LBA: uint64(i), N: 1, Content: []chunk.ContentID{chunk.ContentID(i + 1)}})
+		err := srv.Submit(&Request{Op: trace.Write, LBA: uint64(i), Content: []chunk.ContentID{chunk.ContentID(i + 1)}})
 		if err == ErrShed {
 			sheds++
 		} else if err != nil {
@@ -218,10 +229,10 @@ func TestCloseFlushesBackgroundWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	content := []chunk.ContentID{11, 12, 13}
-	if _, err := srv.Do(&Request{Arrival: 0, Op: trace.Write, LBA: 0, N: 3, Content: content}); err != nil {
+	if _, err := srv.Do(&Request{Time: 0, Op: trace.Write, LBA: 0, Content: content}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Do(&Request{Arrival: 1000, Op: trace.Write, LBA: 100, N: 3, Content: content}); err != nil {
+	if _, err := srv.Do(&Request{Time: 1000, Op: trace.Write, LBA: 100, Content: content}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
@@ -239,7 +250,7 @@ func TestSubmitAfterCloseRefused(t *testing.T) {
 	}
 	srv.Close()
 	srv.Close() // idempotent
-	err = srv.Submit(&Request{Op: trace.Read, LBA: 0, N: 1})
+	err = srv.Submit(&Request{Op: trace.Read, LBA: 0, Chunks: 1})
 	if err != ErrClosed {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
@@ -254,9 +265,9 @@ func TestQueuedTimingMonotonePerShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var lastStart sim.Time = -1
+	var lastStart int64 = -1
 	for i := 0; i < 50; i++ {
-		res, err := srv.Do(&Request{Arrival: 0, Op: trace.Write, LBA: uint64(i * 4), N: 2,
+		res, err := srv.Do(&Request{Time: 0, Op: trace.Write, LBA: uint64(i * 4),
 			Content: []chunk.ContentID{chunk.ContentID(2*i + 1), chunk.ContentID(2*i + 2)}})
 		if err != nil {
 			t.Fatal(err)

@@ -7,7 +7,6 @@ import (
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
-	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
 	"github.com/pod-dedup/pod/internal/workload"
 )
@@ -27,7 +26,7 @@ func selectDedupeFactory(prof workload.Profile) func(int) engine.Engine {
 // writeAt Do()s one single-chunk write and returns once acknowledged.
 func writeAt(t *testing.T, srv *Server, tm int64, lba uint64, id chunk.ContentID) {
 	t.Helper()
-	if _, err := srv.Do(&Request{Arrival: sim.Time(tm), Op: trace.Write, LBA: lba, N: 1, Content: []chunk.ContentID{id}}); err != nil {
+	if _, err := srv.Do(&Request{Time: tm, Op: trace.Write, LBA: lba, Content: []chunk.ContentID{id}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,7 +54,7 @@ func TestRecoverAfterGracefulDrain(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				lba := uint64(w)*4*DefaultGranChunks + uint64(i)*17%(4*DefaultGranChunks)
 				id := chunk.ContentID(w*1000000 + i + 1)
-				if _, err := srv.Do(&Request{Arrival: sim.Time(int64(i) * 100), Op: trace.Write, LBA: lba, N: 1, Content: []chunk.ContentID{id}}); err != nil {
+				if _, err := srv.Do(&Request{Time: int64(i) * 100, Op: trace.Write, LBA: lba, Content: []chunk.ContentID{id}}); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return
 				}
@@ -125,7 +124,7 @@ func TestCrashMidServeTornJournal(t *testing.T) {
 					base = shard1 + 500
 				}
 				lba := base + uint64(w/2)*100 + i
-				if _, err := srv.Do(&Request{Arrival: sim.Time(10000 + int64(i)*100), Op: trace.Write, LBA: lba, N: 1,
+				if _, err := srv.Do(&Request{Time: 10000 + int64(i)*100, Op: trace.Write, LBA: lba,
 					Content: []chunk.ContentID{chunk.ContentID(5000 + uint64(w)*1000 + i)}}); err != nil {
 					t.Errorf("writer %d: %v", w, err)
 					return

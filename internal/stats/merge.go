@@ -8,10 +8,12 @@ import (
 // MergeStructs folds src's counters into dst, field by field. Both
 // must be pointers to the same struct type with only exported fields.
 // Integer and float fields are summed; pointer fields are merged by
-// calling their Merge method (nil src fields are skipped). Any other
-// field kind panics — a new field type in a stats struct must decide
-// explicitly how it aggregates across shards rather than being
-// silently dropped.
+// calling their Merge method (nil src fields are skipped); embedded or
+// named struct fields recurse. An unexported field panics with the
+// offending field's name (reflection could read but never set it, so
+// it would silently stop aggregating), as does any other field kind —
+// a new field type in a stats struct must decide explicitly how it
+// aggregates across shards rather than being silently dropped.
 //
 // This is what lets per-shard counter structs (engine.Stats and
 // friends) aggregate into one report without hand-maintained
@@ -29,7 +31,12 @@ func MergeStructs(dst, src interface{}) {
 	for i := 0; i < dv.NumField(); i++ {
 		df, sf := dv.Field(i), sv.Field(i)
 		name := dv.Type().Field(i).Name
+		if dv.Type().Field(i).PkgPath != "" {
+			panic(fmt.Sprintf("stats: MergeStructs: field %s of %v is unexported and cannot aggregate", name, dv.Type()))
+		}
 		switch df.Kind() {
+		case reflect.Struct:
+			MergeStructs(df.Addr().Interface(), sf.Addr().Interface())
 		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 			df.SetInt(df.Int() + sf.Int())
 		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -80,6 +81,50 @@ func TestMergeStructsRejectsUnsupported(t *testing.T) {
 		}
 	}()
 	MergeStructs(&bad{}, &bad{})
+}
+
+func TestMergeStructsNestedStructsRecurse(t *testing.T) {
+	type inner struct {
+		N    int64
+		Hist *Histogram
+	}
+	type outer struct {
+		Total int64
+		In    inner
+	}
+	a := &outer{Total: 1, In: inner{N: 10, Hist: NewHistogram()}}
+	b := &outer{Total: 2, In: inner{N: 20, Hist: NewHistogram()}}
+	a.In.Hist.Add(5)
+	b.In.Hist.Add(7)
+
+	MergeStructs(a, b)
+
+	if a.Total != 3 || a.In.N != 30 {
+		t.Fatalf("nested scalar merge wrong: %+v", a)
+	}
+	if a.In.Hist.N() != 2 || a.In.Hist.Sum() != 12 {
+		t.Fatalf("nested histogram merge wrong: n=%d sum=%d", a.In.Hist.N(), a.In.Hist.Sum())
+	}
+	if b.In.N != 20 || b.In.Hist.N() != 1 {
+		t.Fatalf("source mutated: %+v", b)
+	}
+}
+
+func TestMergeStructsRejectsUnexportedFields(t *testing.T) {
+	type sneaky struct {
+		A      int64
+		hidden int64
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unexported field")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "hidden") {
+			t.Fatalf("panic must name the offending field: %v", r)
+		}
+	}()
+	MergeStructs(&sneaky{hidden: 1}, &sneaky{hidden: 2})
 }
 
 func TestMergeStructsRejectsMismatch(t *testing.T) {

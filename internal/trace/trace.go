@@ -40,6 +40,18 @@ func (o Op) String() string {
 	return "R"
 }
 
+// ParseOp resolves an op name: "R"/"r"/"read" and "W"/"w"/"write".
+// Tools share this instead of validating op flags ad hoc.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(s) {
+	case "r", "read":
+		return Read, nil
+	case "w", "write":
+		return Write, nil
+	}
+	return 0, fmt.Errorf("trace: bad op %q (want R or W)", s)
+}
+
 // Request is one block-level I/O request. LBA and length are in 4 KB
 // chunks. Write requests carry the content identity of every chunk;
 // read requests have nil Content.

@@ -12,27 +12,58 @@
 //
 //	sys, err := pod.New(pod.Config{Scheme: pod.SchemePOD})
 //	...
-//	rt, _ := sys.Write(0, 100, []uint64{1, 2, 3}) // 3 chunks at LBA 100
-//	rt, _ = sys.Read(rt, 100, 3)
+//	res, _ := sys.Do(&pod.Request{Op: pod.OpWrite, LBA: 100,
+//		Content: []pod.ContentID{1, 2, 3}}) // 3 chunks at LBA 100
+//	res, _ = sys.Do(&pod.Request{Time: res.Complete, Op: pod.OpRead,
+//		LBA: 100, Chunks: 3})
 //	fmt.Println(sys.Stats())
 //
 // Addresses and lengths are in 4 KiB chunks; times are microseconds of
 // virtual time (requests must be submitted in non-decreasing time
-// order). Content is identified by opaque uint64 content IDs — equal
-// IDs mean byte-identical chunks.
+// order). Content is identified by opaque content IDs — equal IDs mean
+// byte-identical chunks. The same Request/Result pair is the submission
+// surface of the sharded serving layer (internal/server), which
+// re-exports these types.
 package pod
 
 import (
 	"fmt"
+	"os"
+	"strings"
+	"sync"
 
-	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
 	"github.com/pod-dedup/pod/internal/raid"
 	"github.com/pod-dedup/pod/internal/sim"
-	"github.com/pod-dedup/pod/internal/trace"
 )
+
+// Request is one I/O against a System: Time is the virtual arrival in
+// microseconds, Op the direction, LBA the address in 4 KiB chunks.
+// Writes carry one ContentID per chunk in Content (which also sets the
+// length); reads set Chunks.
+type Request = api.Request
+
+// Result is one completed request: Start/Complete bracket the service
+// in virtual microseconds, Service is the engine response time, and
+// Sojourn additionally includes any queue wait (equal to Service on a
+// System, which has no queue).
+type Result = api.Result
+
+// Op is a request direction.
+type Op = api.Op
+
+// Request directions.
+const (
+	OpRead  Op = api.OpRead
+	OpWrite Op = api.OpWrite
+)
+
+// ContentID identifies a chunk's content; equal IDs mean byte-identical
+// chunks.
+type ContentID = api.ContentID
 
 // Scheme selects a storage engine.
 type Scheme string
@@ -60,6 +91,34 @@ func Schemes() []Scheme {
 		SchemePOD, SchemeIODedup, SchemePostProcess}
 }
 
+// ParseScheme resolves a scheme name case-insensitively, ignoring
+// hyphen/slash/underscore/space punctuation: "pod", "Select-Dedupe",
+// "selectdedupe" and "i/o-dedup" all resolve. The command-line tools
+// share this instead of each validating flags its own way.
+func ParseScheme(s string) (Scheme, error) {
+	norm := func(v string) string {
+		v = strings.ToLower(v)
+		for _, cut := range []string{"-", "/", "_", " "} {
+			v = strings.ReplaceAll(v, cut, "")
+		}
+		return v
+	}
+	want := norm(s)
+	if want == "" {
+		return "", fmt.Errorf("pod: empty scheme name")
+	}
+	for _, sc := range Schemes() {
+		if norm(string(sc)) == want {
+			return sc, nil
+		}
+	}
+	var names []string
+	for _, sc := range Schemes() {
+		names = append(names, string(sc))
+	}
+	return "", fmt.Errorf("pod: unknown scheme %q (have %s)", s, strings.Join(names, ", "))
+}
+
 // Config describes the simulated platform. The zero value of every
 // field selects the paper's setup (§IV-A).
 type Config struct {
@@ -68,7 +127,11 @@ type Config struct {
 	Disks        int    // spindles in the array (default 4)
 	DiskBlocks   uint64 // capacity per spindle in 4 KiB blocks (default 2^19 = 2 GiB)
 	StripeUnitKB int    // RAID5 stripe unit (default 64)
-	RAID0        bool   // shorthand for Layout: "raid0"
+	// RAID0 is a legacy shorthand for Layout: "raid0".
+	//
+	// Deprecated: set Layout instead. Using RAID0 warns once on stderr
+	// and conflicts with any other explicit Layout.
+	RAID0 bool
 	// Layout selects the array layout: "raid5" (default), "raid0", or
 	// "raid1" (mirrored pairs; requires an even disk count).
 	Layout string
@@ -100,26 +163,30 @@ type System struct {
 	last sim.Time
 }
 
+// raid0Warn gates the one-time deprecation warning for Config.RAID0.
+var raid0Warn sync.Once
+
 // New builds a system. It returns an error (never panics) for invalid
 // configurations.
 func New(cfg Config) (*System, error) {
 	if cfg.Scheme == "" {
 		cfg.Scheme = SchemePOD
 	}
-	found := false
-	for _, s := range Schemes() {
-		if s == cfg.Scheme {
-			found = true
-			break
-		}
+	scheme, err := ParseScheme(string(cfg.Scheme))
+	if err != nil {
+		return nil, err
 	}
-	if !found {
-		return nil, fmt.Errorf("pod: unknown scheme %q", cfg.Scheme)
-	}
+	cfg.Scheme = scheme
 	if cfg.Disks == 0 {
 		cfg.Disks = 4
 	}
-	if cfg.RAID0 && cfg.Layout == "" {
+	if cfg.RAID0 {
+		if cfg.Layout != "" && cfg.Layout != "raid0" {
+			return nil, fmt.Errorf("pod: Config.RAID0 conflicts with Layout %q", cfg.Layout)
+		}
+		raid0Warn.Do(func() {
+			fmt.Fprintln(os.Stderr, "pod: Config.RAID0 is deprecated; set Layout: \"raid0\"")
+		})
 		cfg.Layout = "raid0"
 	}
 	var level raid.Level
@@ -198,34 +265,60 @@ func (s *System) checkTime(atMicros int64) error {
 	return nil
 }
 
+// Do submits one request and returns its completion record. Requests
+// must arrive in non-decreasing Time order; a System serves them
+// synchronously (no queue), so Result.Sojourn equals Result.Service
+// and Result.Shard is 0.
+func (s *System) Do(r *Request) (Result, error) {
+	if err := r.Validate(); err != nil {
+		return Result{}, fmt.Errorf("pod: %w", err)
+	}
+	if err := s.checkTime(r.Time); err != nil {
+		return Result{}, err
+	}
+	treq := r.Trace()
+	var rt sim.Duration
+	if r.Op == OpWrite {
+		rt = s.eng.Write(&treq)
+	} else {
+		rt = s.eng.Read(&treq)
+	}
+	return Result{
+		Start:    r.Time,
+		Complete: r.Time + int64(rt),
+		Service:  int64(rt),
+		Sojourn:  int64(rt),
+	}, nil
+}
+
 // Write submits a write of len(content) chunks at the given LBA and
 // virtual time, returning the simulated response time in microseconds.
+//
+// Deprecated: build a Request and call Do. This wrapper remains for one
+// release; it converts content on every call.
 func (s *System) Write(atMicros int64, lba uint64, content []uint64) (int64, error) {
-	if len(content) == 0 {
-		return 0, fmt.Errorf("pod: empty write")
+	ids := make([]ContentID, len(content))
+	for i, c := range content {
+		ids[i] = ContentID(c)
 	}
-	if err := s.checkTime(atMicros); err != nil {
+	res, err := s.Do(&Request{Time: atMicros, Op: OpWrite, LBA: lba, Content: ids})
+	if err != nil {
 		return 0, err
 	}
-	ids := make([]chunk.ContentID, len(content))
-	for i, c := range content {
-		ids[i] = chunk.ContentID(c)
-	}
-	req := trace.Request{Time: sim.Time(atMicros), Op: trace.Write, LBA: lba, N: len(ids), Content: ids}
-	return int64(s.eng.Write(&req)), nil
+	return res.Service, nil
 }
 
 // Read submits a read of n chunks at the given LBA and virtual time,
 // returning the simulated response time in microseconds.
+//
+// Deprecated: build a Request and call Do. This wrapper remains for one
+// release.
 func (s *System) Read(atMicros int64, lba uint64, n int) (int64, error) {
-	if n <= 0 {
-		return 0, fmt.Errorf("pod: empty read")
-	}
-	if err := s.checkTime(atMicros); err != nil {
+	res, err := s.Do(&Request{Time: atMicros, Op: OpRead, LBA: lba, Chunks: n})
+	if err != nil {
 		return 0, err
 	}
-	req := trace.Request{Time: sim.Time(atMicros), Op: trace.Read, LBA: lba, N: n}
-	return int64(s.eng.Read(&req)), nil
+	return res.Service, nil
 }
 
 // ReadBack returns the content ID stored at lba (ok is false for

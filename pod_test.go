@@ -5,6 +5,15 @@ import (
 	"testing"
 )
 
+// wr and rd build requests for the shared Do API.
+func wr(tm int64, lba uint64, ids ...ContentID) *Request {
+	return &Request{Time: tm, Op: OpWrite, LBA: lba, Content: ids}
+}
+
+func rd(tm int64, lba uint64, n int) *Request {
+	return &Request{Time: tm, Op: OpRead, LBA: lba, Chunks: n}
+}
+
 func TestNewDefaults(t *testing.T) {
 	sys, err := New(Config{})
 	if err != nil {
@@ -38,13 +47,16 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := sys.Write(0, 100, []uint64{11, 22, 33})
-		if err != nil || rt <= 0 {
-			t.Fatalf("%s: write rt=%d err=%v", scheme, rt, err)
+		res, err := sys.Do(wr(0, 100, 11, 22, 33))
+		if err != nil || res.Service <= 0 {
+			t.Fatalf("%s: write service=%d err=%v", scheme, res.Service, err)
 		}
-		rt, err = sys.Read(1_000_000, 100, 3)
-		if err != nil || rt <= 0 {
-			t.Fatalf("%s: read rt=%d err=%v", scheme, rt, err)
+		res, err = sys.Do(rd(1_000_000, 100, 3))
+		if err != nil || res.Service <= 0 {
+			t.Fatalf("%s: read service=%d err=%v", scheme, res.Service, err)
+		}
+		if res.Complete != res.Start+res.Service || res.Sojourn != res.Service {
+			t.Fatalf("%s: inconsistent result %+v", scheme, res)
 		}
 		for i, want := range []uint64{11, 22, 33} {
 			got, ok := sys.ReadBack(100 + uint64(i))
@@ -57,21 +69,67 @@ func TestWriteReadRoundTrip(t *testing.T) {
 
 func TestTimeOrderingEnforced(t *testing.T) {
 	sys, _ := New(Config{})
-	if _, err := sys.Write(1000, 0, []uint64{1}); err != nil {
+	if _, err := sys.Do(wr(1000, 0, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Write(500, 1, []uint64{2}); err == nil {
+	if _, err := sys.Do(wr(500, 1, 2)); err == nil {
 		t.Fatal("out-of-order request must be rejected")
 	}
 }
 
-func TestEmptyRequestsRejected(t *testing.T) {
+func TestMalformedRequestsRejected(t *testing.T) {
 	sys, _ := New(Config{})
-	if _, err := sys.Write(0, 0, nil); err == nil {
+	if _, err := sys.Do(wr(0, 0)); err == nil {
 		t.Fatal("empty write must fail")
 	}
-	if _, err := sys.Read(0, 0, 0); err == nil {
+	if _, err := sys.Do(rd(0, 0, 0)); err == nil {
 		t.Fatal("empty read must fail")
+	}
+	if _, err := sys.Do(&Request{Op: OpRead, Chunks: 1, Content: []ContentID{1}}); err == nil {
+		t.Fatal("read carrying content must fail")
+	}
+	if _, err := sys.Do(&Request{Time: -1, Op: OpWrite, Content: []ContentID{1}}); err == nil {
+		t.Fatal("negative time must fail")
+	}
+}
+
+// TestDeprecatedWrappers pins the one-release compatibility shims: the
+// positional Write/Read must behave exactly like Do.
+func TestDeprecatedWrappers(t *testing.T) {
+	sys, err := New(Config{Scheme: SchemeSelectDedupe, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sys.Write(0, 0, []uint64{5, 6})
+	if err != nil || rt <= 0 {
+		t.Fatalf("write rt=%d err=%v", rt, err)
+	}
+	rt, err = sys.Read(1000, 0, 2)
+	if err != nil || rt <= 0 {
+		t.Fatalf("read rt=%d err=%v", rt, err)
+	}
+	if got, ok := sys.ReadBack(1); !ok || got != 6 {
+		t.Fatalf("readback = %d,%v", got, ok)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for in, want := range map[string]Scheme{
+		"pod": SchemePOD, "POD": SchemePOD,
+		"select-dedupe": SchemeSelectDedupe, "SelectDedupe": SchemeSelectDedupe,
+		"select_dedupe": SchemeSelectDedupe, "full dedupe": SchemeFullDedupe,
+		"idedup": SchemeIDedup, "i/o-dedup": SchemeIODedup, "iodedup": SchemeIODedup,
+		"post-process": SchemePostProcess, "native": SchemeNative,
+	} {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "zfs", "dedupe"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) must fail", bad)
+		}
 	}
 }
 
@@ -80,8 +138,8 @@ func TestDeduplicationVisibleThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Write(0, 0, []uint64{7})
-	sys.Write(1_000_000, 500, []uint64{7}) // same content elsewhere
+	sys.Do(wr(0, 0, 7))
+	sys.Do(wr(1_000_000, 500, 7)) // same content elsewhere
 	st := sys.Stats()
 	if st.WritesRemovedPct != 50 {
 		t.Fatalf("removed = %.1f%%, want 50%%", st.WritesRemovedPct)
@@ -176,8 +234,8 @@ func TestCrashRecoveryThroughAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Write(0, 0, []uint64{1, 2})
-	sys.Write(1_000_000, 100, []uint64{1, 2}) // deduplicated copy
+	sys.Do(wr(0, 0, 1, 2))
+	sys.Do(wr(1_000_000, 100, 1, 2)) // deduplicated copy
 	n, err := sys.CrashAndRecover()
 	if err != nil || n == 0 {
 		t.Fatalf("recover: n=%d err=%v", n, err)
@@ -228,7 +286,7 @@ func TestNVRAMDisabledBlocksRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.Write(0, 0, []uint64{1})
+	sys.Do(wr(0, 0, 1))
 	if _, err := sys.CrashAndRecover(); err == nil {
 		t.Fatal("recovery must fail with journaling disabled")
 	}
@@ -248,8 +306,16 @@ func TestLayoutSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Write(0, 0, []uint64{1}); err != nil {
+	if _, err := sys.Do(wr(0, 0, 1)); err != nil {
 		t.Fatal(err)
+	}
+	// the deprecated RAID0 bool still selects the layout...
+	if _, err := New(Config{Disks: 2, RAID0: true}); err != nil {
+		t.Fatalf("deprecated RAID0 bool: %v", err)
+	}
+	// ...but conflicts with an explicit different Layout
+	if _, err := New(Config{RAID0: true, Layout: "raid5"}); err == nil {
+		t.Fatal("RAID0+Layout conflict must fail")
 	}
 }
 
@@ -261,7 +327,7 @@ func TestCleanerConfigAccepted(t *testing.T) {
 	now := int64(0)
 	for i := 0; i < 200; i++ {
 		now += 20_000
-		if _, err := sys.Write(now, uint64(i%50)*4, []uint64{uint64(1000 + i)}); err != nil {
+		if _, err := sys.Do(wr(now, uint64(i%50)*4, ContentID(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}

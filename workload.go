@@ -4,23 +4,12 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/experiments"
 	"github.com/pod-dedup/pod/internal/sim"
-	"github.com/pod-dedup/pod/internal/trace"
 	"github.com/pod-dedup/pod/internal/workload"
 )
-
-// Request is one block-level I/O of a workload. Addresses and lengths
-// are in 4 KiB chunks; Content carries one ID per chunk for writes and
-// is nil for reads.
-type Request struct {
-	AtMicros int64
-	Write    bool
-	LBA      uint64
-	N        int
-	Content  []uint64
-}
 
 // WorkloadNames lists the built-in synthetic traces (the FIU-like
 // web-vm / homes / mail workloads of Table II).
@@ -47,20 +36,9 @@ func GenerateWorkload(name string, scale float64) ([]Request, int, error) {
 	tr, warm := workload.Generate(prof, scale)
 	out := make([]Request, len(tr.Requests))
 	for i := range tr.Requests {
-		r := &tr.Requests[i]
-		out[i] = Request{
-			AtMicros: int64(r.Time),
-			Write:    r.Op == trace.Write,
-			LBA:      r.LBA,
-			N:        r.N,
-		}
-		if r.Op == trace.Write {
-			ids := make([]uint64, r.N)
-			for j, id := range r.Content {
-				ids[j] = uint64(id)
-			}
-			out[i].Content = ids
-		}
+		// Content slices are shared with the freshly generated trace,
+		// not copied — the trace is not reused.
+		out[i] = api.FromTrace(tr.Requests[i])
 	}
 	return out, warm, nil
 }
@@ -69,14 +47,7 @@ func GenerateWorkload(name string, scale float64) ([]Request, int, error) {
 // the final statistics.
 func (s *System) Replay(reqs []Request) (Summary, error) {
 	for i := range reqs {
-		r := &reqs[i]
-		var err error
-		if r.Write {
-			_, err = s.Write(r.AtMicros, r.LBA, r.Content)
-		} else {
-			_, err = s.Read(r.AtMicros, r.LBA, r.N)
-		}
-		if err != nil {
+		if _, err := s.Do(&reqs[i]); err != nil {
 			return Summary{}, fmt.Errorf("request %d: %w", i, err)
 		}
 	}
