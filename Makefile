@@ -2,20 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos fuzz clean
 
 all: build vet test
 
 # CI gate: vet, build, the full test suite under the race detector,
-# then short serving-mode and metrics smoke runs. The experiment-matrix
-# tests already run at reduced scale (see internal/experiments
-# testScale), which keeps the race run to a couple of minutes.
+# then short serving-mode, metrics, and chaos smoke runs. The
+# experiment-matrix tests already run at reduced scale (see
+# internal/experiments testScale), which keeps the race run to a couple
+# of minutes.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) smoke-serve
 	$(MAKE) smoke-metrics
+	$(MAKE) smoke-chaos
 
 # Serving-mode smoke: a small sharded podload run. podload exits
 # non-zero on any error or when zero requests complete, so the target
@@ -32,6 +34,16 @@ smoke-metrics:
 	$(GO) test -race ./internal/metrics/
 	$(GO) run ./cmd/podload -trace mixed -scale 0.01 -shards 8 -route-chunks 256 -rate 200 \
 		-trace-sample 50 -metrics-out /tmp/pod-metrics-smoke.json -metrics-prom /tmp/pod-metrics-smoke.prom
+
+# Chaos smoke: the acceptance scenario — latent sector errors, a
+# whole-disk failure mid-run, and a transient-error storm — against a
+# sharded POD server under the race detector. podload exits non-zero if
+# the read-back integrity oracle finds a single acknowledged block lost
+# or cross-referenced, so this target fails on any fault-path
+# regression.
+smoke-chaos:
+	$(GO) run -race ./cmd/podload -trace mixed -scale 0.02 -shards 4 -rate 500 \
+		-chaos full -chaos-seed 7 -metrics-out /tmp/pod-chaos-smoke.json
 
 build:
 	$(GO) build ./...

@@ -36,8 +36,18 @@
 // if the snapshot contains no histogram samples — the CI smoke
 // assertion that the metrics pipeline is live.
 //
-// The process exits 0 on success, 1 if the run completes no requests
-// or hits an error, and 2 on bad flags.
+// Chaos: -chaos <scenario> runs a named, seeded fault schedule
+// (internal/chaos; sector, diskfail, storm, limp, or full) against
+// every shard's array while serving, switches the clients to the
+// closed-loop Do path, and verifies a read-back integrity oracle after
+// the drain: every block whose write the server ACKED must read back
+// with exactly the acknowledged content. Requires -rate > 0 (faults are
+// placed within the arrival horizon). -chaos-seed varies the schedule,
+// -deadline-us arms per-request virtual deadlines. Any oracle violation
+// fails the run.
+//
+// The process exits 0 on success, 1 if the run completes no requests,
+// hits an error, or violates the chaos oracle, and 2 on bad flags.
 package main
 
 import (
@@ -48,11 +58,14 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	pod "github.com/pod-dedup/pod"
+	"github.com/pod-dedup/pod/internal/chaos"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/perf"
 	"github.com/pod-dedup/pod/internal/server"
@@ -79,11 +92,15 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot (with sampled traces) as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the merged metrics snapshot as Prometheus text to this file")
 	traceSample := flag.Int("trace-sample", 0, "record every nth request per shard with its phase timeline (0 = off)")
+	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, or full (\"\" = none)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault schedule and transient coin")
+	deadlineUS := flag.Int64("deadline-us", 0, "per-request virtual deadline in us (0 = none)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
 		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
 		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-bench-json f] [-bench-label s]\n")
 		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
+		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,6 +130,21 @@ func main() {
 	}
 	if *clients == 0 || *clients > *shards {
 		*clients = *shards
+	}
+	if *deadlineUS < 0 {
+		fmt.Fprintln(os.Stderr, "podload: -deadline-us must be >= 0")
+		os.Exit(2)
+	}
+	if *chaosName != "" {
+		// validate the scenario name up front (dims are per shard later)
+		if _, err := chaos.Build(*chaosName, 4, 1024, 1000, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+			os.Exit(2)
+		}
+		if *rate <= 0 {
+			fmt.Fprintln(os.Stderr, "podload: -chaos requires -rate > 0 (faults are placed within the arrival horizon)")
+			os.Exit(2)
+		}
 	}
 
 	// --- workload ---
@@ -163,8 +195,13 @@ func main() {
 			arrivals[i] = sim.Time(float64(i) * 1e6 / *rate)
 		}
 	}
+	var horizon sim.Time // arrival-schedule span, used to place faults
+	if *rate > 0 {
+		horizon = sim.Time(float64(n) * 1e6 / *rate)
+	}
 
 	// --- server over per-shard engines ---
+	var oracle *chaos.Oracle
 	srv, err := server.New(server.Config{
 		Shards:      *shards,
 		GranChunks:  *routeChunks,
@@ -173,22 +210,43 @@ func main() {
 		Policy:      policy,
 		Timing:      server.Queued,
 		TraceSample: *traceSample,
-		NewEngine: func(int) engine.Engine {
-			return experiments.NewEngine(string(schemeName), experiments.BuildConfig(prof, *scale))
+		DeadlineUS:  *deadlineUS,
+		RetrySeed:   *chaosSeed,
+		NewEngine: func(shard int) engine.Engine {
+			cfg := experiments.BuildConfig(prof, *scale)
+			if *chaosName != "" {
+				// same fault plan against every shard's array; the
+				// transient coin varies per shard via the seed
+				sched, berr := chaos.Build(*chaosName, cfg.Array.NumDisks(), cfg.Array.PerDiskBlocks(),
+					horizon, *chaosSeed^uint64(shard)*0x9E3779B97F4A7C15)
+				if berr != nil {
+					return nil // name was validated above; dims must be degenerate
+				}
+				cfg.Array.SetInjector(fault.NewInjector(sched, cfg.Array.NumDisks()))
+			}
+			return experiments.NewEngine(string(schemeName), cfg)
 		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
 		os.Exit(1)
 	}
+	if *chaosName != "" {
+		oracle = chaos.NewOracle(srv.Shard)
+	}
 
 	fmt.Printf("podload: trace=%s scheme=%s shards=%d clients=%d rate=%s requests=%d queue=%d batch=%d policy=%s\n",
 		tr.Name, schemeName, *shards, *clients, rateString(*rate), n, *queue, *batch, policy)
+	if *chaosName != "" {
+		fmt.Printf("chaos: scenario=%s seed=%d horizon=%v deadline=%s\n",
+			*chaosName, *chaosSeed, horizon, usString(*deadlineUS))
+	}
 
 	// --- drive ---
 	var track perf.Tracker
-	var submitErrs int64
+	var submitErrs, readFails int64
 	var errMu sync.Mutex
+	var closeErr error
 	start := time.Now()
 	track.Measure("podload-serve", func() {
 		var wg sync.WaitGroup
@@ -207,7 +265,28 @@ func main() {
 					} else {
 						req.Content = r.Content
 					}
-					err := srv.Submit(&req)
+					var err error
+					if oracle == nil {
+						err = srv.Submit(&req)
+					} else {
+						// closed-loop: the oracle needs each outcome
+						var res server.Result
+						res, err = srv.Do(&req)
+						if err == nil {
+							switch {
+							case r.Op == trace.Write && res.Err == nil:
+								oracle.RecordWrite(&req, res.Shard)
+							case r.Op == trace.Write:
+								// the engine was touched iff any attempt
+								// ran (breaker/deadline refusals consume
+								// no service time)
+								oracle.RecordFailedWrite(&req, res.Shard,
+									res.Retries > 0 || res.Service > 0)
+							case res.Err != nil:
+								atomic.AddInt64(&readFails, 1)
+							}
+						}
+					}
 					if err == server.ErrShed {
 						continue // counted by the server
 					}
@@ -221,12 +300,16 @@ func main() {
 			}(c)
 		}
 		wg.Wait()
-		srv.Close()
+		closeErr = srv.Close()
 	})
 	wall := time.Since(start)
 
 	// --- report ---
 	snap := srv.Stats()
+	if closeErr != nil {
+		fmt.Fprintf(os.Stderr, "podload: %v\n", closeErr)
+		os.Exit(1)
+	}
 	if submitErrs > 0 {
 		fmt.Fprintf(os.Stderr, "podload: %d clients aborted on submission errors\n", submitErrs)
 		os.Exit(1)
@@ -260,6 +343,43 @@ func main() {
 		}
 	}
 	fmt.Printf("shards: %d, completed/shard min %d max %d\n", snap.Shards, lo, hi)
+
+	// --- chaos verdict ---
+	if oracle != nil {
+		g := snap.Metrics.Gauges
+		sumShard := func(name string) int64 {
+			var t int64
+			for k := 0; k < snap.Shards; k++ {
+				t += g[metrics.Labeled(name, "shard", strconv.Itoa(k))]
+			}
+			return t
+		}
+		fmt.Printf("chaos faults: injected transient=%d sector=%d diskfail=%d slow=%d | healed ranges=%d\n",
+			g["fault_injected_transient"], g["fault_injected_sector"],
+			g["fault_injected_disk_fail"], g["fault_slow_accesses"], g["fault_healed_ranges"])
+		fmt.Printf("chaos raid: degraded reads=%d sector repairs=%d fail events=%d rebuild ios=%d rebuilds done=%d data loss=%d\n",
+			g["raid_degraded_reads"], g["raid_sector_repairs"], g["raid_fail_events"],
+			g["raid_rebuild_ios"], g["raid_rebuilds_done"], g["raid_data_loss_errors"])
+		fmt.Printf("chaos server: retries=%d failed=%d deadline=%d breaker opens=%d breaker shed=%d read failures=%d\n",
+			sumShard("server_retries"), sumShard("server_failed"), sumShard("server_deadline_exceeded"),
+			sumShard("server_breaker_opens"), sumShard("server_breaker_shed"), atomic.LoadInt64(&readFails))
+		acked, failedW, indet, spilled := oracle.Stats()
+		viol, checked := oracle.Check(srv.ReadContent)
+		fmt.Printf("chaos oracle: %d acked writes, %d failed writes, %d indeterminate blocks, %d spilled chunks, %d blocks verified\n",
+			acked, failedW, indet, spilled, checked)
+		if len(viol) > 0 {
+			for i, v := range viol {
+				if i >= 10 {
+					fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(viol)-10)
+					break
+				}
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "podload: chaos oracle: %d integrity violations\n", len(viol))
+			os.Exit(1)
+		}
+		fmt.Println("chaos oracle: PASS")
+	}
 
 	// --- metrics ---
 	m := snap.Metrics
@@ -335,6 +455,13 @@ func rateString(r float64) string {
 		return "flood"
 	}
 	return fmt.Sprintf("%.0f/s", r)
+}
+
+func usString(us int64) string {
+	if us <= 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%dus", us)
 }
 
 // writeSnapshot writes one snapshot encoding ("-" = stdout) via the

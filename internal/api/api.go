@@ -105,10 +105,24 @@ func FromTrace(tr trace.Request) Request {
 // Service is the engine's response time; Sojourn additionally includes
 // queue wait, so Sojourn >= Service under queued timing and
 // Sojourn == Service in passthrough/replay modes.
+//
+// Retries counts serving-layer re-attempts after transient storage
+// faults (0 when the first attempt decided the outcome). Err is nil for
+// a successful request; otherwise it is the terminal *fault.Error (or
+// other error) after retries were exhausted or a permanent fault
+// surfaced — fault.ClassOf(Err) recovers the transient/permanent
+// classification, and the timing fields still report the virtual time
+// the failed service consumed.
 type Result struct {
 	Shard    int
 	Start    int64
 	Complete int64
 	Service  int64
 	Sojourn  int64
+
+	Retries int
+	Err     error
 }
+
+// Failed reports whether the request ended in an error.
+func (r *Result) Failed() bool { return r.Err != nil }

@@ -68,7 +68,7 @@ func TestNativeOverwriteInPlace(t *testing.T) {
 func TestNativeReadAccounting(t *testing.T) {
 	n := NewNative(cfg())
 	n.Write(wr(0, 1, 2))
-	rt := n.Read(&trace.Request{Time: 1000, Op: trace.Read, LBA: 0, N: 2})
+	rt, _ := n.Read(&trace.Request{Time: 1000, Op: trace.Read, LBA: 0, N: 2})
 	if rt <= 0 || n.Stats().Reads != 1 {
 		t.Fatal("read accounting wrong")
 	}
@@ -78,8 +78,8 @@ func TestFullDedupeNoFingerprintDelayForNative(t *testing.T) {
 	// Native pays no fingerprint cost; Full-Dedupe pays 32µs per chunk.
 	n := NewNative(cfg())
 	f := NewFullDedupe(cfg())
-	rn := n.Write(wr(0, 1))
-	rf := f.Write(wr(0, 1))
+	rn, _ := n.Write(wr(0, 1))
+	rf, _ := f.Write(wr(0, 1))
 	if rf < rn {
 		// Full-Dedupe's first unique write costs at least as much as
 		// Native's (fingerprinting + same write)
@@ -143,7 +143,7 @@ func TestBloomDeterministic(t *testing.T) {
 func TestIDedupSmallRequestBypass(t *testing.T) {
 	d := NewIDedup(cfg())
 	d.Write(wr(0, seq(100, 4)...))
-	rt := d.Write(at(wr(100, seq(100, 4)...), sim.Time(sim.Second)))
+	rt, _ := d.Write(at(wr(100, seq(100, 4)...), sim.Time(sim.Second)))
 	st := d.Stats()
 	if st.ChunksDeduped != 0 {
 		t.Fatal("4-chunk request is below the 8-chunk threshold: must bypass")

@@ -76,8 +76,8 @@ func TestIODedupReplicaDirectoryBounded(t *testing.T) {
 func TestPostProcessWritesHaveNoInlineCost(t *testing.T) {
 	n := NewNative(cfg())
 	p := NewPostProcess(cfg())
-	rn := n.Write(wr(0, 1, 2, 3, 4))
-	rp := p.Write(wr(0, 1, 2, 3, 4))
+	rn, _ := n.Write(wr(0, 1, 2, 3, 4))
+	rp, _ := p.Write(wr(0, 1, 2, 3, 4))
 	// post-process pays no fingerprint delay; its write should not be
 	// slower than Native's by more than the layout difference
 	if rp > rn*2 {

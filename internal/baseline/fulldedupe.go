@@ -66,7 +66,7 @@ func bloomAdmits(fp chunk.Fingerprint) bool {
 }
 
 // Write deduplicates every redundant chunk of the request.
-func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
+func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	f.base.StartRequest()
 	chs, fpCost := f.base.SplitAndFingerprint(req)
@@ -85,7 +85,11 @@ func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 			diskLookups++
 		}
 	}
-	lookupDone := f.base.IndexZoneIO(ready, diskLookups)
+	lookupDone, err := f.base.IndexZoneIO(ready, diskLookups)
+	if err != nil {
+		f.base.St.WriteErrors++
+		return lookupDone.Sub(t), err
+	}
 
 	var positions []int
 	for i := range chs {
@@ -99,7 +103,10 @@ func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 	done := lookupDone
 	if len(positions) > 0 {
 		var pbas []alloc.PBA
-		done, pbas = f.base.WriteFresh(lookupDone, req, positions, chs)
+		done, pbas, err = f.base.WriteFresh(lookupDone, req, positions, chs)
+		if err != nil {
+			return done.Sub(t), err
+		}
 		for k, pos := range positions {
 			f.full.Insert(chs[pos].FP, pbas[k])
 		}
@@ -111,14 +118,17 @@ func (f *FullDedupe) Write(req *trace.Request) sim.Duration {
 	f.base.VerifyWrite(req)
 	rt := done.Sub(t)
 	f.base.St.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // Read services a read through the Map table.
-func (f *FullDedupe) Read(req *trace.Request) sim.Duration {
+func (f *FullDedupe) Read(req *trace.Request) (sim.Duration, error) {
 	f.base.StartRequest()
-	rt := f.base.ReadMapped(req, false)
+	rt, err := f.base.ReadMapped(req, false)
+	if err != nil {
+		return rt, err
+	}
 	f.base.St.Reads++
 	f.base.St.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }

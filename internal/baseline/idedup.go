@@ -41,7 +41,7 @@ func (d *IDedup) ReadContent(lba uint64) (uint64, bool) { return d.base.ReadCont
 
 // Write deduplicates only sequential duplicate runs of at least the
 // threshold length within sufficiently large requests.
-func (d *IDedup) Write(req *trace.Request) sim.Duration {
+func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	d.base.StartRequest()
 	st := d.base.St
@@ -51,11 +51,14 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 		// small request: bypass deduplication, skip hashing
 		chs := d.base.SplitRequest(req)
 		positions := allPositions(req.N)
-		done, _ := d.base.WriteFresh(t, req, positions, chs)
+		done, _, err := d.base.WriteFresh(t, req, positions, chs)
+		if err != nil {
+			return done.Sub(t), err
+		}
 		d.base.VerifyWrite(req)
 		rt := done.Sub(t)
 		st.WriteRT.Add(int64(rt))
-		return rt
+		return rt, nil
 	}
 
 	chs, fpCost := d.base.SplitAndFingerprint(req)
@@ -102,7 +105,11 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 	done := ready
 	if len(positions) > 0 {
 		var pbas []alloc.PBA
-		done, pbas = d.base.WriteFresh(ready, req, positions, chs)
+		var err error
+		done, pbas, err = d.base.WriteFresh(ready, req, positions, chs)
+		if err != nil {
+			return done.Sub(t), err
+		}
 		for k, pos := range positions {
 			d.base.InsertIndex(chs[pos].FP, pbas[k])
 		}
@@ -113,16 +120,19 @@ func (d *IDedup) Write(req *trace.Request) sim.Duration {
 	d.base.VerifyWrite(req)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // Read services a read through the Map table.
-func (d *IDedup) Read(req *trace.Request) sim.Duration {
+func (d *IDedup) Read(req *trace.Request) (sim.Duration, error) {
 	d.base.StartRequest()
-	rt := d.base.ReadMapped(req, false)
+	rt, err := d.base.ReadMapped(req, false)
+	if err != nil {
+		return rt, err
+	}
 	d.base.St.Reads++
 	d.base.St.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 func allPositions(n int) []int {

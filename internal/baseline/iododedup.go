@@ -78,7 +78,7 @@ func (d *IODedup) ReadContent(lba uint64) (uint64, bool) { return d.base.ReadCon
 
 // Write stores everything (log-structured, like the other engines) and
 // records replica locations for the read path.
-func (d *IODedup) Write(req *trace.Request) sim.Duration {
+func (d *IODedup) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	d.base.StartRequest()
 	st := d.base.St
@@ -91,14 +91,17 @@ func (d *IODedup) Write(req *trace.Request) sim.Duration {
 	for i := range positions {
 		positions[i] = i
 	}
-	done, pbas := d.base.WriteFresh(ready, req, positions, chs)
+	done, pbas, err := d.base.WriteFresh(ready, req, positions, chs)
+	if err != nil {
+		return done.Sub(t), err
+	}
 	for i, pba := range pbas {
 		d.recordReplica(chs[i].FP, pba)
 	}
 	d.base.VerifyWrite(req)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 func (d *IODedup) recordReplica(fp chunk.Fingerprint, pba alloc.PBA) {
@@ -155,7 +158,7 @@ func dist(a, b alloc.PBA) uint64 {
 
 // Read serves each chunk through the content-addressed cache, fetching
 // misses from the nearest replica of the content.
-func (d *IODedup) Read(req *trace.Request) sim.Duration {
+func (d *IODedup) Read(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	d.base.StartRequest()
 	st := d.base.St
@@ -185,10 +188,14 @@ func (d *IODedup) Read(req *trace.Request) sim.Duration {
 				target = d.nearest(list, pba)
 			}
 		}
-		c := d.base.Array.Read(t, uint64(target), 1)
+		c, err := d.base.Array.Read(t, uint64(target), 1)
 		done = sim.MaxTime(done, c)
-		d.lastPBA = target
 		st.ReadIOs++
+		if err != nil {
+			st.ReadErrors++
+			return done.Sub(t), err
+		}
+		d.lastPBA = target
 		anyMiss = true
 		if known {
 			d.ccache.Put(id, struct{}{})
@@ -202,5 +209,5 @@ func (d *IODedup) Read(req *trace.Request) sim.Duration {
 		d.base.Ph.Observe(metrics.PhaseDiskRead, int64(rt))
 	}
 	st.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }

@@ -45,12 +45,17 @@ func (n *Native) ReadContent(lba uint64) (uint64, bool) {
 	return uint64(id), ok
 }
 
-// Write services a write in place.
-func (n *Native) Write(req *trace.Request) sim.Duration {
+// Write services a write in place. A failed write leaves the content
+// model untouched — the old blocks remain visible.
+func (n *Native) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	n.base.StartRequest()
 	start := req.LBA % n.base.DataBlocks()
-	done := n.base.Array.Write(t, start, uint64(req.N))
+	done, err := n.base.Array.Write(t, start, uint64(req.N))
+	if err != nil {
+		n.base.St.WriteErrors++
+		return done.Sub(t), err
+	}
 	n.base.Ph.Observe(metrics.PhaseDiskWrite, int64(done.Sub(t)))
 	for i := 0; i < req.N; i++ {
 		pba := alloc.PBA(start + uint64(i))
@@ -60,14 +65,17 @@ func (n *Native) Write(req *trace.Request) sim.Duration {
 	n.base.St.ChunksWritten += int64(req.N)
 	rt := done.Sub(t)
 	n.base.St.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // Read services a read at identity addresses.
-func (n *Native) Read(req *trace.Request) sim.Duration {
+func (n *Native) Read(req *trace.Request) (sim.Duration, error) {
 	n.base.StartRequest()
-	rt := n.base.ReadMapped(req, true)
+	rt, err := n.base.ReadMapped(req, true)
+	if err != nil {
+		return rt, err
+	}
 	n.base.St.Reads++
 	n.base.St.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }

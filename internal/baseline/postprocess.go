@@ -86,7 +86,7 @@ func (p *PostProcess) Scans() (passes, scanned, merged int64) {
 
 // Write stores everything immediately — no fingerprinting, no lookup —
 // then lets the background scanner catch up.
-func (p *PostProcess) Write(req *trace.Request) sim.Duration {
+func (p *PostProcess) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	p.base.StartRequest()
 	p.scan(t)
@@ -98,24 +98,30 @@ func (p *PostProcess) Write(req *trace.Request) sim.Duration {
 	for i := range positions {
 		positions[i] = i
 	}
-	done, pbas := p.base.WriteFresh(t, req, positions, chs)
+	done, pbas, err := p.base.WriteFresh(t, req, positions, chs)
+	if err != nil {
+		return done.Sub(t), err
+	}
 	for i, pba := range pbas {
 		p.pending = append(p.pending, pendingBlock{lba: req.LBA + uint64(i), pba: pba})
 	}
 	p.base.VerifyWrite(req)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // Read is the standard mapped read path.
-func (p *PostProcess) Read(req *trace.Request) sim.Duration {
+func (p *PostProcess) Read(req *trace.Request) (sim.Duration, error) {
 	p.base.StartRequest()
 	p.scan(req.Time)
-	rt := p.base.ReadMapped(req, false)
+	rt, err := p.base.ReadMapped(req, false)
+	if err != nil {
+		return rt, err
+	}
 	p.base.St.Reads++
 	p.base.St.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // scan runs the background deduplication pass when its interval

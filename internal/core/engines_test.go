@@ -151,9 +151,9 @@ func TestEnginesAccounting(t *testing.T) {
 			r := &reqs[i]
 			var rt sim.Duration
 			if r.Op == trace.Write {
-				rt = e.Write(r)
+				rt, _ = e.Write(r)
 			} else {
-				rt = e.Read(r)
+				rt, _ = e.Read(r)
 			}
 			if rt <= 0 {
 				t.Fatalf("%s: non-positive response time %v", e.Name(), rt)

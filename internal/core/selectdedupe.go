@@ -58,7 +58,7 @@ func (s *SelectDedupe) CrashAndRecover() (int, error) { return s.base.Recover() 
 // fingerprint, consult the hot index (memory only — a miss just means
 // a lost opportunity), classify per Figure 5, absorb the deduplicated
 // chunks into the Map table, and write the rest contiguously.
-func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
+func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	t := req.Time
 	s.base.StartRequest()
 	s.base.Tick(t)
@@ -99,7 +99,11 @@ func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
 	done := ready
 	if len(positions) > 0 {
 		var pbas []alloc.PBA
-		done, pbas = s.base.WriteFresh(ready, req, positions, chs)
+		var err error
+		done, pbas, err = s.base.WriteFresh(ready, req, positions, chs)
+		if err != nil {
+			return done.Sub(t), err
+		}
 		for k, pos := range positions {
 			s.base.InsertIndex(chs[pos].FP, pbas[k])
 		}
@@ -110,18 +114,21 @@ func (s *SelectDedupe) Write(req *trace.Request) sim.Duration {
 	s.base.VerifyWrite(req)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }
 
 // Read services a read through the Map table; POD's read performance
 // benefits come from the write path (no fragmentation of category-2
 // data, shorter disk queues) and, in adaptive mode, from read-cache
 // growth during read bursts.
-func (s *SelectDedupe) Read(req *trace.Request) sim.Duration {
+func (s *SelectDedupe) Read(req *trace.Request) (sim.Duration, error) {
 	s.base.StartRequest()
 	s.base.Tick(req.Time)
-	rt := s.base.ReadMapped(req, false)
+	rt, err := s.base.ReadMapped(req, false)
+	if err != nil {
+		return rt, err
+	}
 	s.base.St.Reads++
 	s.base.St.ReadRT.Add(int64(rt))
-	return rt
+	return rt, nil
 }

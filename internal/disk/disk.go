@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/sim"
 )
 
@@ -55,11 +56,18 @@ type Disk struct {
 	head      uint64 // block the head sits after, valid when headKnown
 	headKnown bool
 
+	// inj, when non-nil, is consulted on every access; idx is this
+	// spindle's index in the array's schedule. The nil check is the
+	// entire hot-path cost of the fault subsystem when disabled.
+	inj *fault.Injector
+	idx int
+
 	reads, writes  int64
 	readBlocks     int64
 	writeBlocks    int64
 	seqAccesses    int64
 	randomAccesses int64
+	faults         int64
 }
 
 // New returns an idle disk with the given parameters.
@@ -75,6 +83,13 @@ func New(p Params) *Disk {
 
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.p }
+
+// SetInjector attaches a fault injector; idx is this disk's index in
+// the injector's schedule. A nil injector detaches.
+func (d *Disk) SetInjector(in *fault.Injector, idx int) {
+	d.inj = in
+	d.idx = idx
+}
 
 // rotLatency is the average rotational delay for a non-sequential
 // access: half a revolution.
@@ -140,21 +155,40 @@ const (
 // Access submits an I/O arriving at time t covering [start, start+n)
 // and returns its completion time. It must be called in non-decreasing
 // arrival order (FCFS).
-func (d *Disk) Access(t sim.Time, op Op, start, n uint64) sim.Time {
+//
+// With a fault injector attached, the access may fail with a typed
+// *fault.Error: a failed device errors immediately (no disk time), a
+// transient or sector fault charges the full service time before
+// erroring (the drive tried), and a slow-disk window inflates the
+// service time without erroring.
+func (d *Disk) Access(t sim.Time, op Op, start, n uint64) (sim.Time, error) {
 	return d.AccessAfter(t, t, op, start, n)
 }
 
 // AccessAfter is Access with an additional readiness constraint: the
 // I/O cannot begin service before ready (used for the write phase of a
 // read-modify-write, which depends on the read phase).
-func (d *Disk) AccessAfter(t, ready sim.Time, op Op, start, n uint64) sim.Time {
+func (d *Disk) AccessAfter(t, ready sim.Time, op Op, start, n uint64) (sim.Time, error) {
 	if n == 0 {
-		return sim.MaxTime(t, ready)
+		return sim.MaxTime(t, ready), nil
 	}
 	if start+n > d.p.Blocks {
 		panic(fmt.Sprintf("disk: access out of range: [%d,%d) capacity %d", start, start+n, d.p.Blocks))
 	}
+	var ferr *fault.Error
+	if d.inj != nil {
+		ferr = d.inj.Check(d.idx, t, op == Write, start, n)
+		if ferr != nil && ferr.Kind == fault.KindDiskFailed {
+			// dead device: the command is rejected up front, no
+			// mechanical work happens and the head state is void
+			d.faults++
+			return sim.MaxTime(t, ready), ferr
+		}
+	}
 	svc := d.ServiceTime(start, n)
+	if d.inj != nil {
+		svc = d.inj.Inflate(d.idx, t, svc)
+	}
 	if d.headKnown && d.head == start {
 		d.seqAccesses++
 	} else {
@@ -170,7 +204,12 @@ func (d *Disk) AccessAfter(t, ready sim.Time, op Op, start, n uint64) sim.Time {
 		d.writes++
 		d.writeBlocks += int64(n)
 	}
-	return d.queue.SubmitAfter(t, ready, svc)
+	done := d.queue.SubmitAfter(t, ready, svc)
+	if ferr != nil {
+		d.faults++
+		return done, ferr
+	}
+	return done, nil
 }
 
 // BusyUntil reports when the disk next becomes idle.
@@ -182,6 +221,7 @@ type Stats struct {
 	ReadBlocks, WriteBlocks   int64
 	SeqAccesses, RandAccesses int64
 	BusyTime, WaitTime        sim.Duration
+	Faults                    int64 // accesses that failed with an injected fault
 }
 
 // Stats returns a snapshot of the disk's counters.
@@ -191,14 +231,18 @@ func (d *Disk) Stats() Stats {
 		ReadBlocks: d.readBlocks, WriteBlocks: d.writeBlocks,
 		SeqAccesses: d.seqAccesses, RandAccesses: d.randomAccesses,
 		BusyTime: d.queue.BusyTime(), WaitTime: d.queue.WaitTime(),
+		Faults: d.faults,
 	}
 }
 
-// Reset returns the disk to idle with an unknown head position.
+// Reset returns the disk to idle with an unknown head position. The
+// injector attachment survives — Reset models power-cycling the drive,
+// not replacing it.
 func (d *Disk) Reset() {
 	d.queue.Reset()
 	d.head = 0
 	d.headKnown = false
 	d.reads, d.writes, d.readBlocks, d.writeBlocks = 0, 0, 0, 0
 	d.seqAccesses, d.randomAccesses = 0, 0
+	d.faults = 0
 }

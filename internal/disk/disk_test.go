@@ -48,8 +48,8 @@ func TestSeekMonotoneInDistance(t *testing.T) {
 
 func TestAccessQueueing(t *testing.T) {
 	d := New(params())
-	c1 := d.Access(0, Write, 100000, 1)
-	c2 := d.Access(0, Write, 200000, 1)
+	c1, _ := d.Access(0, Write, 100000, 1)
+	c2, _ := d.Access(0, Write, 200000, 1)
 	if c2 <= c1 {
 		t.Fatal("second queued access must complete after the first")
 	}
@@ -57,7 +57,7 @@ func TestAccessQueueing(t *testing.T) {
 
 func TestAccessAfterDependency(t *testing.T) {
 	d := New(params())
-	done := d.AccessAfter(0, 50000, Write, 0, 1)
+	done, _ := d.AccessAfter(0, 50000, Write, 0, 1)
 	if done < 50000 {
 		t.Fatalf("write must not begin before ready: done=%v", done)
 	}
@@ -65,7 +65,7 @@ func TestAccessAfterDependency(t *testing.T) {
 
 func TestZeroLengthAccess(t *testing.T) {
 	d := New(params())
-	if done := d.Access(100, Read, 0, 0); done != 100 {
+	if done, _ := d.Access(100, Read, 0, 0); done != 100 {
 		t.Fatalf("zero-length access should complete immediately, got %v", done)
 	}
 	if d.Stats().Reads != 0 {
@@ -129,7 +129,7 @@ func TestDiskProperty(t *testing.T) {
 			start := uint64(raw) % (1<<20 - 64)
 			n := uint64(raw%63) + 1
 			tm = tm.Add(sim.Duration(raw % 1000))
-			done := d.Access(tm, Op(raw%2), start, n)
+			done, _ := d.Access(tm, Op(raw%2), start, n)
 			if done < tm {
 				return false
 			}

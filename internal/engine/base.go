@@ -345,10 +345,15 @@ func (b *Base) VerifyWrite(req *trace.Request) {
 // positions). Contiguous allocation is attempted first so that one
 // request's data lands sequentially on disk — the property POD's
 // classifier later tests with its "sequentially stored" condition.
-func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs []chunk.Chunk) (sim.Time, []alloc.PBA) {
+//
+// On a disk error the write is not applied: the allocated extents are
+// released and neither the Map table nor the content model changes, so
+// a retry of the same request starts from clean state and a failed
+// write can never be half-visible to readers.
+func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs []chunk.Chunk) (sim.Time, []alloc.PBA, error) {
 	n := uint64(len(positions))
 	if n == 0 {
-		return at, nil
+		return at, nil, nil
 	}
 	// Append-preferring allocation: take from the largest free extent
 	// (normally the log frontier), so consecutive requests land
@@ -367,8 +372,15 @@ func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs 
 	pbas := make([]alloc.PBA, 0, n)
 	done := at
 	for _, e := range extents {
-		c := b.Array.Write(at, uint64(e.Start), e.Count)
+		c, err := b.Array.Write(at, uint64(e.Start), e.Count)
 		done = sim.MaxTime(done, c)
+		if err != nil {
+			for _, ex := range extents {
+				b.Alloc.Free(ex.Start, ex.Count)
+			}
+			b.St.WriteErrors++
+			return done, nil, err
+		}
 		for i := uint64(0); i < e.Count; i++ {
 			pbas = append(pbas, e.Start+alloc.PBA(i))
 		}
@@ -381,7 +393,7 @@ func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs 
 	b.St.ChunksWritten += int64(len(positions))
 	b.St.NVRAMPeakBytes = b.Map.PeakNVRAMBytes()
 	b.Ph.Observe(metrics.PhaseDiskWrite, int64(done.Sub(at)))
-	return done, pbas
+	return done, pbas, nil
 }
 
 // InsertIndex registers fp → pba in the hot index. Consistency against
@@ -393,8 +405,11 @@ func (b *Base) InsertIndex(fp chunk.Fingerprint, pba alloc.PBA) {
 
 // ReadMapped services a read request through the Map table (or at
 // identity addresses when identity is set), filtering through the read
-// cache and coalescing cache misses into contiguous disk runs.
-func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
+// cache and coalescing cache misses into contiguous disk runs. A disk
+// error aborts the request with the virtual time already spent; blocks
+// read before the failure stay cached (they were read successfully, and
+// a retry benefits from them).
+func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, error) {
 	t := req.Time
 	pbas := make([]alloc.PBA, req.N)
 	for i := 0; i < req.N; i++ {
@@ -435,8 +450,13 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
 		for j < req.N && !hit[j] && pbas[j] == pbas[j-1]+1 {
 			j++
 		}
-		c := b.Array.Read(t, uint64(pbas[i]), uint64(j-i))
+		c, err := b.Array.Read(t, uint64(pbas[i]), uint64(j-i))
 		done = sim.MaxTime(done, c)
+		if err != nil {
+			b.St.ReadIOs += int64(missRuns + 1)
+			b.St.ReadErrors++
+			return done.Sub(t), err
+		}
 		for k := i; k < j; k++ {
 			b.IC.ReadInsert(pbas[k])
 		}
@@ -449,18 +469,19 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) sim.Duration {
 		b.St.ReadAmplifiedReqs++
 	}
 	if !anyMiss {
-		return MemHitUS
+		return MemHitUS, nil
 	}
 	b.Ph.Observe(metrics.PhaseDiskRead, int64(done.Sub(t)))
-	return done.Sub(t)
+	return done.Sub(t), nil
 }
 
 // IndexZoneIO issues k random 4 KB reads into the reserved on-disk
 // index zone (Full-Dedupe's index-lookup traffic) starting at time at,
-// returning the time the last lookup completes.
-func (b *Base) IndexZoneIO(at sim.Time, k int) sim.Time {
+// returning the time the last lookup completes. Errors propagate: an
+// index lookup that fails fails the request it was serving.
+func (b *Base) IndexZoneIO(at sim.Time, k int) (sim.Time, error) {
 	if k <= 0 {
-		return at
+		return at, nil
 	}
 	done := at
 	for ; k > 0; k-- {
@@ -468,12 +489,15 @@ func (b *Base) IndexZoneIO(at sim.Time, k int) sim.Time {
 		b.rngState ^= b.rngState >> 7
 		b.rngState ^= b.rngState << 17
 		off := b.dataBlocks + b.rngState%b.zoneBlocks
-		c := b.Array.Read(at, off, 1)
+		c, err := b.Array.Read(at, off, 1)
 		done = sim.MaxTime(done, c)
 		b.St.IndexDiskIOs++
+		if err != nil {
+			return done, err
+		}
 	}
 	b.Ph.Observe(metrics.PhaseIndexProbe, int64(done.Sub(at)))
-	return done
+	return done, nil
 }
 
 // ApplyRepartition carries out the pin transfers and background swap
@@ -496,6 +520,8 @@ func (b *Base) ApplyRepartition(now sim.Time, rep icache.Repartition) {
 			}
 			start := b.dataBlocks + (b.swapCursor % (b.zoneBlocks - batch))
 			b.swapCursor += cnt
+			// background traffic: errors are dropped, the swap-in is
+			// simply retried by the next repartition that needs it
 			b.Array.Read(now, start, cnt)
 			b.St.SwapInIOs++
 		}

@@ -21,15 +21,19 @@ import (
 
 // Engine is a storage scheme under evaluation. The replayer calls
 // Write/Read in arrival-time order; each returns the simulated user
-// response time of the request.
+// response time of the request plus a typed error when the storage
+// stack could not absorb an injected fault (fault.IsTransient
+// distinguishes retryable failures; the duration is the virtual time
+// spent before failing, which retry accounting must still charge).
 type Engine interface {
 	// Name identifies the scheme ("Native", "Full-Dedupe", "iDedup",
 	// "Select-Dedupe", "POD").
 	Name() string
-	// Write services a write request arriving at req.Time.
-	Write(req *trace.Request) sim.Duration
+	// Write services a write request arriving at req.Time. A failed
+	// write is not applied: no mapping or content change is visible.
+	Write(req *trace.Request) (sim.Duration, error)
 	// Read services a read request arriving at req.Time.
-	Read(req *trace.Request) sim.Duration
+	Read(req *trace.Request) (sim.Duration, error)
 	// Stats exposes the engine's accumulated metrics.
 	Stats() *Stats
 	// Metrics exposes the engine's metrics registry: per-phase latency
@@ -67,6 +71,10 @@ type Stats struct {
 
 	// background
 	SwapInIOs int64 // iCache swap-in disk reads
+
+	// fault outcomes (requests that returned an error to the caller;
+	// successful in-array recoveries are counted by the RAID layer)
+	WriteErrors, ReadErrors int64
 
 	NVRAMPeakBytes int64 // Map-table NVRAM high-water mark (§IV-D2)
 }

@@ -87,7 +87,7 @@ func TestStoreMustMatchPanics(t *testing.T) {
 func TestWriteFreshContiguous(t *testing.T) {
 	b := testBase(t)
 	req := &trace.Request{Op: trace.Write, LBA: 10, N: 4, Content: []chunk.ContentID{1, 2, 3, 4}}
-	done, pbas := b.WriteFresh(0, req, []int{0, 1, 2, 3}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+	done, pbas, _ := b.WriteFresh(0, req, []int{0, 1, 2, 3}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
 	if done <= 0 || len(pbas) != 4 {
 		t.Fatalf("done=%v pbas=%v", done, pbas)
 	}
@@ -112,7 +112,7 @@ func TestWriteFreshContiguous(t *testing.T) {
 func TestWriteFreshEmptyPositions(t *testing.T) {
 	b := testBase(t)
 	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{1}}
-	done, pbas := b.WriteFresh(100, req, nil, nil)
+	done, pbas, _ := b.WriteFresh(100, req, nil, nil)
 	if done != 100 || pbas != nil {
 		t.Fatal("empty write must be a no-op")
 	}
@@ -121,7 +121,7 @@ func TestWriteFreshEmptyPositions(t *testing.T) {
 func TestTryDedupeValidation(t *testing.T) {
 	b := testBase(t)
 	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{42}}
-	_, pbas := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+	_, pbas, _ := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
 
 	// valid dedup
 	if !b.TryDedupe(100, pbas[0], 42) {
@@ -150,7 +150,7 @@ func TestFreeBlocksPurgesEverywhere(t *testing.T) {
 
 	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{1}}
 	chs := chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false)
-	_, pbas := b.WriteFresh(0, req, []int{0}, chs)
+	_, pbas, _ := b.WriteFresh(0, req, []int{0}, chs)
 	b.IC.ReadInsert(pbas[0])
 	b.InsertIndex(chs[0].FP, pbas[0])
 
@@ -183,7 +183,7 @@ func TestReadMappedCoalescing(t *testing.T) {
 	b.WriteFresh(0, req, pos, chunk.Split(ids, chunk.SyntheticFingerprinter{}, false))
 
 	read := &trace.Request{Time: sim.Time(sim.Second), Op: trace.Read, LBA: 0, N: 8}
-	rt := b.ReadMapped(read, false)
+	rt, _ := b.ReadMapped(read, false)
 	if rt <= 0 {
 		t.Fatal("read must take time")
 	}
@@ -196,7 +196,7 @@ func TestReadMappedCoalescing(t *testing.T) {
 
 	// second read: fully cached
 	read2 := &trace.Request{Time: sim.Time(2 * sim.Second), Op: trace.Read, LBA: 0, N: 8}
-	rt2 := b.ReadMapped(read2, false)
+	rt2, _ := b.ReadMapped(read2, false)
 	if rt2 != MemHitUS {
 		t.Fatalf("cached read rt = %v, want %d", rt2, MemHitUS)
 	}
@@ -210,7 +210,7 @@ func TestReadMappedFragmentationCounted(t *testing.T) {
 	// write two separate extents, then map alternating LBAs to them
 	mk := func(lba uint64, id chunk.ContentID) alloc.PBA {
 		req := &trace.Request{Op: trace.Write, LBA: lba, N: 1, Content: []chunk.ContentID{id}}
-		_, pbas := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
+		_, pbas, _ := b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
 		return pbas[0]
 	}
 	mk(0, 1)
@@ -229,14 +229,14 @@ func TestReadMappedFragmentationCounted(t *testing.T) {
 
 func TestIndexZoneIO(t *testing.T) {
 	b := testBase(t)
-	done := b.IndexZoneIO(0, 3)
+	done, _ := b.IndexZoneIO(0, 3)
 	if done <= 0 {
 		t.Fatal("index lookups must take time")
 	}
 	if b.St.IndexDiskIOs != 3 {
 		t.Fatalf("index IOs = %d", b.St.IndexDiskIOs)
 	}
-	if b.IndexZoneIO(100, 0) != 100 {
+	if z, _ := b.IndexZoneIO(100, 0); z != 100 {
 		t.Fatal("zero lookups must be free")
 	}
 }
@@ -290,7 +290,7 @@ func TestWriteFreshProperty(t *testing.T) {
 			return true
 		}
 		req := &trace.Request{Op: trace.Write, LBA: uint64(lbaRaw), N: n, Content: ids}
-		_, pbas := b.WriteFresh(0, req, positions, chunk.Split(ids, chunk.SyntheticFingerprinter{}, false))
+		_, pbas, _ := b.WriteFresh(0, req, positions, chunk.Split(ids, chunk.SyntheticFingerprinter{}, false))
 		for k, pos := range positions {
 			pba, ok := b.Map.Lookup(uint64(lbaRaw) + uint64(pos))
 			if !ok || pba != pbas[k] {

@@ -12,4 +12,22 @@ func (a *Array) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("raid_rmw_stripes", func() int64 { return a.rmwStripes })
 	reg.GaugeFunc("raid_full_stripes", func() int64 { return a.fullStripes })
 	reg.GaugeFunc("raid_degraded_reads", func() int64 { return a.degradedReads })
+	reg.GaugeFunc("raid_sector_repairs", func() int64 { return a.sectorRepairs })
+	reg.GaugeFunc("raid_transient_errors", func() int64 { return a.transientErrs })
+	reg.GaugeFunc("raid_data_loss_errors", func() int64 { return a.dataLossErrs })
+	reg.GaugeFunc("raid_fail_events", func() int64 { return a.failEvents })
+	reg.GaugeFunc("raid_rebuild_ios", func() int64 { return a.rebuildIOs })
+	reg.GaugeFunc("raid_rebuilds_done", func() int64 { return a.rebuildsDone })
+	reg.GaugeFunc("raid_rebuild_active", func() int64 {
+		if a.rebuilding {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("raid_rebuild_frontier_blocks", func() int64 { return int64(a.frontier) })
+	reg.GaugeFunc("fault_injected_transient", func() int64 { return a.inj.Stats().Transient })
+	reg.GaugeFunc("fault_injected_sector", func() int64 { return a.inj.Stats().Sector })
+	reg.GaugeFunc("fault_injected_disk_fail", func() int64 { return a.inj.Stats().DiskFail })
+	reg.GaugeFunc("fault_healed_ranges", func() int64 { return a.inj.Stats().HealedRanges })
+	reg.GaugeFunc("fault_slow_accesses", func() int64 { return a.inj.Stats().SlowAccesses })
 }

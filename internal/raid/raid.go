@@ -1,6 +1,6 @@
-// Package raid implements software RAID-0 and RAID-5 layouts over the
-// disk model, reproducing the 4-disk RAID5 with 64 KB stripe unit used
-// in the POD paper's evaluation (§IV-B).
+// Package raid implements software RAID-0, RAID-5 and RAID-1 layouts
+// over the disk model, reproducing the 4-disk RAID5 with 64 KB stripe
+// unit used in the POD paper's evaluation (§IV-B).
 //
 // Addresses are in 4 KB blocks. RAID5 uses the left-symmetric layout:
 // parity rotates from the last disk downwards and data units fill the
@@ -10,12 +10,31 @@
 // phase serialized behind the read phase); full-stripe writes skip the
 // read phase. This write-cost asymmetry is what makes eliminating
 // small writes — POD's central idea — so valuable on parity RAID.
+//
+// Fault handling. Disk accesses return typed *fault.Error values; the
+// array is the first layer of defense:
+//
+//   - a latent sector error on a redundant layout is reconstructed in
+//     place (parity/mirror reads) and the rebuilt range is written back,
+//     remapping the bad sectors — the access succeeds, slower;
+//   - a whole-device failure flips the array into degraded mode and
+//     starts an online rebuild onto a hot spare: rebuild I/O is paced in
+//     virtual time and competes with foreground requests on the very
+//     same FCFS spindle queues, so degraded-and-rebuilding latency is
+//     directly measurable. When the rebuild frontier passes the end of
+//     the device the array self-heals back to full redundancy;
+//   - transient I/O errors propagate upward as Transient — retry policy
+//     belongs to the serving layer, not the array;
+//   - anything that exhausts redundancy (RAID0 device loss, double
+//     failure, sector error while degraded) surfaces as a Permanent
+//     KindDataLoss error.
 package raid
 
 import (
 	"fmt"
 
 	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/sim"
 )
 
@@ -39,12 +58,28 @@ type Array struct {
 	dataBlocks uint64
 	stripes    uint64
 
+	inj *fault.Injector
+
+	// online-rebuild state: after a detected device failure a hot spare
+	// replaces the failed disk and reconstruction sweeps it from block 0
+	// at one stripe unit per rebuildStep of virtual time.
+	rebuilding  bool
+	frontier    uint64 // per-disk blocks reconstructed onto the spare
+	rebuildLast sim.Time
+	rebuildStep sim.Duration
+
 	// accounting
 	logicalReads, logicalWrites int64
 	diskIOs                     int64
 	rmwStripes                  int64
 	fullStripes                 int64
 	degradedReads               int64
+	sectorRepairs               int64
+	transientErrs               int64
+	dataLossErrs                int64
+	failEvents                  int64
+	rebuildIOs                  int64
+	rebuildsDone                int64
 }
 
 // New assembles an array. All disks must have equal capacity; unit is
@@ -84,6 +119,15 @@ func New(level Level, disks []*disk.Disk, unit uint64) *Array {
 		// mirrored pairs: half the spindles hold data, half mirrors
 		a.dataBlocks = a.stripes * unit * uint64(len(disks)/2)
 	}
+	// Default rebuild pace: one stripe unit per sequential
+	// read-plus-write of that unit (the transfer-bound rate of a
+	// dedicated spare, ~100 MB/s on the default drive model).
+	p := disks[0].Params()
+	unitUS := float64(unit) * float64(p.BlockBytes) / (p.TransferMBps * 1e6) * 1e6
+	a.rebuildStep = sim.Duration(2 * unitUS)
+	if a.rebuildStep < 1 {
+		a.rebuildStep = 1
+	}
 	return a
 }
 
@@ -96,6 +140,29 @@ func (a *Array) StripeUnit() uint64 { return a.unit }
 // NumDisks reports the number of spindles.
 func (a *Array) NumDisks() int { return len(a.disks) }
 
+// PerDiskBlocks reports each spindle's striped capacity in blocks (the
+// address space a fault schedule targets on one device).
+func (a *Array) PerDiskBlocks() uint64 { return a.stripes * a.unit }
+
+// SetInjector attaches a fault injector to every spindle (nil
+// detaches). The array keeps a reference so it can heal latent sectors
+// it repairs and retire the failure of a replaced device.
+func (a *Array) SetInjector(in *fault.Injector) {
+	a.inj = in
+	for i, d := range a.disks {
+		d.SetInjector(in, i)
+	}
+}
+
+// SetRebuildPace overrides the virtual time the rebuild spends per
+// stripe unit (lower = faster rebuild, more foreground interference).
+func (a *Array) SetRebuildPace(perUnit sim.Duration) {
+	if perUnit < 1 {
+		panic("raid: non-positive rebuild pace")
+	}
+	a.rebuildStep = perUnit
+}
+
 // DataDisksPerStripe reports how many data units each stripe holds.
 func (a *Array) DataDisksPerStripe() int {
 	switch a.level {
@@ -107,27 +174,136 @@ func (a *Array) DataDisksPerStripe() int {
 	return len(a.disks)
 }
 
-// mirrorOf maps a RAID1 primary disk to its mirror.
-func (a *Array) mirrorOf(d int) int { return d + len(a.disks)/2 }
+// mirrorOf maps a RAID1 disk to its partner (primary ↔ mirror).
+func (a *Array) mirrorOf(d int) int {
+	half := len(a.disks) / 2
+	if d >= half {
+		return d - half
+	}
+	return d + half
+}
 
-// Fail marks disk i failed; RAID5 reconstructs from survivors, RAID1
-// falls back to the surviving mirror. Failing a second disk panics
-// (data loss — the simulation cannot continue meaningfully).
+// Fail marks disk i failed without starting a rebuild — the static
+// degraded mode used by tests and ablations. Failing an out-of-range
+// index panics immediately (silently recording it would corrupt every
+// later parity decision); failing the already-failed disk is a no-op;
+// failing a second disk on a redundant layout panics — that is data
+// loss, and the simulation cannot continue meaningfully.
 func (a *Array) Fail(i int) {
+	if i < 0 || i >= len(a.disks) {
+		panic(fmt.Sprintf("raid: Fail(%d) out of range: array has %d disks", i, len(a.disks)))
+	}
 	if a.level == RAID0 {
 		panic("raid: RAID0 has no redundancy to degrade into")
 	}
-	if a.failed >= 0 && a.failed != i {
-		panic("raid: double disk failure")
+	if a.failed == i {
+		return
+	}
+	if a.failed >= 0 {
+		panic(fmt.Sprintf("raid: double disk failure (disk %d already failed, cannot fail %d)", a.failed, i))
 	}
 	a.failed = i
+	a.failEvents++
 }
 
-// Heal clears the failure (after a notional rebuild).
-func (a *Array) Heal() { a.failed = -1 }
+// Heal clears the failure (a notional instantaneous rebuild) and any
+// in-progress online rebuild.
+func (a *Array) Heal() {
+	a.failed = -1
+	a.rebuilding = false
+	a.frontier = 0
+}
 
 // Failed reports the failed disk index, or -1.
 func (a *Array) Failed() int { return a.failed }
+
+// Rebuilding reports whether an online rebuild is in progress, and its
+// per-disk block frontier.
+func (a *Array) Rebuilding() (bool, uint64) { return a.rebuilding, a.frontier }
+
+// StartRebuild installs a hot spare for the failed disk at virtual time
+// t and begins the online rebuild: the spare starts empty and a paced
+// background sweep reconstructs it stripe unit by stripe unit, sharing
+// the spindle queues with foreground I/O. Panics if no disk is failed
+// or the layout has no redundancy.
+func (a *Array) StartRebuild(t sim.Time) {
+	if a.failed < 0 {
+		panic("raid: StartRebuild with no failed disk")
+	}
+	if a.level == RAID0 {
+		panic("raid: RAID0 cannot rebuild")
+	}
+	a.disks[a.failed].Reset() // fresh spare: empty queue, unknown head
+	a.inj.ReplaceDisk(a.failed)
+	a.rebuilding = true
+	a.frontier = 0
+	a.rebuildLast = t
+}
+
+// advanceRebuild submits the rebuild I/O scheduled in (rebuildLast, t]:
+// each step reads one stripe unit from the redundancy set and writes it
+// to the spare. Rebuild traffic shares the FCFS queues with foreground
+// requests, so it inflates their latency — and they inflate its. Errors
+// during rebuild reads are ignored (the sweep retries the region
+// implicitly on the next pass of the foreground workload; modeling
+// rebuild-killing double faults is the job of reads, which still check
+// redundancy).
+func (a *Array) advanceRebuild(t sim.Time) {
+	if !a.rebuilding {
+		return
+	}
+	limit := a.stripes * a.unit
+	for a.rebuildLast.Add(a.rebuildStep) <= t {
+		s := a.rebuildLast.Add(a.rebuildStep)
+		a.rebuildLast = s
+		n := a.unit
+		if a.frontier+n > limit {
+			n = limit - a.frontier
+		}
+		if a.level == RAID1 {
+			a.disks[a.mirrorOf(a.failed)].Access(s, disk.Read, a.frontier, n)
+			a.rebuildIOs++
+		} else {
+			for i, d := range a.disks {
+				if i == a.failed {
+					continue
+				}
+				d.Access(s, disk.Read, a.frontier, n)
+				a.rebuildIOs++
+			}
+		}
+		a.disks[a.failed].Access(s, disk.Write, a.frontier, n)
+		a.rebuildIOs++
+		a.frontier += n
+		if a.frontier >= limit {
+			a.rebuilding = false
+			a.failed = -1
+			a.frontier = 0
+			a.rebuildsDone++
+			return
+		}
+	}
+}
+
+// onDiskFailure reacts to a KindDiskFailed error from disk i at time t:
+// with redundancy available the array degrades and self-heals (hot
+// spare + online rebuild); without it the failure is data loss.
+func (a *Array) onDiskFailure(i int, t sim.Time) error {
+	if a.level == RAID0 {
+		a.dataLossErrs++
+		return fault.New(fault.KindDataLoss, fault.Permanent, i, 0, t)
+	}
+	if a.failed >= 0 && a.failed != i {
+		a.dataLossErrs++
+		return fault.New(fault.KindDataLoss, fault.Permanent, i, 0, t)
+	}
+	if a.failed < 0 {
+		a.failed = i
+		a.failEvents++
+		a.StartRebuild(t)
+	}
+	return nil
+}
 
 // segment is one maximal run of a logical request that lives in a
 // single stripe unit on a single disk.
@@ -190,48 +366,167 @@ func (a *Array) checkRange(start, n uint64) {
 	}
 }
 
+// spareHolds reports whether the failed disk's replacement already holds
+// [off, off+n): either no rebuild is needed, or the frontier has passed
+// the whole range.
+func (a *Array) spareHolds(off, n uint64) bool {
+	return a.rebuilding && off+n <= a.frontier
+}
+
+// reconstructRead regenerates [off, off+n) of disk avoid from the
+// array's redundancy: RAID5 reads the range from every other disk,
+// RAID1 from the mirror partner. A permanent error on a source disk is
+// data loss (redundancy exhausted); a transient one propagates for the
+// serving layer to retry.
+func (a *Array) reconstructRead(t sim.Time, off, n uint64, avoid int) (sim.Time, error) {
+	a.degradedReads++
+	done := t
+	readSrc := func(i int) error {
+		a.diskIOs++
+		c, err := a.disks[i].Access(t, disk.Read, off, n)
+		done = sim.MaxTime(done, c)
+		if err == nil {
+			return nil
+		}
+		if fault.IsTransient(err) {
+			a.transientErrs++
+			return err
+		}
+		a.dataLossErrs++
+		return fault.New(fault.KindDataLoss, fault.Permanent, i, off, t)
+	}
+	if a.level == RAID1 {
+		return done, readSrc(a.mirrorOf(avoid))
+	}
+	for i := range a.disks {
+		if i == avoid {
+			continue
+		}
+		if err := readSrc(i); err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// readSegment serves one segment of a logical read, absorbing whatever
+// faults redundancy can absorb.
+func (a *Array) readSegment(t sim.Time, s segment) (sim.Time, error) {
+	if a.level == RAID1 {
+		return a.readSegmentMirror(t, s)
+	}
+	if s.disk == a.failed && !a.spareHolds(s.off, s.n) {
+		if a.level == RAID0 {
+			a.dataLossErrs++
+			return t, fault.New(fault.KindDataLoss, fault.Permanent, s.disk, s.off, t)
+		}
+		return a.reconstructRead(t, s.off, s.n, s.disk)
+	}
+	a.diskIOs++
+	c, err := a.disks[s.disk].Access(t, disk.Read, s.off, s.n)
+	if err == nil {
+		return c, nil
+	}
+	fe, ok := err.(*fault.Error)
+	if !ok {
+		return c, err
+	}
+	switch fe.Kind {
+	case fault.KindDiskFailed:
+		if lerr := a.onDiskFailure(s.disk, t); lerr != nil {
+			return c, lerr
+		}
+		return a.reconstructRead(t, s.off, s.n, s.disk)
+	case fault.KindSectorError:
+		if a.level == RAID0 || (a.failed >= 0 && a.failed != s.disk) {
+			a.dataLossErrs++
+			return c, fault.New(fault.KindDataLoss, fault.Permanent, s.disk, fe.Block, t)
+		}
+		done, rerr := a.reconstructRead(t, s.off, s.n, s.disk)
+		done = sim.MaxTime(done, c)
+		if rerr != nil {
+			return done, rerr
+		}
+		// write the reconstructed range back: the drive remaps the bad
+		// sectors (the injector heals on write), self-repairing the LSE
+		a.diskIOs++
+		wc, _ := a.disks[s.disk].AccessAfter(t, done, disk.Write, s.off, s.n)
+		a.sectorRepairs++
+		return sim.MaxTime(done, wc), nil
+	default:
+		a.transientErrs++
+		return c, err
+	}
+}
+
+// readSegmentMirror is the RAID1 read path: serve from the less-loaded
+// healthy copy, fall back to the partner on sector errors (with
+// write-back repair) and on device loss.
+func (a *Array) readSegmentMirror(t sim.Time, s segment) (sim.Time, error) {
+	d := s.disk
+	m := a.mirrorOf(d)
+	if d == a.failed && !a.spareHolds(s.off, s.n) {
+		d = m
+	} else if m != a.failed && a.disks[m].BusyUntil() < a.disks[d].BusyUntil() {
+		d = m // serve from the less-loaded copy
+	}
+	a.diskIOs++
+	c, err := a.disks[d].Access(t, disk.Read, s.off, s.n)
+	if err == nil {
+		return c, nil
+	}
+	fe, ok := err.(*fault.Error)
+	if !ok {
+		return c, err
+	}
+	switch fe.Kind {
+	case fault.KindDiskFailed:
+		if lerr := a.onDiskFailure(d, t); lerr != nil {
+			return c, lerr
+		}
+		return a.reconstructRead(t, s.off, s.n, d)
+	case fault.KindSectorError:
+		if a.failed >= 0 && a.failed != d {
+			a.dataLossErrs++
+			return c, fault.New(fault.KindDataLoss, fault.Permanent, d, fe.Block, t)
+		}
+		done, rerr := a.reconstructRead(t, s.off, s.n, d)
+		done = sim.MaxTime(done, c)
+		if rerr != nil {
+			return done, rerr
+		}
+		a.diskIOs++
+		wc, _ := a.disks[d].AccessAfter(t, done, disk.Write, s.off, s.n)
+		a.sectorRepairs++
+		return sim.MaxTime(done, wc), nil
+	default:
+		a.transientErrs++
+		return c, err
+	}
+}
+
 // Read submits a logical read arriving at t and returns the completion
 // time (the max over the parallel per-disk I/Os). In degraded mode,
-// segments on the failed disk are reconstructed by reading the
-// corresponding ranges from every surviving disk.
-func (a *Array) Read(t sim.Time, start, n uint64) sim.Time {
+// segments on the failed disk are reconstructed from the surviving
+// redundancy; latent sector errors are reconstructed and repaired in
+// place. Transient faults and redundancy-exhausted data loss propagate
+// as typed errors with the virtual time already spent.
+func (a *Array) Read(t sim.Time, start, n uint64) (sim.Time, error) {
 	if n == 0 {
-		return t
+		return t, nil
 	}
 	a.checkRange(start, n)
+	a.advanceRebuild(t)
 	a.logicalReads++
 	done := t
 	for _, s := range a.split(start, n) {
-		if a.level == RAID1 {
-			d := s.disk
-			m := a.mirrorOf(d)
-			if d == a.failed {
-				d = m
-			} else if m != a.failed && a.disks[m].BusyUntil() < a.disks[d].BusyUntil() {
-				d = m // serve from the less-loaded copy
-			}
-			a.diskIOs++
-			c := a.disks[d].Access(t, disk.Read, s.off, s.n)
-			done = sim.MaxTime(done, c)
-			continue
-		}
-		if a.level == RAID5 && s.disk == a.failed {
-			a.degradedReads++
-			for i, d := range a.disks {
-				if i == a.failed {
-					continue
-				}
-				a.diskIOs++
-				c := d.Access(t, disk.Read, s.off, s.n)
-				done = sim.MaxTime(done, c)
-			}
-			continue
-		}
-		a.diskIOs++
-		c := a.disks[s.disk].Access(t, disk.Read, s.off, s.n)
+		c, err := a.readSegment(t, s)
 		done = sim.MaxTime(done, c)
+		if err != nil {
+			return done, err
+		}
 	}
-	return done
+	return done, nil
 }
 
 // Write submits a logical write arriving at t and returns the
@@ -239,11 +534,12 @@ func (a *Array) Read(t sim.Time, start, n uint64) sim.Time {
 // segments by stripe: a fully covered stripe is written in place
 // (data + parity, no reads); a partially covered stripe performs
 // read-modify-write.
-func (a *Array) Write(t sim.Time, start, n uint64) sim.Time {
+func (a *Array) Write(t sim.Time, start, n uint64) (sim.Time, error) {
 	if n == 0 {
-		return t
+		return t, nil
 	}
 	a.checkRange(start, n)
+	a.advanceRebuild(t)
 	a.logicalWrites++
 	segs := a.split(start, n)
 
@@ -251,25 +547,32 @@ func (a *Array) Write(t sim.Time, start, n uint64) sim.Time {
 		done := t
 		for _, s := range segs {
 			a.diskIOs++
-			c := a.disks[s.disk].Access(t, disk.Write, s.off, s.n)
+			c, err := a.disks[s.disk].Access(t, disk.Write, s.off, s.n)
 			done = sim.MaxTime(done, c)
+			if err != nil {
+				if fe, ok := err.(*fault.Error); ok && fe.Kind == fault.KindDiskFailed {
+					a.dataLossErrs++
+					return done, fault.New(fault.KindDataLoss, fault.Permanent, s.disk, s.off, t)
+				}
+				a.transientErrs++
+				return done, err
+			}
 		}
-		return done
+		return done, nil
 	}
 
 	if a.level == RAID1 {
 		done := t
 		for _, s := range segs {
 			for _, d := range [2]int{s.disk, a.mirrorOf(s.disk)} {
-				if d == a.failed {
-					continue
-				}
-				a.diskIOs++
-				c := a.disks[d].Access(t, disk.Write, s.off, s.n)
+				c, err := a.writeTo(t, t, d, s.off, s.n)
 				done = sim.MaxTime(done, c)
+				if err != nil {
+					return done, err
+				}
 			}
 		}
-		return done
+		return done, nil
 	}
 
 	// group segments by stripe, preserving order
@@ -279,15 +582,80 @@ func (a *Array) Write(t sim.Time, start, n uint64) sim.Time {
 		for j < len(segs) && segs[j].stripe == segs[i].stripe {
 			j++
 		}
-		c := a.writeStripe(t, segs[i:j])
+		c, err := a.writeStripe(t, segs[i:j])
 		done = sim.MaxTime(done, c)
+		if err != nil {
+			return done, err
+		}
 		i = j
 	}
-	return done
+	return done, nil
+}
+
+// writeTo issues one disk write with degraded-mode and fault handling:
+// a write to the failed disk completes immediately when no spare is
+// installed (parity/mirror carries it); a device failure discovered by
+// the write itself degrades the array and the write is then absorbed
+// the same way; transient errors propagate.
+func (a *Array) writeTo(t, ready sim.Time, d int, off, n uint64) (sim.Time, error) {
+	if d == a.failed && !a.rebuilding {
+		return ready, nil // lost write: redundancy reconstructs it
+	}
+	a.diskIOs++
+	c, err := a.disks[d].AccessAfter(t, ready, disk.Write, off, n)
+	if err == nil {
+		return c, nil
+	}
+	if fe, ok := err.(*fault.Error); ok && fe.Kind == fault.KindDiskFailed {
+		if lerr := a.onDiskFailure(d, t); lerr != nil {
+			return c, lerr
+		}
+		// degraded now; the write is covered by the surviving redundancy
+		return sim.MaxTime(ready, c), nil
+	}
+	a.transientErrs++
+	return c, err
+}
+
+// readForRMW issues one old-data/old-parity read of a read-modify-write,
+// reconstructing around failed devices and latent sectors. The
+// follow-up write phase covers exactly the ranges read, so a sector
+// error needs no explicit repair write here — the write phase remaps it.
+func (a *Array) readForRMW(t sim.Time, d int, off, n uint64) (sim.Time, error) {
+	if d == a.failed && !a.spareHolds(off, n) {
+		return a.reconstructRead(t, off, n, d)
+	}
+	a.diskIOs++
+	c, err := a.disks[d].Access(t, disk.Read, off, n)
+	if err == nil {
+		return c, nil
+	}
+	fe, ok := err.(*fault.Error)
+	if !ok {
+		return c, err
+	}
+	switch fe.Kind {
+	case fault.KindDiskFailed:
+		if lerr := a.onDiskFailure(d, t); lerr != nil {
+			return c, lerr
+		}
+		done, rerr := a.reconstructRead(t, off, n, d)
+		return sim.MaxTime(done, c), rerr
+	case fault.KindSectorError:
+		if a.failed >= 0 && a.failed != d {
+			a.dataLossErrs++
+			return c, fault.New(fault.KindDataLoss, fault.Permanent, d, fe.Block, t)
+		}
+		done, rerr := a.reconstructRead(t, off, n, d)
+		return sim.MaxTime(done, c), rerr
+	default:
+		a.transientErrs++
+		return c, err
+	}
 }
 
 // writeStripe performs the RAID5 write of one stripe's segments.
-func (a *Array) writeStripe(t sim.Time, segs []segment) sim.Time {
+func (a *Array) writeStripe(t sim.Time, segs []segment) (sim.Time, error) {
 	stripe := segs[0].stripe
 	pdisk := a.parityDisk(stripe)
 	dps := uint64(a.DataDisksPerStripe())
@@ -311,56 +679,47 @@ func (a *Array) writeStripe(t sim.Time, segs []segment) sim.Time {
 		parityLen = a.unit
 	}
 
-	writeTo := func(d int, ready sim.Time, off, n uint64) sim.Time {
-		if d == a.failed {
-			return ready // lost writes complete immediately in degraded mode
-		}
-		a.diskIOs++
-		return a.disks[d].AccessAfter(t, ready, disk.Write, off, n)
-	}
-
 	if full {
 		a.fullStripes++
 		done := t
 		for _, s := range segs {
-			done = sim.MaxTime(done, writeTo(s.disk, t, s.off, s.n))
+			c, err := a.writeTo(t, t, s.disk, s.off, s.n)
+			done = sim.MaxTime(done, c)
+			if err != nil {
+				return done, err
+			}
 		}
-		done = sim.MaxTime(done, writeTo(pdisk, t, parityOff, parityLen))
-		return done
+		c, err := a.writeTo(t, t, pdisk, parityOff, parityLen)
+		return sim.MaxTime(done, c), err
 	}
 
 	// read-modify-write: read old data ranges and old parity, then
 	// write new data and parity after all reads complete.
 	a.rmwStripes++
 	readDone := t
-	readFrom := func(d int, off, n uint64) {
-		if d == a.failed {
-			// reconstruct: read the range from all surviving disks
-			for i, dd := range a.disks {
-				if i == a.failed {
-					continue
-				}
-				a.diskIOs++
-				c := dd.Access(t, disk.Read, off, n)
-				readDone = sim.MaxTime(readDone, c)
-			}
-			return
-		}
-		a.diskIOs++
-		c := a.disks[d].Access(t, disk.Read, off, n)
-		readDone = sim.MaxTime(readDone, c)
-	}
 	for _, s := range segs {
-		readFrom(s.disk, s.off, s.n)
+		c, err := a.readForRMW(t, s.disk, s.off, s.n)
+		readDone = sim.MaxTime(readDone, c)
+		if err != nil {
+			return readDone, err
+		}
 	}
-	readFrom(pdisk, parityOff, parityLen)
+	c, err := a.readForRMW(t, pdisk, parityOff, parityLen)
+	readDone = sim.MaxTime(readDone, c)
+	if err != nil {
+		return readDone, err
+	}
 
 	done := readDone
 	for _, s := range segs {
-		done = sim.MaxTime(done, writeTo(s.disk, readDone, s.off, s.n))
+		c, err := a.writeTo(t, readDone, s.disk, s.off, s.n)
+		done = sim.MaxTime(done, c)
+		if err != nil {
+			return done, err
+		}
 	}
-	done = sim.MaxTime(done, writeTo(pdisk, readDone, parityOff, parityLen))
-	return done
+	c, err = a.writeTo(t, readDone, pdisk, parityOff, parityLen)
+	return sim.MaxTime(done, c), err
 }
 
 // Stats is a snapshot of array-level accounting.
@@ -369,6 +728,12 @@ type Stats struct {
 	DiskIOs                     int64
 	RMWStripes, FullStripes     int64
 	DegradedReads               int64
+	SectorRepairs               int64
+	TransientErrors             int64
+	DataLossErrors              int64
+	FailEvents                  int64
+	RebuildIOs                  int64
+	RebuildsDone                int64
 	Disk                        []disk.Stats
 }
 
@@ -378,6 +743,9 @@ func (a *Array) Stats() Stats {
 		LogicalReads: a.logicalReads, LogicalWrites: a.logicalWrites,
 		DiskIOs: a.diskIOs, RMWStripes: a.rmwStripes, FullStripes: a.fullStripes,
 		DegradedReads: a.degradedReads,
+		SectorRepairs: a.sectorRepairs, TransientErrors: a.transientErrs,
+		DataLossErrors: a.dataLossErrs, FailEvents: a.failEvents,
+		RebuildIOs: a.rebuildIOs, RebuildsDone: a.rebuildsDone,
 	}
 	for _, d := range a.disks {
 		s.Disk = append(s.Disk, d.Stats())
@@ -405,12 +773,17 @@ func (a *Array) Backlog(t sim.Time) sim.Duration {
 	return sum
 }
 
-// Reset idles every spindle and clears accounting.
+// Reset idles every spindle and clears accounting and rebuild state.
 func (a *Array) Reset() {
 	for _, d := range a.disks {
 		d.Reset()
 	}
 	a.failed = -1
+	a.rebuilding = false
+	a.frontier = 0
+	a.rebuildLast = 0
 	a.logicalReads, a.logicalWrites, a.diskIOs = 0, 0, 0
 	a.rmwStripes, a.fullStripes, a.degradedReads = 0, 0, 0
+	a.sectorRepairs, a.transientErrs, a.dataLossErrs = 0, 0, 0
+	a.failEvents, a.rebuildIOs, a.rebuildsDone = 0, 0, 0
 }

@@ -46,8 +46,10 @@ func TestRAID1WriteMirrorsBothCopies(t *testing.T) {
 func TestRAID1SmallWriteCheaperThanRAID5(t *testing.T) {
 	r1 := New(RAID1, newDisks(4), 16)
 	r5 := New(RAID5, newDisks(4), 16)
-	d1 := r1.Write(0, 0, 1).Sub(0)
-	d5 := r5.Write(0, 0, 1).Sub(0)
+	w1, _ := r1.Write(0, 0, 1)
+	d1 := w1.Sub(0)
+	w5, _ := r5.Write(0, 0, 1)
+	d5 := w5.Sub(0)
 	if d1 >= d5 {
 		t.Fatalf("RAID1 small write (%v) must beat RAID5's RMW (%v)", d1, d5)
 	}
@@ -76,7 +78,7 @@ func TestRAID1DegradedServesFromMirror(t *testing.T) {
 	a := new1(t)
 	a.Write(0, 0, 4)
 	a.Fail(0) // primary of the first pair
-	done := a.Read(1000, 0, 4)
+	done, _ := a.Read(1000, 0, 4)
 	if done <= 1000 {
 		t.Fatal("degraded read must complete")
 	}

@@ -97,7 +97,7 @@ func TestSplitCoversRequest(t *testing.T) {
 
 func TestReadCompletes(t *testing.T) {
 	a := new5(t)
-	done := a.Read(1000, 0, 8)
+	done, _ := a.Read(1000, 0, 8)
 	if done <= 1000 {
 		t.Fatal("read must take time")
 	}
@@ -108,7 +108,9 @@ func TestReadCompletes(t *testing.T) {
 
 func TestZeroLengthOps(t *testing.T) {
 	a := new5(t)
-	if a.Read(5, 0, 0) != 5 || a.Write(5, 0, 0) != 5 {
+	r0, _ := a.Read(5, 0, 0)
+	w0, _ := a.Write(5, 0, 0)
+	if r0 != 5 || w0 != 5 {
 		t.Fatal("zero-length ops must complete immediately")
 	}
 }
@@ -157,9 +159,9 @@ func TestFullStripeWriteSkipsReads(t *testing.T) {
 
 func TestSmallWriteCostlierPerBlockThanFullStripe(t *testing.T) {
 	a := new5(t)
-	smallDone := a.Write(0, 0, 1)
+	smallDone, _ := a.Write(0, 0, 1)
 	a.Reset()
-	fullDone := a.Write(0, 0, 48)
+	fullDone, _ := a.Write(0, 0, 48)
 	small := smallDone.Sub(0)
 	full := fullDone.Sub(0)
 	if small.Seconds()/1 <= full.Seconds()/48 {
@@ -169,7 +171,7 @@ func TestSmallWriteCostlierPerBlockThanFullStripe(t *testing.T) {
 
 func TestRMWWritePhaseAfterReadPhase(t *testing.T) {
 	a := new5(t)
-	done := a.Write(0, 0, 1)
+	done, _ := a.Write(0, 0, 1)
 	// completion must cover at least two serialized disk accesses
 	// (read ≈ seek+rot, then write ≈ seek+rot)
 	if done.Sub(0) < 8000 {
@@ -237,7 +239,7 @@ func TestRAID0WritesNoParity(t *testing.T) {
 
 func TestBacklogAndBusyUntil(t *testing.T) {
 	a := new5(t)
-	done := a.Write(0, 0, 1)
+	done, _ := a.Write(0, 0, 1)
 	if a.BusyUntil() != done {
 		t.Fatalf("busyUntil %v != completion %v", a.BusyUntil(), done)
 	}
@@ -308,9 +310,9 @@ func TestArrayCausalityProperty(t *testing.T) {
 			n := uint64(raw%63) + 1
 			var done sim.Time
 			if raw%3 == 0 {
-				done = a.Read(tm, start, n)
+				done, _ = a.Read(tm, start, n)
 			} else {
-				done = a.Write(tm, start, n)
+				done, _ = a.Write(tm, start, n)
 			}
 			if done < tm {
 				return false

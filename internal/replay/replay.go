@@ -87,11 +87,15 @@ func run(e engine.Engine, tr *trace.Trace, warmup, traceEvery int, observe func(
 			e.Stats().Reset()
 			e.Metrics().Reset()
 		}
+		// Replay has no retry layer: a request the stack could not
+		// absorb is counted (engine Stats track Write/ReadErrors) and
+		// the replay moves on — fault experiments that need retry
+		// semantics run through internal/server instead.
 		var rt sim.Duration
 		if r.Op == trace.Write {
-			rt = e.Write(r)
+			rt, _ = e.Write(r)
 		} else {
-			rt = e.Read(r)
+			rt, _ = e.Read(r)
 		}
 		if ring != nil && i >= warmup {
 			sampled++

@@ -34,6 +34,7 @@ import (
 
 	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/stats"
@@ -120,6 +121,32 @@ type Config struct {
 	TraceSample int
 	// TraceBuf caps each shard's trace ring (default 256).
 	TraceBuf int
+
+	// Fault-handling policy. All times are virtual microseconds; the
+	// whole retry/backoff machinery runs in the simulated time domain
+	// and is deterministic for a given RetrySeed.
+
+	// MaxRetries bounds re-attempts after a transient storage fault
+	// (default 3; -1 disables retries). Permanent faults never retry.
+	MaxRetries int
+	// RetryBaseUS is the first backoff (default 200 µs); each further
+	// attempt doubles it up to RetryMaxUS (default 20 ms). A
+	// deterministic jitter in [0, backoff/2) is added on top.
+	RetryBaseUS int64
+	RetryMaxUS  int64
+	// RetrySeed seeds the jitter sequence (default 1).
+	RetrySeed uint64
+	// DeadlineUS is the per-request virtual-time budget measured from
+	// arrival: when queueing or a scheduled retry would start past it,
+	// the request fails with KindDeadlineExceeded. 0 disables deadlines.
+	DeadlineUS int64
+	// BreakerThreshold opens a shard's circuit breaker after this many
+	// consecutive terminal failures (default 8; -1 disables). An open
+	// breaker sheds requests with KindUnavailable until
+	// BreakerCooldownUS (default 200 ms) of virtual time passes, then
+	// admits one probe: success closes the breaker, failure re-opens it.
+	BreakerThreshold  int
+	BreakerCooldownUS int64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -152,6 +179,46 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TraceBuf < 1 {
 		return c, fmt.Errorf("server: trace buffer %d", c.TraceBuf)
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 3
+	case c.MaxRetries == -1:
+		c.MaxRetries = 0
+	case c.MaxRetries < -1:
+		return c, fmt.Errorf("server: max retries %d", c.MaxRetries)
+	}
+	if c.RetryBaseUS == 0 {
+		c.RetryBaseUS = 200
+	}
+	if c.RetryBaseUS < 0 {
+		return c, fmt.Errorf("server: retry base %dus", c.RetryBaseUS)
+	}
+	if c.RetryMaxUS == 0 {
+		c.RetryMaxUS = 20000
+	}
+	if c.RetryMaxUS < c.RetryBaseUS {
+		return c, fmt.Errorf("server: retry max %dus below base %dus", c.RetryMaxUS, c.RetryBaseUS)
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.DeadlineUS < 0 {
+		return c, fmt.Errorf("server: deadline %dus", c.DeadlineUS)
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 8
+	case c.BreakerThreshold == -1:
+		// disabled
+	case c.BreakerThreshold < -1:
+		return c, fmt.Errorf("server: breaker threshold %d", c.BreakerThreshold)
+	}
+	if c.BreakerCooldownUS == 0 {
+		c.BreakerCooldownUS = 200000
+	}
+	if c.BreakerCooldownUS < 0 {
+		return c, fmt.Errorf("server: breaker cooldown %dus", c.BreakerCooldownUS)
 	}
 	return c, nil
 }
@@ -206,6 +273,19 @@ type shard struct {
 	firstArr  sim.Time
 	lastDone  sim.Time
 	anyServed bool
+
+	// fault-handling state, all under mu (the registry's GaugeFunc
+	// callbacks for these counters are evaluated by Stats(), which also
+	// holds mu)
+	retrySeq    uint64 // deterministic jitter counter
+	retries     int64
+	failed      int64 // requests that ended in a terminal error
+	deadlined   int64
+	consecFails int      // consecutive terminal failures (breaker input)
+	brOpen      bool     // circuit breaker open
+	brUntil     sim.Time // virtual time the breaker half-opens
+	brOpens     int64
+	brShed      int64 // requests refused with KindUnavailable
 }
 
 // flusher matches engines with background work to drain at shutdown
@@ -229,7 +309,19 @@ type Server struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	errMu    sync.Mutex
+	closeErr error // first worker failure, reported by Close
+
 	shed int64 // atomic
+}
+
+// recordErr keeps the first worker failure for Close to report.
+func (s *Server) recordErr(err error) {
+	s.errMu.Lock()
+	if s.closeErr == nil {
+		s.closeErr = err
+	}
+	s.errMu.Unlock()
 }
 
 // New builds and starts a server: engines are constructed and one
@@ -269,6 +361,26 @@ func New(cfg Config) (*Server, error) {
 		// len() on a channel is safe from other goroutines
 		reg.GaugeFunc(metrics.Labeled("server_queue_depth", "shard", label),
 			func() int64 { return int64(len(sh.ch)) })
+		// fault-handling counters (written under sh.mu; Stats evaluates
+		// the engine registry snapshot while holding sh.mu, so these
+		// callbacks never race the worker)
+		reg.GaugeFunc(metrics.Labeled("server_retries", "shard", label),
+			func() int64 { return sh.retries })
+		reg.GaugeFunc(metrics.Labeled("server_failed", "shard", label),
+			func() int64 { return sh.failed })
+		reg.GaugeFunc(metrics.Labeled("server_deadline_exceeded", "shard", label),
+			func() int64 { return sh.deadlined })
+		reg.GaugeFunc(metrics.Labeled("server_breaker_opens", "shard", label),
+			func() int64 { return sh.brOpens })
+		reg.GaugeFunc(metrics.Labeled("server_breaker_shed", "shard", label),
+			func() int64 { return sh.brShed })
+		reg.GaugeFunc(metrics.Labeled("server_breaker_open", "shard", label),
+			func() int64 {
+				if sh.brOpen {
+					return 1
+				}
+				return 0
+			})
 		s.shards[i] = sh
 	}
 	for _, sh := range s.shards {
@@ -289,15 +401,58 @@ func (s *Server) Shard(lba uint64) int { return s.router.Shard(lba) }
 // one lock acquisition. When the channel closes it finishes the
 // backlog (a closed channel yields its buffered requests first) and
 // flushes the engine's background work.
+//
+// A panic anywhere in the serving path (a corrupted engine invariant)
+// does not take down the process: the worker records the failure for
+// Close to report and fail-drains its queue — every queued and future
+// request on the shard completes with KindUnavailable instead of
+// blocking its submitter forever.
 func (s *Server) worker(sh *shard) {
 	defer s.wg.Done()
 	batch := make([]envelope, 0, s.cfg.MaxBatch)
+	served := 0 // within the current batch; the recover path fails the rest
+	failEnv := func(env envelope) {
+		if env.done != nil {
+			env.done <- Result{Shard: sh.id,
+				Err: fault.New(fault.KindUnavailable, fault.Permanent, -1, 0, sim.Time(env.req.Time))}
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.recordErr(fmt.Errorf("server: shard %d worker panicked: %v", sh.id, r))
+		// the drained-but-unserved tail of the current batch first (the
+		// request that panicked included — its submitter is blocked in
+		// Do), then everything queued and yet to come
+		for _, env := range batch[served:] {
+			failEnv(env)
+		}
+		for env := range sh.ch {
+			failEnv(env)
+		}
+	}()
+	// serve under the lock in a closure so a panic releases sh.mu on
+	// the way to the fail-drain recover above
+	serveBatch := func() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		for _, r := range batch[served:] {
+			sh.serve(r, &s.cfg)
+			served++
+		}
+		sh.batches++
+		if len(batch) > sh.maxBatch {
+			sh.maxBatch = len(batch)
+		}
+	}
 	for {
 		r, ok := <-sh.ch
 		if !ok {
 			break
 		}
-		batch = append(batch[:0], r)
+		batch, served = append(batch[:0], r), 0
 	fill:
 		for len(batch) < s.cfg.MaxBatch {
 			select {
@@ -310,29 +465,65 @@ func (s *Server) worker(sh *shard) {
 				break fill
 			}
 		}
+		serveBatch()
+	}
+	func() {
 		sh.mu.Lock()
-		for _, r := range batch {
-			sh.serve(r, s.cfg.Timing, s.cfg.TraceSample)
+		defer sh.mu.Unlock()
+		if f, ok := sh.eng.(flusher); ok {
+			f.Flush(sh.lastStart)
 		}
-		sh.batches++
-		if len(batch) > sh.maxBatch {
-			sh.maxBatch = len(batch)
-		}
-		sh.mu.Unlock()
-	}
-	sh.mu.Lock()
-	if f, ok := sh.eng.(flusher); ok {
-		f.Flush(sh.lastStart)
-	}
-	sh.mu.Unlock()
+	}()
 }
 
-// serve runs one request through the shard engine. Caller holds sh.mu.
-func (sh *shard) serve(env envelope, timing Timing, traceSample int) {
+// backoff computes the virtual-time delay before retry attempt (1-based)
+// plus a deterministic jitter in [0, delay/2).
+func (sh *shard) backoff(cfg *Config, attempt int) sim.Duration {
+	d := cfg.RetryBaseUS
+	for i := 1; i < attempt && d < cfg.RetryMaxUS; i++ {
+		d <<= 1
+	}
+	if d > cfg.RetryMaxUS {
+		d = cfg.RetryMaxUS
+	}
+	sh.retrySeq++
+	if half := uint64(d / 2); half > 0 {
+		d += int64(splitmix64(cfg.RetrySeed^uint64(sh.id)<<32^sh.retrySeq) % half)
+	}
+	return sim.Duration(d)
+}
+
+// splitmix64 is the standard 64-bit mixer (jitter coin).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// serve runs one request through the shard engine, applying the fault
+// policy: transient engine errors are retried with exponential backoff
+// and deterministic jitter in virtual time, a virtual deadline bounds
+// queueing plus retries, and a per-shard circuit breaker sheds to
+// degraded service after sustained terminal failures. Caller holds
+// sh.mu.
+func (sh *shard) serve(env envelope, cfg *Config) {
 	r := env.req
 	arrival := sim.Time(r.Time)
+
+	// circuit breaker: while open, refuse without touching the engine;
+	// after the cooldown the next request is the half-open probe.
+	if cfg.BreakerThreshold > 0 && sh.brOpen && arrival < sh.brUntil {
+		sh.brShed++
+		if env.done != nil {
+			env.done <- Result{Shard: sh.id, Start: int64(arrival), Complete: int64(arrival),
+				Err: fault.New(fault.KindUnavailable, fault.Transient, -1, 0, arrival)}
+		}
+		return
+	}
+
 	start := arrival
-	switch timing {
+	switch cfg.Timing {
 	case Queued:
 		if start < sh.nextFree {
 			start = sh.nextFree
@@ -342,21 +533,84 @@ func (sh *shard) serve(env envelope, timing Timing, traceSample int) {
 			start = sh.lastStart
 		}
 	}
-	treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.Len(), Content: r.Content}
-	var rt sim.Duration
-	if r.Op == trace.Write {
-		rt = sh.eng.Write(&treq)
-	} else {
-		rt = sh.eng.Read(&treq)
+
+	var deadline sim.Time
+	if cfg.DeadlineUS > 0 {
+		deadline = arrival.Add(sim.Duration(cfg.DeadlineUS))
 	}
-	complete := start.Add(rt)
+
+	var rt sim.Duration
+	var err error
+	retries := 0
+	complete := start
+	if deadline > 0 && start >= deadline {
+		// the queue wait alone blew the budget
+		err = fault.New(fault.KindDeadlineExceeded, fault.Permanent, -1, 0, start)
+	} else {
+		for {
+			treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.Len(), Content: r.Content}
+			if r.Op == trace.Write {
+				rt, err = sh.eng.Write(&treq)
+			} else {
+				rt, err = sh.eng.Read(&treq)
+			}
+			complete = start.Add(rt)
+			if err == nil || !fault.IsTransient(err) || retries >= cfg.MaxRetries {
+				break
+			}
+			next := complete.Add(sh.backoff(cfg, retries+1))
+			if deadline > 0 && next >= deadline {
+				err = fault.New(fault.KindDeadlineExceeded, fault.Permanent, -1, 0, complete)
+				break
+			}
+			retries++
+			sh.retries++
+			start = next
+		}
+	}
+
 	sojourn := complete.Sub(arrival)
-	if timing == Passthrough {
+	svc := complete.Sub(start)
+	if cfg.Timing == Passthrough {
 		sojourn = rt
 	} else {
 		sh.nextFree = complete
 	}
 	sh.lastStart = start
+	sh.seq++
+	if !sh.anyServed || arrival < sh.firstArr {
+		sh.firstArr = arrival
+	}
+	if complete > sh.lastDone {
+		sh.lastDone = complete
+	}
+	sh.anyServed = true
+
+	if err != nil {
+		sh.failed++
+		if fe, ok := err.(*fault.Error); ok && fe.Kind == fault.KindDeadlineExceeded {
+			sh.deadlined++
+		}
+		// breaker accounting: sustained terminal failures trip it; a
+		// failed half-open probe re-arms the cooldown
+		if cfg.BreakerThreshold > 0 {
+			sh.consecFails++
+			if sh.brOpen || sh.consecFails >= cfg.BreakerThreshold {
+				if !sh.brOpen {
+					sh.brOpens++
+				}
+				sh.brOpen = true
+				sh.brUntil = complete.Add(sim.Duration(cfg.BreakerCooldownUS))
+			}
+		}
+		if env.done != nil {
+			env.done <- Result{Shard: sh.id, Start: int64(start), Complete: int64(complete),
+				Service: int64(svc), Sojourn: int64(sojourn), Retries: retries, Err: err}
+		}
+		return
+	}
+	sh.consecFails = 0
+	sh.brOpen = false // a success closes a half-open breaker
 
 	// The engine's StartRequest reset the phase scratch at the top of
 	// its Write/Read, so queue wait must be observed after the engine
@@ -368,16 +622,8 @@ func (sh *shard) serve(env envelope, timing Timing, traceSample int) {
 
 	sh.lat.Add(int64(sojourn))
 	sh.completed++
-	sh.seq++
-	if !sh.anyServed || arrival < sh.firstArr {
-		sh.firstArr = arrival
-	}
-	if complete > sh.lastDone {
-		sh.lastDone = complete
-	}
-	sh.anyServed = true
 
-	if traceSample > 0 && sh.seq%int64(traceSample) == 0 {
+	if cfg.TraceSample > 0 && sh.seq%int64(cfg.TraceSample) == 0 {
 		sh.ring.Add(metrics.TraceRecord{
 			Seq:      sh.seq,
 			Shard:    sh.id,
@@ -395,7 +641,7 @@ func (sh *shard) serve(env envelope, timing Timing, traceSample int) {
 
 	if env.done != nil {
 		env.done <- Result{Shard: sh.id, Start: int64(start), Complete: int64(complete),
-			Service: int64(rt), Sojourn: int64(sojourn)}
+			Service: int64(rt), Sojourn: int64(sojourn), Retries: retries}
 	}
 }
 
@@ -441,21 +687,26 @@ func (s *Server) Do(r *Request) (Result, error) {
 
 // Close is the graceful drain: new submissions are refused, every
 // queued request is served, background engine work is flushed, and the
-// workers exit. It is idempotent and safe to call concurrently with
-// Submit (a submitter blocked on a full queue completes its send
-// before Close proceeds, and that request is served).
-func (s *Server) Close() {
+// workers exit. It is idempotent and safe to call concurrently — the
+// first caller closes the queues, every caller waits for the drain to
+// finish, and all callers return the same first worker failure (nil on
+// a clean drain). It is also safe to call concurrently with Submit (a
+// submitter blocked on a full queue completes its send before Close
+// proceeds, and that request is served).
+func (s *Server) Close() error {
 	s.closeMu.Lock()
-	if s.closed {
-		s.closeMu.Unlock()
-		return
-	}
+	already := s.closed
 	s.closed = true
 	s.closeMu.Unlock()
-	for _, sh := range s.shards {
-		close(sh.ch)
+	if !already {
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
 	}
 	s.wg.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.closeErr
 }
 
 // WithEngine runs fn against shard i's engine while that shard's

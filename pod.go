@@ -269,6 +269,13 @@ func (s *System) checkTime(atMicros int64) error {
 // must arrive in non-decreasing Time order; a System serves them
 // synchronously (no queue), so Result.Sojourn equals Result.Service
 // and Result.Shard is 0.
+//
+// A storage fault the stack could not absorb is reported in Result.Err
+// (a *fault.Error carrying the transient/permanent classification), not
+// as Do's error return — the request was accepted and serviced, it just
+// failed; Do's own error covers malformed or mis-ordered requests. A
+// System has no retry layer; callers wanting retries, deadlines, and
+// breaker semantics use the sharded server.
 func (s *System) Do(r *Request) (Result, error) {
 	if err := r.Validate(); err != nil {
 		return Result{}, fmt.Errorf("pod: %w", err)
@@ -278,16 +285,18 @@ func (s *System) Do(r *Request) (Result, error) {
 	}
 	treq := r.Trace()
 	var rt sim.Duration
+	var ferr error
 	if r.Op == OpWrite {
-		rt = s.eng.Write(&treq)
+		rt, ferr = s.eng.Write(&treq)
 	} else {
-		rt = s.eng.Read(&treq)
+		rt, ferr = s.eng.Read(&treq)
 	}
 	return Result{
 		Start:    r.Time,
 		Complete: r.Time + int64(rt),
 		Service:  int64(rt),
 		Sojourn:  int64(rt),
+		Err:      ferr,
 	}, nil
 }
 
