@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup fuzz clean
 
 all: build vet test
 
@@ -18,6 +18,7 @@ check:
 	$(MAKE) smoke-serve
 	$(MAKE) smoke-metrics
 	$(MAKE) smoke-chaos
+	$(MAKE) smoke-bgdedup
 
 # Serving-mode smoke: a small sharded podload run. podload exits
 # non-zero on any error or when zero requests complete, so the target
@@ -44,6 +45,15 @@ smoke-metrics:
 smoke-chaos:
 	$(GO) run -race ./cmd/podload -trace mixed -scale 0.02 -shards 4 -rate 500 \
 		-chaos full -chaos-seed 7 -metrics-out /tmp/pod-chaos-smoke.json
+
+# Background-dedup smoke: a sharded POD server with the idle-aware
+# out-of-line scanner under the race detector. -bgdedup-expect-reclaim
+# makes podload exit non-zero unless the scanner actually reclaimed
+# capacity, so this target fails if the scan/remap/reclaim path ever
+# goes dead.
+smoke-bgdedup:
+	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 2 -rate 500 \
+		-bgdedup -bgdedup-expect-reclaim -metrics-out /tmp/pod-bgdedup-smoke.json
 
 build:
 	$(GO) build ./...

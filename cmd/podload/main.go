@@ -36,8 +36,23 @@
 // if the snapshot contains no histogram samples — the CI smoke
 // assertion that the metrics pipeline is live.
 //
+// Background dedup: -bgdedup attaches the idle-aware out-of-line
+// deduplication scanner (internal/bgdedup) to every shard's engine
+// (POD and Select-Dedupe schemes only). The scanner runs in virtual
+// time through the same disk queues as foreground I/O, yielding
+// whenever the array has backlog, and reclaims the duplicate copies
+// the inline path intentionally wrote; the run prints a background
+// verdict block with cleaner, allocator, and scanner counters.
+// -bgdedup-rate budgets it in blocks per simulated second and
+// -bgdedup-expect-reclaim turns "reclaimed > 0" into an exit-code
+// assertion (the CI smoke check). -cleaner enables the background
+// segment cleaner alongside.
+//
 // Chaos: -chaos <scenario> runs a named, seeded fault schedule
-// (internal/chaos; sector, diskfail, storm, limp, or full) against
+// (internal/chaos; sector, diskfail, storm, limp, full, or bgdedup
+// — the last auto-arms -bgdedup and, after the oracle passes, crash-
+// recovers every shard and re-verifies both the oracle and each
+// shard's map/allocator consistency) against
 // every shard's array while serving, switches the clients to the
 // closed-loop Do path, and verifies a read-back integrity oracle after
 // the drain: every block whose write the server ACKED must read back
@@ -62,6 +77,7 @@ import (
 	"time"
 
 	pod "github.com/pod-dedup/pod"
+	"github.com/pod-dedup/pod/internal/bgdedup"
 	"github.com/pod-dedup/pod/internal/chaos"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -92,15 +108,20 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot (with sampled traces) as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the merged metrics snapshot as Prometheus text to this file")
 	traceSample := flag.Int("trace-sample", 0, "record every nth request per shard with its phase timeline (0 = off)")
-	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, or full (\"\" = none)")
+	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, or bgdedup (\"\" = none)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault schedule and transient coin")
 	deadlineUS := flag.Int64("deadline-us", 0, "per-request virtual deadline in us (0 = none)")
+	bgDedup := flag.Bool("bgdedup", false, "attach the idle-aware background dedup scanner to every shard (POD / Select-Dedupe only)")
+	bgRate := flag.Int64("bgdedup-rate", 0, "background scanner budget, 4 KiB blocks per simulated second (0 = default)")
+	bgExpect := flag.Bool("bgdedup-expect-reclaim", false, "fail the run unless the background scanner reclaimed at least one block")
+	cleanerOn := flag.Bool("cleaner", false, "enable the background segment cleaner on every shard")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
 		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
 		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-bench-json f] [-bench-label s]\n")
 		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
 		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
+		fmt.Fprintf(os.Stderr, "               [-bgdedup] [-bgdedup-rate n] [-bgdedup-expect-reclaim] [-cleaner]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -145,6 +166,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "podload: -chaos requires -rate > 0 (faults are placed within the arrival horizon)")
 			os.Exit(2)
 		}
+		if *chaosName == "bgdedup" {
+			// the scenario exists to exercise the scanner under faults
+			*bgDedup = true
+		}
+	}
+	if *bgExpect && !*bgDedup {
+		fmt.Fprintln(os.Stderr, "podload: -bgdedup-expect-reclaim requires -bgdedup")
+		os.Exit(2)
+	}
+	if *bgDedup && schemeName != pod.SchemePOD && schemeName != pod.SchemeSelectDedupe {
+		fmt.Fprintf(os.Stderr, "podload: -bgdedup supports schemes %s and %s only (got %s)\n",
+			pod.SchemePOD, pod.SchemeSelectDedupe, schemeName)
+		os.Exit(2)
 	}
 
 	// --- workload ---
@@ -214,6 +248,7 @@ func main() {
 		RetrySeed:   *chaosSeed,
 		NewEngine: func(shard int) engine.Engine {
 			cfg := experiments.BuildConfig(prof, *scale)
+			cfg.Cleaner = engine.CleanerParams{Enabled: *cleanerOn}
 			if *chaosName != "" {
 				// same fault plan against every shard's array; the
 				// transient coin varies per shard via the seed
@@ -224,7 +259,12 @@ func main() {
 				}
 				cfg.Array.SetInjector(fault.NewInjector(sched, cfg.Array.NumDisks()))
 			}
-			return experiments.NewEngine(string(schemeName), cfg)
+			e := experiments.NewEngine(string(schemeName), cfg)
+			if *bgDedup {
+				// scheme validated above, so Attach cannot fail
+				bgdedup.Attach(e, bgdedup.Params{BlocksPerSec: *bgRate})
+			}
+			return e
 		},
 	})
 	if err != nil {
@@ -344,6 +384,28 @@ func main() {
 	}
 	fmt.Printf("shards: %d, completed/shard min %d max %d\n", snap.Shards, lo, hi)
 
+	// --- background-work verdict ---
+	// Unlabeled substrate gauges sum across shards in the merged snapshot.
+	if *cleanerOn || *bgDedup {
+		g := snap.Metrics.Gauges
+		fmt.Printf("cleaner: passes=%d moved=%d reclaimed=%d\n",
+			g["cleaner_passes"], g["cleaner_blocks_moved"], g["cleaner_reclaimed_blocks"])
+		fmt.Printf("alloc: used=%d blocks, free extents=%d, largest free=%d\n",
+			g["alloc_used_blocks"], g["alloc_free_extents"], g["alloc_largest_free"])
+		if *bgDedup {
+			fmt.Printf("bgdedup: steps=%d wraps=%d scan-ios=%d scanned=%d dups=%d remapped=%d reclaimed=%d seq-swaps=%d\n",
+				g["bgdedup_steps"], g["bgdedup_wraps"], g["bgdedup_scan_ios"],
+				g["bgdedup_scanned_blocks"], g["bgdedup_duplicate_blocks"],
+				g["bgdedup_remapped_lbas"], g["bgdedup_reclaimed_blocks"], g["bgdedup_seq_swaps"])
+			fmt.Printf("bgdedup: paused busy=%d load=%d, skipped extents=%d\n",
+				g["bgdedup_paused_busy"], g["bgdedup_paused_load"], g["bgdedup_skipped_extents"])
+			if *bgExpect && g["bgdedup_reclaimed_blocks"] == 0 {
+				fmt.Fprintln(os.Stderr, "podload: -bgdedup-expect-reclaim: scanner reclaimed zero blocks")
+				os.Exit(1)
+			}
+		}
+	}
+
 	// --- chaos verdict ---
 	if oracle != nil {
 		g := snap.Metrics.Gauges
@@ -379,6 +441,45 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("chaos oracle: PASS")
+
+		// With the scanner armed, additionally prove the interrupted
+		// pass is crash-consistent: power-fail the node, rebuild every
+		// shard from its NVRAM journal, re-run the oracle against the
+		// recovered state, and sweep each shard's map/allocator/store for
+		// leaked or double-used extents.
+		if *bgDedup {
+			rec, rerr := srv.CrashAndRecover()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "podload: crash recovery: %v\n", rerr)
+				os.Exit(1)
+			}
+			viol2, checked2 := oracle.Check(srv.ReadContent)
+			if len(viol2) > 0 {
+				for i, v := range viol2 {
+					if i >= 10 {
+						fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(viol2)-10)
+						break
+					}
+					fmt.Fprintf(os.Stderr, "  %s\n", v)
+				}
+				fmt.Fprintf(os.Stderr, "podload: chaos oracle after recovery: %d integrity violations\n", len(viol2))
+				os.Exit(1)
+			}
+			for k := 0; k < snap.Shards; k++ {
+				var cerr error
+				srv.WithEngine(k, func(e engine.Engine) {
+					if be, ok := e.(interface{ Base() *engine.Base }); ok {
+						cerr = be.Base().CheckConsistency()
+					}
+				})
+				if cerr != nil {
+					fmt.Fprintf(os.Stderr, "podload: shard %d inconsistent after recovery: %v\n", k, cerr)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("chaos recovery: %d journal records replayed, %d blocks re-verified, consistency PASS\n",
+				rec, checked2)
+		}
 	}
 
 	// --- metrics ---

@@ -1,12 +1,9 @@
 package baseline
 
 import (
-	"sort"
-
 	"github.com/pod-dedup/pod/internal/alloc"
-	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/bgdedup"
 	"github.com/pod-dedup/pod/internal/engine"
-	"github.com/pod-dedup/pod/internal/index"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/trace"
@@ -24,9 +21,13 @@ import (
 // argues on-line deduplication is more effective for primary storage:
 // by the time the scanner runs, the redundant writes have already cost
 // their disk time. The scanner's own reads add background load.
+//
+// The fingerprinting, batched background reads, and merge mechanics are
+// the shared out-of-line core (internal/bgdedup); what stays here is
+// the policy — a queue of recently written blocks, drained in batches.
 type PostProcess struct {
 	base *engine.Base
-	full *index.Full
+	core *bgdedup.Core
 
 	// scan queue of recently written blocks: (lba, pba) pairs pending
 	// background fingerprinting
@@ -38,7 +39,7 @@ type PostProcess struct {
 	ScanInterval sim.Duration
 	ScanBatch    int
 
-	scans, scanned, merged int64
+	scans int64
 }
 
 type pendingBlock struct {
@@ -51,15 +52,20 @@ func NewPostProcess(cfg engine.Config) *PostProcess {
 	b := engine.NewBase(cfg)
 	p := &PostProcess{
 		base:         b,
-		full:         index.NewFull(b.IC.Index().Cap()),
+		core:         bgdedup.NewCore(b),
 		ScanInterval: 2 * sim.Second,
 		ScanBatch:    2048,
 	}
 	p.nextScan = sim.Time(p.ScanInterval)
-	b.OnFree = p.full.Forget
 	b.Reg.GaugeFunc("postprocess_scan_passes", func() int64 { return p.scans })
-	b.Reg.GaugeFunc("postprocess_blocks_scanned", func() int64 { return p.scanned })
-	b.Reg.GaugeFunc("postprocess_blocks_merged", func() int64 { return p.merged })
+	b.Reg.GaugeFunc("postprocess_blocks_scanned", func() int64 {
+		scanned, _, _, _, _ := p.core.Counters()
+		return scanned
+	})
+	b.Reg.GaugeFunc("postprocess_blocks_merged", func() int64 {
+		_, merged, _, _, _ := p.core.Counters()
+		return merged
+	})
 	b.Reg.GaugeFunc("postprocess_scan_backlog", func() int64 { return int64(len(p.pending)) })
 	return p
 }
@@ -81,7 +87,8 @@ func (p *PostProcess) ReadContent(lba uint64) (uint64, bool) { return p.base.Rea
 
 // Scans reports background passes run and blocks merged (for tests).
 func (p *PostProcess) Scans() (passes, scanned, merged int64) {
-	return p.scans, p.scanned, p.merged
+	s, m, _, _, _ := p.core.Counters()
+	return p.scans, s, m
 }
 
 // Write stores everything immediately — no fingerprinting, no lookup —
@@ -124,6 +131,10 @@ func (p *PostProcess) Read(req *trace.Request) (sim.Duration, error) {
 	return rt, nil
 }
 
+// maxScanIOs caps the disk passes one scan interval may issue, so a
+// fragmented batch can never monopolize the spindles.
+const maxScanIOs = 24
+
 // scan runs the background deduplication pass when its interval
 // elapses: read back a batch of recently written blocks (sequential
 // background I/O — they were written contiguously), fingerprint them,
@@ -147,32 +158,15 @@ func (p *PostProcess) scan(now sim.Time) {
 	}
 	p.pending = p.pending[len(batch):]
 
-	// The scanner reads its batch elevator-style: sorted by physical
-	// address so that blocks from interleaved requests (and reused
-	// holes) coalesce into few large sequential sweeps. A disk pass is
-	// further capped per interval so a fragmented batch can never
-	// monopolize the spindles; unread blocks return to the queue.
-	sorted := append([]pendingBlock(nil), batch...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].pba < sorted[j].pba })
-
-	const maxScanIOs = 24
-	read := make(map[alloc.PBA]bool, len(sorted))
-	ios := 0
-	i := 0
-	for i < len(sorted) && ios < maxScanIOs {
-		j := i + 1
-		for j < len(sorted) && sorted[j].pba <= sorted[j-1].pba+1 {
-			j++
-		}
-		p.base.Array.Read(now, uint64(sorted[i].pba), uint64(sorted[j-1].pba-sorted[i].pba)+1)
-		p.base.St.SwapInIOs++ // accounted as background I/O
-		ios++
-		for k := i; k < j; k++ {
-			read[sorted[k].pba] = true
-		}
-		i = j
+	// The scanner reads its batch elevator-style through the shared
+	// core; blocks that missed this pass's I/O budget go back to the
+	// queue.
+	pbas := make([]alloc.PBA, len(batch))
+	for i, blk := range batch {
+		pbas[i] = blk.pba
 	}
-	// blocks that missed this pass's I/O budget go back to the queue
+	read := p.core.ReadBatch(now, pbas, maxScanIOs)
+
 	var deferred []pendingBlock
 	kept := batch[:0]
 	for _, blk := range batch {
@@ -185,30 +179,8 @@ func (p *PostProcess) scan(now sim.Time) {
 	batch = kept
 	p.pending = append(deferred, p.pending...)
 
-	// fingerprint equality is mode-independent (equal content IDs ⇔
-	// equal fingerprints in both modes), so the scanner always uses the
-	// cheap synthetic fingerprinter
-	var fper chunk.SyntheticFingerprinter
 	for _, blk := range batch {
-		// the block may have been overwritten or reclaimed since
-		cur, ok := p.base.Map.Lookup(blk.lba)
-		if !ok || cur != blk.pba {
-			continue
-		}
-		id, ok := p.base.Store.Read(blk.pba)
-		if !ok {
-			continue
-		}
-		p.scanned++
-		c := chunk.Chunk{Content: id}
-		fp := fper.Fingerprint(&c)
-		if existing, found, _ := p.full.Lookup(fp); found && existing != blk.pba {
-			if p.base.TryDedupe(blk.lba, existing, id) {
-				p.merged++
-				continue
-			}
-		}
-		p.full.Insert(fp, blk.pba)
+		p.core.MergeLBA(blk.lba, blk.pba)
 	}
 }
 

@@ -1,0 +1,263 @@
+package bgdedup
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+// Params tunes the background deduplication scanner; zero values select
+// the defaults.
+type Params struct {
+	// Interval is the minimum virtual time between scan steps
+	// (default 500 ms).
+	Interval sim.Duration
+	// BlocksPerSec budgets scan throughput: each step covers
+	// Interval × BlocksPerSec blocks of the data region
+	// (default 16384 blocks/s ≈ 64 MiB/s of 4 KiB blocks).
+	BlocksPerSec int64
+	// MaxBacklog pauses scanning while the array's queued work exceeds
+	// this much virtual time. The default (0) pauses on any backlog —
+	// the scanner runs only in fully idle windows.
+	MaxBacklog sim.Duration
+	// MaxArrivalRate additionally pauses scanning while the foreground
+	// arrival rate (requests per simulated second, estimated over
+	// RateWindow) exceeds this threshold; 0 disables the rate gate.
+	MaxArrivalRate float64
+	// RateWindow is the arrival-rate estimation window (default 1 s).
+	RateWindow sim.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.Interval == 0 {
+		p.Interval = 500 * sim.Millisecond
+	}
+	if p.BlocksPerSec == 0 {
+		p.BlocksPerSec = 16384
+	}
+	if p.RateWindow == 0 {
+		p.RateWindow = sim.Second
+	}
+	return p
+}
+
+// Scanner is the idle-aware out-of-line deduplication scanner: a
+// cursor sweep over the engine's data region that fingerprints live
+// blocks and rewires all referrers of a duplicate copy to one
+// canonical block, freeing the rest. It runs in virtual time from the
+// engine's per-request Tick, pausing whenever foreground load is
+// present, and converges under Flush at end of run.
+type Scanner struct {
+	b    *engine.Base
+	core *Core
+	p    Params
+
+	cursor   uint64   // next block of the sweep
+	nextStep sim.Time // earliest virtual time of the next step
+
+	// arrival-rate estimator: every Tick is one foreground request
+	winStart sim.Time
+	winTicks int64
+	rate     float64
+
+	steps          int64 // scan steps executed
+	wraps          int64 // complete sweeps of the data region
+	scanIOs        int64 // background read I/Os issued
+	pausedBusy     int64 // steps deferred on disk backlog
+	pausedLoad     int64 // steps deferred on arrival rate
+	skippedExtents int64 // extents skipped on read faults
+}
+
+// New attaches a scanner to the engine substrate: the Map table's
+// reverse index is enabled, the scanner joins the engine's
+// Tick/Flush/Recover background path, and its progress gauges join the
+// engine registry.
+func New(b *engine.Base, p Params) *Scanner {
+	s := &Scanner{b: b, core: NewCore(b), p: p.withDefaults()}
+	s.nextStep = sim.Time(s.p.Interval)
+	b.SetBackground(s)
+
+	b.Reg.GaugeFunc("bgdedup_steps", func() int64 { return s.steps })
+	b.Reg.GaugeFunc("bgdedup_wraps", func() int64 { return s.wraps })
+	b.Reg.GaugeFunc("bgdedup_cursor_blocks", func() int64 { return int64(s.cursor) })
+	b.Reg.GaugeFunc("bgdedup_scan_ios", func() int64 { return s.scanIOs })
+	b.Reg.GaugeFunc("bgdedup_scanned_blocks", func() int64 { return s.core.scanned })
+	b.Reg.GaugeFunc("bgdedup_duplicate_blocks", func() int64 { return s.core.dupBlocks })
+	b.Reg.GaugeFunc("bgdedup_remapped_lbas", func() int64 { return s.core.remapped })
+	b.Reg.GaugeFunc("bgdedup_reclaimed_blocks", func() int64 { return s.core.reclaimed })
+	b.Reg.GaugeFunc("bgdedup_seq_swaps", func() int64 { return s.core.seqSwaps })
+	b.Reg.GaugeFunc("bgdedup_paused_busy", func() int64 { return s.pausedBusy })
+	b.Reg.GaugeFunc("bgdedup_paused_load", func() int64 { return s.pausedLoad })
+	b.Reg.GaugeFunc("bgdedup_skipped_extents", func() int64 { return s.skippedExtents })
+	return s
+}
+
+// Attach wires a scanner onto any engine that exposes its substrate
+// (Select-Dedupe and POD). ok reports whether the engine supports
+// background deduplication; engines without a Map-table substrate
+// (or with nothing to reclaim) return false.
+func Attach(e engine.Engine, p Params) (*Scanner, bool) {
+	h, ok := e.(interface{ Base() *engine.Base })
+	if !ok {
+		return nil, false
+	}
+	return New(h.Base(), p), true
+}
+
+// Stats reports the scanner's lifetime progress.
+type Stats struct {
+	Steps, Wraps, ScanIOs              int64
+	ScannedBlocks, DuplicateBlocks     int64
+	RemappedLBAs, ReclaimedBlocks      int64
+	SeqSwaps                           int64
+	PausedBusy, PausedLoad, SkippedExt int64
+}
+
+// Stats snapshots the scanner's counters.
+func (s *Scanner) Stats() Stats {
+	return Stats{
+		Steps: s.steps, Wraps: s.wraps, ScanIOs: s.scanIOs,
+		ScannedBlocks: s.core.scanned, DuplicateBlocks: s.core.dupBlocks,
+		RemappedLBAs: s.core.remapped, ReclaimedBlocks: s.core.reclaimed,
+		SeqSwaps:   s.core.seqSwaps,
+		PausedBusy: s.pausedBusy, PausedLoad: s.pausedLoad, SkippedExt: s.skippedExtents,
+	}
+}
+
+// Tick implements engine.BackgroundTask: it offers the scanner one
+// chance to run at the given virtual time. A step runs only when the
+// step interval elapsed, the disk queues are drained past MaxBacklog,
+// and the foreground arrival rate is below threshold — otherwise the
+// step is deferred and the pause counted.
+func (s *Scanner) Tick(now sim.Time) {
+	s.winTicks++
+	if w := now.Sub(s.winStart); w >= s.p.RateWindow {
+		s.rate = float64(s.winTicks) * 1e6 / float64(w)
+		s.winStart = now
+		s.winTicks = 0
+	}
+	if now < s.nextStep {
+		return
+	}
+	if s.b.Array.Backlog(now) > s.p.MaxBacklog {
+		s.pausedBusy++
+		s.nextStep = now.Add(s.p.Interval / 4)
+		return
+	}
+	if s.p.MaxArrivalRate > 0 && s.rate > s.p.MaxArrivalRate {
+		s.pausedLoad++
+		s.nextStep = now.Add(s.p.Interval)
+		return
+	}
+	s.nextStep = now.Add(s.p.Interval)
+	s.step(now, s.stepBlocks())
+}
+
+// stepBlocks is the per-step scan window implied by the budget.
+func (s *Scanner) stepBlocks() uint64 {
+	n := uint64(float64(s.p.BlocksPerSec) * float64(s.p.Interval) / 1e6)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// step scans the window [cursor, cursor+n) of the data region: live
+// blocks are read back in a few large sequential background I/Os,
+// fingerprinted, and merged onto canonical copies. A read fault skips
+// the extent — its mappings are left exactly as they were — and the
+// sweep continues past it.
+func (s *Scanner) step(now sim.Time, n uint64) {
+	s.steps++
+	data := s.b.DataBlocks()
+	if s.cursor >= data {
+		s.cursor = 0
+	}
+	end := s.cursor + n
+	if end > data {
+		end = data
+	}
+
+	// One ~1 MiB background read per segment bounds how much queued
+	// scan I/O a foreground request arriving mid-step can wait behind.
+	const seg = 256
+	for off := s.cursor; off < end; {
+		cnt := end - off
+		if cnt > seg {
+			cnt = seg
+		}
+		live := s.liveIn(off, cnt)
+		if len(live) == 0 {
+			off += cnt // fully dead segment: no I/O, no work
+			continue
+		}
+		if _, err := s.b.Array.Read(now, off, cnt); err != nil {
+			// Typed fault (latent sector error, degraded data loss,
+			// transient storm): skip the extent without touching a
+			// single mapping. The next wrap retries it — transient
+			// faults heal, permanent ones keep being skipped.
+			s.skippedExtents++
+			off += cnt
+			continue
+		}
+		s.scanIOs++
+		s.b.St.SwapInIOs++ // accounted as background I/O
+		for _, pba := range live {
+			id, ok := s.b.Store.Read(pba)
+			if !ok {
+				continue // freed by an earlier merge this step
+			}
+			s.core.ScanBlock(pba, id)
+		}
+		off += cnt
+	}
+
+	s.cursor = end
+	if s.cursor >= data {
+		s.cursor = 0
+		s.wraps++
+	}
+}
+
+// liveIn lists the live, referenced blocks in [off, off+cnt).
+func (s *Scanner) liveIn(off, cnt uint64) []alloc.PBA {
+	var out []alloc.PBA
+	for pba := alloc.PBA(off); pba < alloc.PBA(off+cnt); pba++ {
+		if _, ok := s.b.Store.Read(pba); !ok {
+			continue
+		}
+		if s.b.Map.RefCount(pba) == 0 {
+			continue // pinned-only or in-flight: nothing to rewire
+		}
+		out = append(out, pba)
+	}
+	return out
+}
+
+// Flush implements engine.BackgroundTask: one full sweep of the data
+// region, ignoring the idle gate and budget pacing. A single wrap
+// converges — every live block is either registered as a canonical
+// copy or merged into one registered earlier in the same sweep, and
+// merging never creates new duplicates.
+func (s *Scanner) Flush(now sim.Time) {
+	s.cursor = 0
+	for {
+		before := s.cursor
+		s.step(now, s.stepBlocks())
+		if s.cursor <= before {
+			return // wrapped: the sweep is complete
+		}
+	}
+}
+
+// RecoverReset implements engine.BackgroundTask: after crash recovery
+// the volatile fingerprint table is gone and the sweep restarts from
+// the base of the region. Every pre-crash remap is durable in the
+// journaled Map table, so the repeated sweep is idempotent.
+func (s *Scanner) RecoverReset() {
+	s.core.Reset()
+	s.cursor = 0
+	s.winStart = 0
+	s.winTicks = 0
+	s.rate = 0
+}

@@ -27,7 +27,7 @@ import (
 
 // Scenarios returns the known scenario names.
 func Scenarios() []string {
-	return []string{"sector", "diskfail", "storm", "limp", "full"}
+	return []string{"sector", "diskfail", "storm", "limp", "full", "bgdedup"}
 }
 
 // Build compiles a named scenario for one array: ndisks spindles of
@@ -81,6 +81,15 @@ func Build(name string, ndisks int, perDisk uint64, horizon sim.Time, seed uint6
 		// the acceptance combo: latent sectors from the start, a whole-
 		// disk failure mid-run (degraded + online rebuild), and a late
 		// transient storm hammering the retry path while rebuilding
+		sectors()
+		s.Fails = append(s.Fails, fault.DiskFail{Disk: ndisks - 1, At: horizon / 2})
+		storm(horizon*5/8, horizon*7/8, 100)
+	case "bgdedup":
+		// the full combo with the background out-of-line dedup scanner
+		// active (podload arms the scanner when it sees this name): the
+		// scanner's relocation/remap traffic runs concurrently with latent
+		// sectors, a mid-run disk failure, and a late transient storm, and
+		// the oracle plus a post-recovery consistency sweep must still hold
 		sectors()
 		s.Fails = append(s.Fails, fault.DiskFail{Disk: ndisks - 1, At: horizon / 2})
 		storm(horizon*5/8, horizon*7/8, 100)

@@ -54,6 +54,12 @@ func (s *SelectDedupe) Base() *engine.Base { return s.base }
 // replayed.
 func (s *SelectDedupe) CrashAndRecover() (int, error) { return s.base.Recover() }
 
+// Flush drains any attached background task (the out-of-line dedup
+// scanner) to convergence — replay and the serving layer call it at end
+// of run so capacity numbers reflect a completed pass. Without an
+// attached task it is a no-op.
+func (s *SelectDedupe) Flush(now sim.Time) { s.base.FlushBackground(now) }
+
 // Write runs the Select-Dedupe write path of Figure 6: split,
 // fingerprint, consult the hot index (memory only — a miss just means
 // a lost opportunity), classify per Figure 5, absorb the deduplicated

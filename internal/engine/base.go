@@ -115,6 +115,7 @@ type Base struct {
 	nvdev    *nvram.Device
 	icparams icache.Params
 	cleaner  cleanerState
+	bg       BackgroundTask
 
 	// chScratch backs SplitRequest/SplitAndFingerprint. One write
 	// request is chunked, consumed, and forgotten before the next
@@ -181,6 +182,50 @@ func (b *Base) instrument() {
 	b.Map.Instrument(b.Reg)
 	b.IC.Instrument(b.Reg)
 	b.Reg.GaugeFunc("engine_used_blocks", func() int64 { return int64(b.Alloc.Used()) })
+	// Allocator health, published for every scheme: occupancy, the
+	// fragmentation of the free space, and the headroom the
+	// log-structured write path actually has.
+	b.Reg.GaugeFunc("alloc_used_blocks", func() int64 { return int64(b.Alloc.Used()) })
+	b.Reg.GaugeFunc("alloc_free_extents", func() int64 { return int64(b.Alloc.NumFreeExtents()) })
+	b.Reg.GaugeFunc("alloc_largest_free", func() int64 { return int64(b.Alloc.LargestFree()) })
+	b.Reg.GaugeFunc("cleaner_passes", func() int64 { return b.cleaner.passes })
+	b.Reg.GaugeFunc("cleaner_blocks_moved", func() int64 { return b.cleaner.moved })
+	b.Reg.GaugeFunc("cleaner_reclaimed_blocks", func() int64 { return b.cleaner.reclaimed })
+}
+
+// BackgroundTask is a unit of idle-time background work driven in
+// virtual time from the engine's per-request Tick (the out-of-line
+// deduplication scanner). Implementations issue their own I/O through
+// the array at the tick time, so background work shares the disk queues
+// with foreground requests.
+type BackgroundTask interface {
+	// Tick offers the task a chance to run at the given virtual time.
+	Tick(now sim.Time)
+	// Flush runs the task to convergence regardless of idle gating
+	// (end-of-run capacity accounting).
+	Flush(now sim.Time)
+	// RecoverReset drops the task's volatile state after crash
+	// recovery; durable effects live in the journaled Map table.
+	RecoverReset()
+}
+
+// SetBackground attaches a background task to the engine. The task's
+// referrer rewiring needs the Map table's reverse index, so attaching
+// enables it (recovery re-enables it the same way).
+func (b *Base) SetBackground(t BackgroundTask) {
+	b.bg = t
+	b.Map.EnableReverseIndex()
+}
+
+// Background returns the attached background task, if any.
+func (b *Base) Background() BackgroundTask { return b.bg }
+
+// FlushBackground drains the attached background task; a no-op without
+// one, so engines can expose Flush unconditionally.
+func (b *Base) FlushBackground(now sim.Time) {
+	if b.bg != nil {
+		b.bg.Flush(now)
+	}
 }
 
 // Metrics implements part of the Engine interface.
@@ -241,13 +286,16 @@ func (b *Base) Recover() (int, error) {
 	b.Alloc = a
 	b.Store.Retain(keep)
 
-	if b.cleaner.p.Enabled {
+	if b.cleaner.p.Enabled || b.bg != nil {
 		b.Map.EnableReverseIndex()
 	}
 	// volatile caches come back cold
 	b.IC = icache.New(b.icparams)
 	// re-point the live gauges at the rebuilt substrates
 	b.instrument()
+	if b.bg != nil {
+		b.bg.RecoverReset()
+	}
 	return applied, nil
 }
 
@@ -529,8 +577,51 @@ func (b *Base) ApplyRepartition(now sim.Time, rep icache.Repartition) {
 }
 
 // Tick advances the iCache controller, applies any repartition, and
-// gives the segment cleaner a chance to run.
+// gives the segment cleaner and the background task a chance to run.
+// At most one of the two background actors runs per tick: when the
+// cleaner relocates blocks the scanner sits the window out, so
+// relocation and reclamation never interleave their referrer rewiring.
 func (b *Base) Tick(now sim.Time) {
 	b.ApplyRepartition(now, b.IC.Tick(now))
-	b.maybeClean(now)
+	if b.maybeClean(now) {
+		return
+	}
+	if b.bg != nil {
+		b.bg.Tick(now)
+	}
+}
+
+// CheckConsistency audits the cross-substrate invariants of a
+// map-table-backed engine: the allocator's free list is well formed,
+// the Map table's reference counts and reverse index match its
+// mappings, every mapped physical block is live in the content model,
+// and allocator occupancy equals the distinct mapped blocks — so no
+// block is leaked (allocated but unreachable) or double-used. Exposed
+// for property tests and the chaos harness; not valid for engines that
+// write at identity addresses without allocation (Native, I/O-Dedup).
+func (b *Base) CheckConsistency() error {
+	if err := b.Alloc.CheckInvariants(); err != nil {
+		return fmt.Errorf("engine: allocator: %w", err)
+	}
+	if err := b.Map.CheckConsistency(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	mapped := make(map[alloc.PBA]bool)
+	var bad error
+	b.Map.Each(func(lba uint64, pba alloc.PBA, _ bool) bool {
+		if _, ok := b.Store.Read(pba); !ok {
+			bad = fmt.Errorf("engine: lba %d maps to dead block %d", lba, pba)
+			return false
+		}
+		mapped[pba] = true
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	if uint64(len(mapped)) != b.Alloc.Used() {
+		return fmt.Errorf("engine: %d distinct mapped blocks vs %d allocated (leak or double-use)",
+			len(mapped), b.Alloc.Used())
+	}
+	return nil
 }

@@ -55,29 +55,36 @@ type cleanerState struct {
 	reclaimed int64
 }
 
-// CleanerStats reports the cleaner's lifetime work.
+// CleanerStats reports the cleaner's lifetime work: passes run, live
+// blocks relocated, and physical blocks returned to the allocator by
+// those relocations.
 type CleanerStats struct {
-	Passes, BlocksMoved int64
+	Passes, BlocksMoved, Reclaimed int64
 }
 
 // CleanerStats returns the cleaner's counters.
 func (b *Base) CleanerStats() CleanerStats {
-	return CleanerStats{Passes: b.cleaner.passes, BlocksMoved: b.cleaner.moved}
+	return CleanerStats{
+		Passes:      b.cleaner.passes,
+		BlocksMoved: b.cleaner.moved,
+		Reclaimed:   b.cleaner.reclaimed,
+	}
 }
 
 // maybeClean runs one cleaning step if fragmentation warrants it and
-// the array is idle. Called from Tick.
-func (b *Base) maybeClean(now sim.Time) {
+// the array is idle. Called from Tick; reports whether a pass ran so
+// the background scanner can yield the idle window to it.
+func (b *Base) maybeClean(now sim.Time) bool {
 	c := &b.cleaner
 	if !c.p.Enabled || now < c.nextPass {
-		return
+		return false
 	}
 	if b.Alloc.LargestFree() >= c.p.TriggerFree {
-		return
+		return false
 	}
 	if b.Array.Backlog(now) > 0 {
 		c.nextPass = now.Add(c.p.Interval / 4)
-		return
+		return false
 	}
 	c.nextPass = now.Add(c.p.Interval)
 	c.passes++
@@ -91,8 +98,9 @@ func (b *Base) maybeClean(now sim.Time) {
 			continue
 		}
 		b.relocate(now, gapStart, gapLen)
-		return
+		return true
 	}
+	return true
 }
 
 // relocate moves the live blocks in [start, start+n) to freshly
@@ -141,7 +149,9 @@ func (b *Base) relocate(now sim.Time, start alloc.PBA, n uint64) {
 		newPBA := dst + alloc.PBA(k)
 		b.Store.Write(newPBA, chunk.ContentID(m.id))
 		for j, lba := range m.shared {
-			b.FreeBlocks(b.Map.Set(lba, newPBA, m.flags[j]))
+			freed := b.Map.Set(lba, newPBA, m.flags[j])
+			b.cleaner.reclaimed += int64(len(freed))
+			b.FreeBlocks(freed)
 		}
 		b.cleaner.moved++
 	}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/stats"
+)
+
+// CapacityRow is one trace's capacity-reclamation measurement, in
+// physical 4 KiB blocks at end of replay (background passes flushed).
+type CapacityRow struct {
+	Trace                 string
+	Native, POD, PODBG    uint64
+	Full                  uint64
+	GapBlocks             uint64  // POD inline-only minus Full-Dedupe
+	ReclaimedBlocks       uint64  // POD inline-only minus POD+bgdedup
+	ReclaimedPctOfGap     float64 // reclaimed / gap
+	PODPctOfNative        float64
+	PODBGPctOfNative      float64
+	FullDedupePctOfNative float64
+}
+
+// Capacity measures the capacity gap Select-Dedupe's latency-oriented
+// write path leaves on disk and how much of it the background
+// out-of-line scanner recovers: physical blocks used by Native
+// (no dedup), POD (inline-only), POD+bgdedup (inline + idle-time
+// reclamation, flushed to convergence at end of replay), and
+// Full-Dedupe (the capacity floor), per trace.
+func (e *Env) Capacity() (*stats.Table, []CapacityRow) {
+	engines := []string{Native, POD, PODBG, FullDedupe}
+	e.EnsureMatrix(engines, TraceNames)
+	t := stats.NewTable("Capacity reclamation — physical blocks used (and % of Native)",
+		"Trace", "Native", "POD", "POD+bgdedup", "Full-Dedupe", "Gap reclaimed")
+	var rows []CapacityRow
+	for _, tn := range TraceNames {
+		native := e.Result(Native, tn).UsedBlocks
+		pod := e.Result(POD, tn).UsedBlocks
+		podbg := e.Result(PODBG, tn).UsedBlocks
+		full := e.Result(FullDedupe, tn).UsedBlocks
+
+		row := CapacityRow{
+			Trace: tn, Native: native, POD: pod, PODBG: podbg, Full: full,
+			PODPctOfNative:        normalize(float64(pod), float64(native)),
+			PODBGPctOfNative:      normalize(float64(podbg), float64(native)),
+			FullDedupePctOfNative: normalize(float64(full), float64(native)),
+		}
+		if pod > full {
+			row.GapBlocks = pod - full
+		}
+		if pod > podbg {
+			row.ReclaimedBlocks = pod - podbg
+		}
+		if row.GapBlocks > 0 {
+			row.ReclaimedPctOfGap = 100 * float64(row.ReclaimedBlocks) / float64(row.GapBlocks)
+		}
+		rows = append(rows, row)
+
+		t.AddRow(tn,
+			fmt.Sprintf("%d", native),
+			fmt.Sprintf("%d (%.1f%%)", pod, row.PODPctOfNative),
+			fmt.Sprintf("%d (%.1f%%)", podbg, row.PODBGPctOfNative),
+			fmt.Sprintf("%d (%.1f%%)", full, row.FullDedupePctOfNative),
+			fmt.Sprintf("%.1f%%", row.ReclaimedPctOfGap))
+	}
+	return t, rows
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"github.com/pod-dedup/pod/internal/baseline"
+	"github.com/pod-dedup/pod/internal/bgdedup"
 	"github.com/pod-dedup/pod/internal/core"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
@@ -31,6 +32,10 @@ const (
 	POD          = "POD"
 	IODedup      = "I/O-Dedup"
 	PostProcess  = "Post-Process"
+	// PODBG is POD with the idle-aware background out-of-line
+	// deduplication scanner attached (capacity-reclamation experiments;
+	// not part of the paper's engine set).
+	PODBG = "POD+bgdedup"
 )
 
 // AllEngines is every implemented scheme, including the two additional
@@ -87,6 +92,10 @@ func NewEngine(name string, cfg engine.Config) engine.Engine {
 		return baseline.NewIODedup(cfg)
 	case PostProcess:
 		return baseline.NewPostProcess(cfg)
+	case PODBG:
+		e := core.NewPOD(cfg)
+		bgdedup.New(e.Base(), bgdedup.Params{})
+		return e
 	default:
 		panic(fmt.Sprintf("experiments: unknown engine %q", name))
 	}

@@ -238,6 +238,49 @@ func (t *Table) dropMapping(lba uint64) []alloc.PBA {
 	return nil
 }
 
+// CheckConsistency verifies the table's internal invariants: every
+// physical block's reference count equals the number of live mappings
+// naming it, the shared-entry counter matches the shared flags, and the
+// reverse index (when enabled) mirrors the forward map exactly. It
+// returns a descriptive error for the first violation found, or nil.
+// Exposed for property tests over the m-to-1 mapping.
+func (t *Table) CheckConsistency() error {
+	refs := make(map[alloc.PBA]int32, len(t.refs))
+	var shared int64
+	for lba, mp := range t.m {
+		refs[mp.pba]++
+		if mp.shared {
+			shared++
+		}
+		if t.rev != nil {
+			if _, ok := t.rev[mp.pba][lba]; !ok {
+				return fmt.Errorf("maptable: lba %d -> pba %d missing from reverse index", lba, mp.pba)
+			}
+		}
+	}
+	if shared != t.shared {
+		return fmt.Errorf("maptable: shared counter %d, but %d mappings carry the flag", t.shared, shared)
+	}
+	if len(refs) != len(t.refs) {
+		return fmt.Errorf("maptable: %d referenced blocks, refcount table has %d", len(refs), len(t.refs))
+	}
+	for pba, n := range refs {
+		if t.refs[pba] != n {
+			return fmt.Errorf("maptable: pba %d refcount %d, but %d mappings reference it", pba, t.refs[pba], n)
+		}
+	}
+	if t.rev != nil {
+		total := 0
+		for _, set := range t.rev {
+			total += len(set)
+		}
+		if total != len(t.m) {
+			return fmt.Errorf("maptable: reverse index holds %d entries, forward map %d", total, len(t.m))
+		}
+	}
+	return nil
+}
+
 // Each visits every live mapping; return false from fn to stop early.
 func (t *Table) Each(fn func(lba uint64, pba alloc.PBA, shared bool) bool) {
 	for lba, mp := range t.m {

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"github.com/pod-dedup/pod/internal/api"
+	"github.com/pod-dedup/pod/internal/bgdedup"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -155,6 +156,15 @@ type Config struct {
 	// the log-structured store during idle periods (recommended for
 	// long-running overwrite-heavy workloads).
 	Cleaner bool
+
+	// BGDedup enables the idle-aware background out-of-line
+	// deduplication scanner, which reclaims the duplicate copies the
+	// selective inline path intentionally wrote. Supported by the
+	// Select-Dedupe and POD schemes only.
+	BGDedup bool
+	// BGDedupBlocksPerSec budgets the scanner's throughput in 4 KiB
+	// blocks per simulated second (0 = default).
+	BGDedupBlocksPerSec int64
 }
 
 // System is a storage system under one scheme.
@@ -248,7 +258,14 @@ func New(cfg Config) (*System, error) {
 		Verify:          cfg.Verify,
 		Cleaner:         engine.CleanerParams{Enabled: cfg.Cleaner},
 	}
-	return &System{eng: experiments.NewEngine(string(cfg.Scheme), ecfg)}, nil
+	eng := experiments.NewEngine(string(cfg.Scheme), ecfg)
+	if cfg.BGDedup {
+		if _, ok := bgdedup.Attach(eng, bgdedup.Params{BlocksPerSec: cfg.BGDedupBlocksPerSec}); !ok {
+			return nil, fmt.Errorf("pod: scheme %s does not support background deduplication (want %s or %s)",
+				cfg.Scheme, SchemeSelectDedupe, SchemePOD)
+		}
+	}
+	return &System{eng: eng}, nil
 }
 
 // Scheme reports the engine in use.
