@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-flood bench-delta fuzz clean
 
 all: build vet test
 
@@ -19,6 +19,8 @@ check:
 	$(MAKE) smoke-metrics
 	$(MAKE) smoke-chaos
 	$(MAKE) smoke-bgdedup
+	$(MAKE) smoke-flood
+	$(MAKE) bench-delta
 
 # Serving-mode smoke: a small sharded podload run. podload exits
 # non-zero on any error or when zero requests complete, so the target
@@ -54,6 +56,27 @@ smoke-chaos:
 smoke-bgdedup:
 	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 2 -rate 500 \
 		-bgdedup -bgdedup-expect-reclaim -metrics-out /tmp/pod-bgdedup-smoke.json
+
+# Flood smoke: 16 shards driven far past capacity under the race
+# detector with the chaos read-back oracle enabled, so the batched
+# cross-shard submission path is raced against injected faults on
+# every CI run. The arrival rate is set well above service capacity
+# (queue waits run ~100x service times), giving flood-level queue
+# pressure while still defining the arrival horizon -chaos needs for
+# fault placement. Small scale keeps the virtual-time window short.
+smoke-flood:
+	$(GO) run -race ./cmd/podload -trace mixed -scale 0.02 -shards 16 -clients 16 \
+		-rate 20000 -chaos sector -chaos-seed 11 -metrics-out /tmp/pod-flood-smoke.json
+
+# Bench-delta gate: regenerate the full-scale trajectory (now cheap
+# enough to run in CI) and fail on regressions against the committed
+# BENCH_replay.json — >10% on allocations (deterministic, the tight
+# gate) and >15% on wall for entries over a second (wall is noisy,
+# especially right after the race suite). Entries only in the
+# reference (the podload flood sweep) are skipped, not failed.
+bench-delta:
+	$(GO) run ./cmd/podbench -scale 1 -bench-json /tmp/pod-bench-delta.json all >/dev/null
+	$(GO) run ./cmd/benchdelta -ref BENCH_replay.json -new /tmp/pod-bench-delta.json
 
 build:
 	$(GO) build ./...

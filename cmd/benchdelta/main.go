@@ -1,0 +1,108 @@
+// benchdelta compares a freshly generated perf trajectory against a
+// committed reference (BENCH_replay.json) and exits non-zero when any
+// shared entry regressed by more than the allowed fraction in
+// wall-clock time or heap allocations.
+//
+// Usage:
+//
+//	benchdelta -ref BENCH_replay.json -new /tmp/bench.json
+//	           [-max-wall-frac 0.15] [-min-wall-ms 1000]
+//	           [-max-alloc-frac 0.10] [-min-allocs 100000]
+//
+// Entries are matched by name; names present in only one file are
+// reported but never fail the check (the reference carries flood-sweep
+// entries a plain podbench run does not regenerate). The two gates are
+// deliberately asymmetric: allocation counts are deterministic for a
+// given binary and trace, so they get the tight threshold, while
+// wall-clock carries scheduler and cache noise — especially in CI,
+// where the bench run follows the full race-detector suite — so it
+// gets a looser fraction and a floor that exempts sub-second entries
+// whose relative noise dwarfs any real signal. The two trajectories
+// must be recorded at the same scale — comparing a 0.1-scale run
+// against full-scale numbers would flag nothing but the scale itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/pod-dedup/pod/internal/perf"
+)
+
+func main() {
+	ref := flag.String("ref", "BENCH_replay.json", "committed reference trajectory")
+	cur := flag.String("new", "", "freshly generated trajectory to check (required)")
+	maxWallFrac := flag.Float64("max-wall-frac", 0.15, "allowed wall-clock regression fraction (loose: wall is noisy)")
+	maxAllocFrac := flag.Float64("max-alloc-frac", 0.10, "allowed allocation regression fraction (tight: allocs are deterministic)")
+	minWallMS := flag.Float64("min-wall-ms", 1000, "ignore wall regressions on reference entries shorter than this")
+	minAllocs := flag.Uint64("min-allocs", 100000, "ignore alloc regressions on reference entries smaller than this")
+	flag.Parse()
+	if *cur == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	refT, err := perf.ReadJSON(*ref)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+	curT, err := perf.ReadJSON(*cur)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(1)
+	}
+	if refT.Scale != curT.Scale {
+		fmt.Fprintf(os.Stderr, "benchdelta: scale mismatch: reference %g vs new %g\n", refT.Scale, curT.Scale)
+		os.Exit(1)
+	}
+
+	refByName := make(map[string]*perf.Entry, len(refT.Entries))
+	for i := range refT.Entries {
+		e := &refT.Entries[i]
+		if _, dup := refByName[e.Name]; !dup {
+			refByName[e.Name] = e
+		}
+	}
+
+	regressions := 0
+	for i := range curT.Entries {
+		n := &curT.Entries[i]
+		r, ok := refByName[n.Name]
+		if !ok {
+			fmt.Printf("benchdelta: %-12s new entry (no reference) — skipped\n", n.Name)
+			continue
+		}
+		delete(refByName, n.Name)
+		if r.WallMS >= *minWallMS {
+			frac := n.WallMS/r.WallMS - 1
+			if frac > *maxWallFrac {
+				fmt.Printf("benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%) REGRESSION\n",
+					n.Name, r.WallMS, n.WallMS, 100*frac)
+				regressions++
+			} else {
+				fmt.Printf("benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%)\n",
+					n.Name, r.WallMS, n.WallMS, 100*frac)
+			}
+		}
+		if r.Allocs >= *minAllocs {
+			frac := float64(n.Allocs)/float64(r.Allocs) - 1
+			if frac > *maxAllocFrac {
+				fmt.Printf("benchdelta: %-12s alloc %9d   -> %9d   (%+.1f%%) REGRESSION\n",
+					n.Name, r.Allocs, n.Allocs, 100*frac)
+				regressions++
+			}
+		}
+	}
+	for name := range refByName {
+		fmt.Printf("benchdelta: %-12s only in reference — skipped\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdelta: %d regression(s) beyond wall %.0f%% / alloc %.0f%%\n",
+			regressions, 100**maxWallFrac, 100**maxAllocFrac)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdelta: ok (%d entries compared within wall %.0f%% / alloc %.0f%% of %s)\n",
+		len(curT.Entries), 100**maxWallFrac, 100**maxAllocFrac, *ref)
+}

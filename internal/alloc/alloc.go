@@ -23,7 +23,6 @@
 package alloc
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -52,23 +51,68 @@ type Allocator struct {
 // by start ascending — exactly the extent a linear first-max scan of
 // the sorted free list would select, so the heap-backed AllocLargest
 // makes byte-identical placement decisions.
+//
+// The heap is hand-rolled rather than layered over container/heap:
+// that interface passes elements as `any`, which boxes every pushed
+// Extent onto the heap — a per-allocation cost on the hottest path of
+// every log-structured engine. The ordering is a strict total order
+// over live extents (starts are unique), so the maximum element is the
+// same regardless of internal array layout.
 type candHeap []Extent
 
-func (h candHeap) Len() int { return len(h) }
-func (h candHeap) Less(i, j int) bool {
+func (h candHeap) less(i, j int) bool {
 	if h[i].Count != h[j].Count {
 		return h[i].Count > h[j].Count
 	}
 	return h[i].Start < h[j].Start
 }
-func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)   { *h = append(*h, x.(Extent)) }
-func (h *candHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *candHeap) push(e Extent) {
+	*h = append(*h, e)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *candHeap) pop() Extent {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	top := a[n]
+	*h = a[:n]
+	(*h).down(0)
+	return top
+}
+
+func (h candHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h candHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // New returns an allocator over a space of size blocks.
@@ -88,12 +132,12 @@ func (a *Allocator) note(e Extent) {
 	if e.Count == 0 {
 		return
 	}
-	heap.Push(&a.big, e)
+	a.big.push(e)
 	// Bound staleness: when dead entries dominate, rebuild from the
 	// free list so the heap stays O(live extents).
 	if len(a.big) > 2*len(a.free)+64 {
 		a.big = append(a.big[:0], a.free...)
-		heap.Init(&a.big)
+		a.big.init()
 	}
 }
 
@@ -165,13 +209,13 @@ func (a *Allocator) AllocLargest(n uint64) (PBA, bool) {
 	// extent; that extent is the true largest (lowest-start on ties),
 	// because every live extent's current shape is in the heap.
 	for len(a.big) > 0 && !a.liveAt(a.big[0]) {
-		heap.Pop(&a.big)
+		a.big.pop()
 	}
 	if len(a.big) == 0 || a.big[0].Count < n {
 		return 0, false
 	}
 	e := a.big[0]
-	heap.Pop(&a.big) // its shape is about to change
+	a.big.pop() // its shape is about to change
 	best := sort.Search(len(a.free), func(i int) bool { return a.free[i].Start >= e.Start })
 	start := a.free[best].Start
 	a.free[best].Start += PBA(n)

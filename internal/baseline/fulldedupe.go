@@ -45,6 +45,9 @@ func NewFullDedupe(cfg engine.Config) *FullDedupe {
 // Name implements engine.Engine.
 func (f *FullDedupe) Name() string { return "Full-Dedupe" }
 
+// Release implements replay.Releaser.
+func (f *FullDedupe) Release() { f.base.Release() }
+
 // Stats implements engine.Engine.
 func (f *FullDedupe) Stats() *engine.Stats { return f.base.St }
 
@@ -72,8 +75,7 @@ func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := f.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	found := make([]bool, req.N)
-	target := make([]alloc.PBA, req.N)
+	found, _, target := f.base.WriteScratch(req.N)
 	diskLookups := 0
 	for i := range chs {
 		pba, ok, memHit := f.full.Lookup(chs[i].FP)
@@ -91,7 +93,7 @@ func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		return lookupDone.Sub(t), err
 	}
 
-	var positions []int
+	positions := f.base.PositionsScratch(req.N)
 	for i := range chs {
 		if found[i] && f.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			continue

@@ -27,6 +27,9 @@ func NewIDedup(cfg engine.Config) *IDedup {
 // Name implements engine.Engine.
 func (d *IDedup) Name() string { return "iDedup" }
 
+// Release implements replay.Releaser.
+func (d *IDedup) Release() { d.base.Release() }
+
 // Stats implements engine.Engine.
 func (d *IDedup) Stats() *engine.Stats { return d.base.St }
 
@@ -50,7 +53,7 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	if req.N < d.base.Cfg.IDedupThreshold {
 		// small request: bypass deduplication, skip hashing
 		chs := d.base.SplitRequest(req)
-		positions := allPositions(req.N)
+		positions := allPositions(d.base.PositionsScratch(req.N), req.N)
 		done, _, err := d.base.WriteFresh(t, req, positions, chs)
 		if err != nil {
 			return done.Sub(t), err
@@ -64,8 +67,7 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := d.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	dup := make([]bool, req.N)
-	target := make([]alloc.PBA, req.N)
+	dup, dedupe, target := d.base.WriteScratch(req.N)
 	for i := range chs {
 		if e, ok := d.base.IC.IndexLookup(chs[i].FP); ok {
 			dup[i] = true
@@ -74,7 +76,6 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	}
 
 	// deduplicate maximal sequential duplicate runs ≥ threshold
-	dedupe := make([]bool, req.N)
 	i := 0
 	for i < req.N {
 		if !dup[i] {
@@ -93,7 +94,7 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 		i = j
 	}
 
-	var positions []int
+	positions := d.base.PositionsScratch(req.N)
 	for i := 0; i < req.N; i++ {
 		if dedupe[i] && d.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			continue
@@ -135,10 +136,10 @@ func (d *IDedup) Read(req *trace.Request) (sim.Duration, error) {
 	return rt, nil
 }
 
-func allPositions(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+// allPositions fills p (an empty scratch with capacity n) with 0..n-1.
+func allPositions(p []int, n int) []int {
+	for i := 0; i < n; i++ {
+		p = append(p, i)
 	}
 	return p
 }

@@ -64,6 +64,9 @@ func NewIODedup(cfg engine.Config) *IODedup {
 // Name implements engine.Engine.
 func (d *IODedup) Name() string { return "I/O-Dedup" }
 
+// Release implements replay.Releaser.
+func (d *IODedup) Release() { d.base.Release() }
+
 // Stats implements engine.Engine.
 func (d *IODedup) Stats() *engine.Stats { return d.base.St }
 
@@ -87,10 +90,7 @@ func (d *IODedup) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := d.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	positions := make([]int, req.N)
-	for i := range positions {
-		positions[i] = i
-	}
+	positions := allPositions(d.base.PositionsScratch(req.N), req.N)
 	done, pbas, err := d.base.WriteFresh(ready, req, positions, chs)
 	if err != nil {
 		return done.Sub(t), err

@@ -29,6 +29,9 @@ func NewNative(cfg engine.Config) *Native {
 // Name implements engine.Engine.
 func (n *Native) Name() string { return "Native" }
 
+// Release implements replay.Releaser.
+func (n *Native) Release() { n.base.Release() }
+
 // Stats implements engine.Engine.
 func (n *Native) Stats() *engine.Stats { return n.base.St }
 

@@ -73,6 +73,9 @@ func NewPostProcess(cfg engine.Config) *PostProcess {
 // Name implements engine.Engine.
 func (p *PostProcess) Name() string { return "Post-Process" }
 
+// Release implements replay.Releaser.
+func (p *PostProcess) Release() { p.base.Release() }
+
 // Stats implements engine.Engine.
 func (p *PostProcess) Stats() *engine.Stats { return p.base.St }
 
@@ -101,10 +104,7 @@ func (p *PostProcess) Write(req *trace.Request) (sim.Duration, error) {
 	st.Writes++
 
 	chs := p.base.SplitRequest(req)
-	positions := make([]int, req.N)
-	for i := range positions {
-		positions[i] = i
-	}
+	positions := allPositions(p.base.PositionsScratch(req.N), req.N)
 	done, pbas, err := p.base.WriteFresh(t, req, positions, chs)
 	if err != nil {
 		return done.Sub(t), err

@@ -3,6 +3,8 @@
 // reference ARC implementation used as an ablation baseline for iCache.
 package cache
 
+import "github.com/pod-dedup/pod/internal/probe"
+
 // entry is one LRU element, linked into a circular intrusive list
 // through slab indices (slot 0 is the sentinel). Compared to
 // container/list this costs zero heap allocations per insert once the
@@ -26,7 +28,7 @@ type LRU[K comparable, V any] struct {
 	cap   int
 	slab  []entry[K, V] // slot 0 is the sentinel of the circular list
 	freeL int32         // head of the free-slot list, linked via next; -1 none
-	items map[K]int32
+	items *probe.Map[K, int32]
 
 	hits, misses int64
 }
@@ -36,13 +38,20 @@ func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
 	if capacity < 0 {
 		capacity = 0
 	}
-	c := &LRU[K, V]{cap: capacity, freeL: -1, items: make(map[K]int32)}
+	// Presize the directory for small caches; large ones grow on demand
+	// (the table doubles deterministically), which avoids committing
+	// hundreds of MB up front for a capacity the workload may not fill.
+	hint := capacity
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	c := &LRU[K, V]{cap: capacity, freeL: -1, items: probe.NewMap[K, int32](hint)}
 	c.slab = make([]entry[K, V], 1, 8) // sentinel
 	return c
 }
 
 // Len reports the number of cached entries.
-func (c *LRU[K, V]) Len() int { return len(c.items) }
+func (c *LRU[K, V]) Len() int { return c.items.Len() }
 
 // Cap reports the capacity.
 func (c *LRU[K, V]) Cap() int { return c.cap }
@@ -89,7 +98,7 @@ func (c *LRU[K, V]) release(i int32) {
 
 // Get returns the value for key, promoting it to most-recent.
 func (c *LRU[K, V]) Get(key K) (V, bool) {
-	if i, ok := c.items[key]; ok {
+	if i, ok := c.items.Get(key); ok {
 		c.hits++
 		c.unlink(i)
 		c.pushFront(i)
@@ -106,7 +115,7 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 // replaces the Get-then-Put idiom, which paid two map lookups and two
 // list moves per update on the fingerprint-index hot path.
 func (c *LRU[K, V]) Touch(key K) (*V, bool) {
-	if i, ok := c.items[key]; ok {
+	if i, ok := c.items.Get(key); ok {
 		c.hits++
 		c.unlink(i)
 		c.pushFront(i)
@@ -118,7 +127,7 @@ func (c *LRU[K, V]) Touch(key K) (*V, bool) {
 
 // Peek returns the value without promoting or accounting.
 func (c *LRU[K, V]) Peek(key K) (V, bool) {
-	if i, ok := c.items[key]; ok {
+	if i, ok := c.items.Get(key); ok {
 		return c.slab[i].val, true
 	}
 	var zero V
@@ -127,28 +136,32 @@ func (c *LRU[K, V]) Peek(key K) (V, bool) {
 
 // Contains reports presence without promoting or accounting.
 func (c *LRU[K, V]) Contains(key K) bool {
-	_, ok := c.items[key]
+	_, ok := c.items.Get(key)
 	return ok
 }
 
 // Put inserts or updates key, promoting it, and returns the entry
 // evicted to make room, if any.
 func (c *LRU[K, V]) Put(key K, val V) (ev Evicted[K, V], evicted bool) {
-	if i, ok := c.items[key]; ok {
+	if c.cap == 0 {
+		// the directory is always empty at zero capacity, so the
+		// update branch below cannot apply
+		return Evicted[K, V]{Key: key, Val: val}, true
+	}
+	p, inserted := c.items.Ref(key)
+	if !inserted {
+		i := *p
 		c.unlink(i)
 		c.pushFront(i)
 		c.slab[i].val = val
 		return ev, false
 	}
-	if c.cap == 0 {
-		return Evicted[K, V]{Key: key, Val: val}, true
-	}
 	i := c.alloc()
 	c.slab[i].key = key
 	c.slab[i].val = val
 	c.pushFront(i)
-	c.items[key] = i
-	if len(c.items) > c.cap {
+	*p = i
+	if c.items.Len() > c.cap {
 		return c.evictOldest()
 	}
 	return ev, false
@@ -156,12 +169,11 @@ func (c *LRU[K, V]) Put(key K, val V) (ev Evicted[K, V], evicted bool) {
 
 // Remove deletes key, reporting whether it was present.
 func (c *LRU[K, V]) Remove(key K) bool {
-	i, ok := c.items[key]
+	i, ok := c.items.Take(key)
 	if !ok {
 		return false
 	}
 	c.unlink(i)
-	delete(c.items, key)
 	c.release(i)
 	return true
 }
@@ -169,14 +181,13 @@ func (c *LRU[K, V]) Remove(key K) bool {
 // Take removes key and returns its value — a single-traversal
 // Peek+Remove for callers that must surface the evicted value.
 func (c *LRU[K, V]) Take(key K) (V, bool) {
-	i, ok := c.items[key]
+	i, ok := c.items.Take(key)
 	if !ok {
 		var zero V
 		return zero, false
 	}
 	v := c.slab[i].val
 	c.unlink(i)
-	delete(c.items, key)
 	c.release(i)
 	return v, true
 }
@@ -189,7 +200,7 @@ func (c *LRU[K, V]) evictOldest() (Evicted[K, V], bool) {
 	}
 	e := Evicted[K, V]{Key: c.slab[i].key, Val: c.slab[i].val}
 	c.unlink(i)
-	delete(c.items, e.Key)
+	c.items.Take(e.Key)
 	c.release(i)
 	return e, true
 }
@@ -202,7 +213,7 @@ func (c *LRU[K, V]) Resize(capacity int) []Evicted[K, V] {
 	}
 	c.cap = capacity
 	var out []Evicted[K, V]
-	for len(c.items) > c.cap {
+	for c.items.Len() > c.cap {
 		if ev, ok := c.evictOldest(); ok {
 			out = append(out, ev)
 		}

@@ -1,0 +1,23 @@
+package chunk
+
+import "testing"
+
+// TestSplitFingerprintHotPathAllocFree guards the per-write chunking
+// path: splitting a request into a reused scratch slice and
+// fingerprinting it must not allocate, so an alloc regression here
+// fails go test instead of only drifting BENCH_replay.json.
+func TestSplitFingerprintHotPathAllocFree(t *testing.T) {
+	ids := make([]ContentID, 8)
+	for i := range ids {
+		ids[i] = ContentID(i*131 + 7)
+	}
+	e := NewHashEngine(SyntheticFingerprinter{}, 1)
+	scratch := make([]Chunk, 0, len(ids))
+	avg := testing.AllocsPerRun(200, func() {
+		scratch = SplitInto(scratch[:0], ids, nil, false)
+		e.FingerprintAll(scratch)
+	})
+	if avg != 0 {
+		t.Fatalf("SplitInto+FingerprintAll: %.2f allocs/op, want 0", avg)
+	}
+}

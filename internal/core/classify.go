@@ -60,8 +60,19 @@ func (c Category) String() string {
 //
 // The returned mask marks the positions to deduplicate.
 func Classify(dup []bool, target []alloc.PBA, threshold int) (Category, []bool) {
+	dedupe := make([]bool, len(dup))
+	return ClassifyInto(dedupe, dup, target, threshold), dedupe
+}
+
+// ClassifyInto is Classify writing its decision into a caller-provided
+// mask (the engines pass per-request scratch so the hot path does not
+// allocate). dedupe must have the same length as dup; it is cleared
+// before the decision is written.
+func ClassifyInto(dedupe, dup []bool, target []alloc.PBA, threshold int) Category {
 	n := len(dup)
-	dedupe := make([]bool, n)
+	for i := range dedupe {
+		dedupe[i] = false
+	}
 	totalDup := 0
 	for _, d := range dup {
 		if d {
@@ -69,7 +80,7 @@ func Classify(dup []bool, target []alloc.PBA, threshold int) (Category, []bool) 
 		}
 	}
 	if totalDup == 0 {
-		return CatUnique, dedupe
+		return CatUnique
 	}
 
 	// fully redundant + one sequential run covering the request → Cat1
@@ -85,13 +96,13 @@ func Classify(dup []bool, target []alloc.PBA, threshold int) (Category, []bool) 
 			for i := range dedupe {
 				dedupe[i] = true
 			}
-			return Cat1, dedupe
+			return Cat1
 		}
 	}
 
 	// below the threshold: never fragment for so little
 	if totalDup < threshold && totalDup < n {
-		return Cat2, dedupe
+		return Cat2
 	}
 
 	// deduplicate sequential duplicate runs of at least threshold
@@ -115,7 +126,7 @@ func Classify(dup []bool, target []alloc.PBA, threshold int) (Category, []bool) 
 		i = j
 	}
 	if deduped {
-		return Cat3, dedupe
+		return Cat3
 	}
-	return Cat2, dedupe
+	return Cat2
 }

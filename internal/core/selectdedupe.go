@@ -33,6 +33,10 @@ func NewPOD(cfg engine.Config) *SelectDedupe {
 // Name implements engine.Engine.
 func (s *SelectDedupe) Name() string { return s.name }
 
+// Release implements replay.Releaser: pooled substrate resources go
+// back to their process-wide pools at end of life.
+func (s *SelectDedupe) Release() { s.base.Release() }
+
 // Stats implements engine.Engine.
 func (s *SelectDedupe) Stats() *engine.Stats { return s.base.St }
 
@@ -74,8 +78,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := s.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	dup := make([]bool, req.N)
-	target := make([]alloc.PBA, req.N)
+	dup, dedupe, target := s.base.WriteScratch(req.N)
 	for i := range chs {
 		if e, ok := s.base.IC.IndexLookup(chs[i].FP); ok {
 			dup[i] = true
@@ -83,7 +86,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		}
 	}
 
-	cat, dedupe := Classify(dup, target, s.base.Cfg.Threshold)
+	cat := ClassifyInto(dedupe, dup, target, s.base.Cfg.Threshold)
 	switch cat {
 	case Cat1:
 		st.Cat1++
@@ -93,7 +96,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		st.Cat3++
 	}
 
-	var positions []int
+	positions := s.base.PositionsScratch(req.N)
 	for i := 0; i < req.N; i++ {
 		if dedupe[i] && s.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			continue

@@ -121,6 +121,20 @@ type Base struct {
 	// request is chunked, consumed, and forgotten before the next
 	// arrives, so the whole replay shares a single chunk buffer.
 	chScratch []chunk.Chunk
+
+	// Per-request scratch buffers. An engine services one request at a
+	// time (replay is single-threaded per engine; the serving layer
+	// serializes per shard), and every buffer is fully consumed before
+	// the next request arrives, so the whole replay shares one set. Each
+	// is valid only until the method that returned it is called again —
+	// see DESIGN.md "Buffer ownership".
+	dupScratch, dedupeScratch []bool
+	targetScratch             []alloc.PBA
+	posScratch                []int
+	extScratch                []alloc.Extent
+	wfScratch                 []alloc.PBA // WriteFresh result
+	rdScratch                 []alloc.PBA // ReadMapped resolved blocks
+	hitScratch                []bool      // ReadMapped cache-probe results
 }
 
 // NewBase wires up the substrates for cfg.
@@ -299,6 +313,15 @@ func (b *Base) Recover() (int, error) {
 	return applied, nil
 }
 
+// Release returns pooled substrate resources (the content model's page
+// arenas) to their process-wide pools. The replay harness calls it once
+// an engine's lifetime ends and its results have been extracted; the
+// engine must not service further requests afterwards.
+func (b *Base) Release() {
+	b.Store.Release()
+	b.Map.Release()
+}
+
 // DataBlocks reports the allocatable physical capacity.
 func (b *Base) DataBlocks() uint64 { return b.dataBlocks }
 
@@ -337,6 +360,41 @@ func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Durat
 	cost := b.Hash.FingerprintAll(chs)
 	b.Ph.Observe(metrics.PhaseFingerprint, int64(cost))
 	return chs, sim.Duration(cost)
+}
+
+// WriteScratch returns the write path's per-request decision buffers,
+// each of length n and zeroed: index-hit flags, the dedupe decision
+// mask, and the target PBA of each hit. They are owned by the Base and
+// valid only for the current request (until the next WriteScratch
+// call); engines must not retain them across requests.
+func (b *Base) WriteScratch(n int) (dup, dedupe []bool, target []alloc.PBA) {
+	b.dupScratch = resetBools(b.dupScratch, n)
+	b.dedupeScratch = resetBools(b.dedupeScratch, n)
+	if cap(b.targetScratch) < n {
+		b.targetScratch = make([]alloc.PBA, n)
+	}
+	b.targetScratch = b.targetScratch[:n]
+	clear(b.targetScratch)
+	return b.dupScratch, b.dedupeScratch, b.targetScratch
+}
+
+// PositionsScratch returns an empty write-position buffer with capacity
+// for n entries, owned by the Base under the same single-request
+// lifetime as WriteScratch.
+func (b *Base) PositionsScratch(n int) []int {
+	if cap(b.posScratch) < n {
+		b.posScratch = make([]int, 0, n)
+	}
+	return b.posScratch[:0]
+}
+
+func resetBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // FreeBlocks reclaims physical blocks: allocator, content model, cache
@@ -390,9 +448,12 @@ func (b *Base) VerifyWrite(req *trace.Request) {
 // WriteFresh writes the request chunks at the given positions into
 // freshly allocated extents, submitted at time at. It returns the
 // completion time and the PBA assigned to each position (parallel to
-// positions). Contiguous allocation is attempted first so that one
-// request's data lands sequentially on disk — the property POD's
-// classifier later tests with its "sequentially stored" condition.
+// positions). The PBA slice aliases engine-owned scratch: it is valid
+// only until the next WriteFresh call, long enough for the caller to
+// index the freshly written fingerprints. Contiguous allocation is
+// attempted first so that one request's data lands sequentially on
+// disk — the property POD's classifier later tests with its
+// "sequentially stored" condition.
 //
 // On a disk error the write is not applied: the allocated extents are
 // released and neither the Map table nor the content model changes, so
@@ -410,14 +471,18 @@ func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs 
 	// back to scattering.
 	var extents []alloc.Extent
 	if start, ok := b.Alloc.AllocLargest(n); ok {
-		extents = []alloc.Extent{{Start: start, Count: n}}
+		b.extScratch = append(b.extScratch[:0], alloc.Extent{Start: start, Count: n})
+		extents = b.extScratch
 	} else if scattered, ok := b.Alloc.AllocScattered(n); ok {
 		extents = scattered
 	} else {
 		panic("engine: physical space exhausted")
 	}
 
-	pbas := make([]alloc.PBA, 0, n)
+	if cap(b.wfScratch) < int(n) {
+		b.wfScratch = make([]alloc.PBA, 0, n)
+	}
+	pbas := b.wfScratch[:0]
 	done := at
 	for _, e := range extents {
 		c, err := b.Array.Write(at, uint64(e.Start), e.Count)
@@ -433,6 +498,7 @@ func (b *Base) WriteFresh(at sim.Time, req *trace.Request, positions []int, chs 
 			pbas = append(pbas, e.Start+alloc.PBA(i))
 		}
 	}
+	b.wfScratch = pbas
 	for i, pos := range positions {
 		pba := pbas[i]
 		b.Store.Write(pba, chs[pos].Content)
@@ -459,7 +525,11 @@ func (b *Base) InsertIndex(fp chunk.Fingerprint, pba alloc.PBA) {
 // a retry benefits from them).
 func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, error) {
 	t := req.Time
-	pbas := make([]alloc.PBA, req.N)
+	if cap(b.rdScratch) < req.N {
+		b.rdScratch = make([]alloc.PBA, req.N)
+	}
+	pbas := b.rdScratch[:req.N]
+	b.rdScratch = pbas
 	for i := 0; i < req.N; i++ {
 		lba := req.LBA + uint64(i)
 		if identity {
@@ -475,7 +545,8 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, erro
 
 	// one cache probe per block, then coalesce the misses into
 	// contiguous disk runs
-	hit := make([]bool, req.N)
+	hit := resetBools(b.hitScratch, req.N)
+	b.hitScratch = hit
 	for i := 0; i < req.N; i++ {
 		hit[i] = b.IC.ReadHit(pbas[i])
 		if hit[i] {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/chunk"
@@ -24,8 +25,12 @@ import (
 // PBA rather than a hash map: the write path touches the Store once per
 // chunk (TryDedupe reads, WriteFresh writes), and at trace scale the
 // map's hashing and growth rehashes dominated the simulator's profile.
+// Pages are arenas drawn from a process-wide pool: an experiment run
+// constructs hundreds of engines back to back, and recycling whole
+// pages at engine teardown (Release) keeps the content model from
+// being the run's largest garbage producer.
 type Store struct {
-	pages [][]cell
+	pages []*cellPage
 }
 
 // storePageBits sizes one page at 2^16 cells (1 MiB of cells), small
@@ -33,6 +38,8 @@ type Store struct {
 // page directory stays tiny.
 const storePageBits = 16
 const storePageSize = 1 << storePageBits
+
+type cellPage [storePageSize]cell
 
 type cell struct {
 	id    chunk.ContentID
@@ -45,17 +52,21 @@ const (
 	cellLive               // allocated and holding id
 )
 
+// pagePool recycles content-model pages across engine lifetimes. Pages
+// are zeroed when returned, so Get always yields an all-cellEmpty page.
+var pagePool = sync.Pool{New: func() any { return new(cellPage) }}
+
 // NewStore returns an empty physical content model.
 func NewStore() *Store { return &Store{} }
 
 // page returns the page holding pba, allocating it when grow is set.
-func (s *Store) page(pba alloc.PBA, grow bool) []cell {
+func (s *Store) page(pba alloc.PBA, grow bool) *cellPage {
 	pg := int(pba >> storePageBits)
 	if pg >= len(s.pages) {
 		if !grow {
 			return nil
 		}
-		pages := make([][]cell, pg+1)
+		pages := make([]*cellPage, pg+1)
 		copy(pages, s.pages)
 		s.pages = pages
 	}
@@ -63,9 +74,24 @@ func (s *Store) page(pba alloc.PBA, grow bool) []cell {
 		if !grow {
 			return nil
 		}
-		s.pages[pg] = make([]cell, storePageSize)
+		s.pages[pg] = pagePool.Get().(*cellPage)
 	}
 	return s.pages[pg]
+}
+
+// Release returns every page to the process-wide pool and empties the
+// store. The replay harness calls it at engine teardown (after the
+// result is extracted); the store must not be used afterwards except by
+// constructing new contents from scratch.
+func (s *Store) Release() {
+	for i, p := range s.pages {
+		if p != nil {
+			clear(p[:])
+			pagePool.Put(p)
+			s.pages[i] = nil
+		}
+	}
+	s.pages = s.pages[:0]
 }
 
 // Write records that pba now holds id and is live.
@@ -112,6 +138,9 @@ func (s *Store) Free(pba alloc.PBA) {
 func (s *Store) Len() int {
 	n := 0
 	for _, p := range s.pages {
+		if p == nil {
+			continue
+		}
 		for i := range p {
 			if p[i].state == cellLive {
 				n++
@@ -128,6 +157,9 @@ func (s *Store) Len() int {
 // an ordering bug.
 func (s *Store) Retain(keep map[alloc.PBA]bool) {
 	for pg, p := range s.pages {
+		if p == nil {
+			continue
+		}
 		base := alloc.PBA(pg) << storePageBits
 		for i := range p {
 			c := &p[i]

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"github.com/pod-dedup/pod/internal/core"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
@@ -12,7 +14,30 @@ import (
 )
 
 // Ablation experiments beyond the paper's figures: sensitivity of the
-// design-choice knobs DESIGN.md calls out.
+// design-choice knobs DESIGN.md calls out. Every sweep point is a
+// planner cell (see Cell): points whose knob sits at the platform
+// default fold onto the corresponding (engine, trace) matrix cell, and
+// each sweep batches its cells through EnsureCells so they run on the
+// Env's shared pool instead of serializing in the caller.
+
+// thresholdCell is Select-Dedupe with a given partial-redundancy
+// threshold; threshold 3 is the platform default and shares the matrix
+// cell.
+func (e *Env) thresholdCell(traceName string, threshold int) Cell {
+	if threshold == 3 {
+		return e.matrixCell(SelectDedupe, traceName)
+	}
+	p := corpusPack(traceName, e.Scale)
+	return Cell{
+		Key: fmt.Sprintf("ablate/threshold/%s/%d", traceName, threshold),
+		Factory: func() engine.Engine {
+			cfg := BuildConfig(p.prof, e.Scale)
+			cfg.Threshold = threshold
+			return core.NewSelectDedupe(cfg)
+		},
+		TraceFn: p.generate,
+	}
+}
 
 // ThresholdPoint replays one trace under Select-Dedupe with a given
 // partial-redundancy threshold, returning the mean response time (µs)
@@ -20,10 +45,9 @@ import (
 // Full-Dedupe's per-chunk behaviour (maximum dedup, maximum
 // fragmentation risk); large thresholds approach iDedup's conservatism.
 func (e *Env) ThresholdPoint(traceName string, threshold int) (float64, float64) {
-	p := e.pack(traceName)
-	cfg := BuildConfig(p.prof, e.Scale)
-	cfg.Threshold = threshold
-	r := replay.Run(core.NewSelectDedupe(cfg), p.tr, p.warmup)
+	c := e.thresholdCell(traceName, threshold)
+	e.EnsureCells([]Cell{c})
+	r := e.cellResult(c.Key)
 	return r.MeanRT, r.Stats.WriteRemovalPct()
 }
 
@@ -33,6 +57,11 @@ func (e *Env) ThresholdSweep(traceName string, thresholds []int) *stats.Table {
 	if len(thresholds) == 0 {
 		thresholds = []int{1, 2, 3, 4, 6, 8}
 	}
+	cells := make([]Cell, len(thresholds))
+	for i, th := range thresholds {
+		cells[i] = e.thresholdCell(traceName, th)
+	}
+	e.EnsureCells(cells)
 	t := stats.NewTable("Ablation — Select-Dedupe threshold on "+traceName,
 		"Threshold", "Mean RT", "Writes removed")
 	for _, th := range thresholds {
@@ -42,19 +71,35 @@ func (e *Env) ThresholdSweep(traceName string, thresholds []int) *stats.Table {
 	return t
 }
 
+// stripeCell is POD on a RAID5 array with a given stripe unit; 64 KB
+// is the platform default and shares the matrix cell.
+func (e *Env) stripeCell(traceName string, stripeKB int) Cell {
+	if stripeKB == 64 {
+		return e.matrixCell(POD, traceName)
+	}
+	p := corpusPack(traceName, e.Scale)
+	return Cell{
+		Key: fmt.Sprintf("ablate/stripe/%s/%d", traceName, stripeKB),
+		Factory: func() engine.Engine {
+			diskBlocks := p.prof.FootprintChunks / 2
+			disks := make([]*disk.Disk, 4)
+			for i := range disks {
+				disks[i] = disk.New(disk.DefaultParams(diskBlocks))
+			}
+			cfg := BuildConfig(p.prof, e.Scale)
+			cfg.Array = raid.New(raid.RAID5, disks, uint64(stripeKB/4))
+			return core.NewPOD(cfg)
+		},
+		TraceFn: p.generate,
+	}
+}
+
 // StripeUnitPoint replays one trace under POD with a given RAID5 stripe
 // unit, returning the mean response time (µs).
 func (e *Env) StripeUnitPoint(traceName string, stripeKB int) float64 {
-	p := e.pack(traceName)
-	diskBlocks := p.prof.FootprintChunks / 2
-	disks := make([]*disk.Disk, 4)
-	for i := range disks {
-		disks[i] = disk.New(disk.DefaultParams(diskBlocks))
-	}
-	cfg := BuildConfig(p.prof, e.Scale)
-	cfg.Array = raid.New(raid.RAID5, disks, uint64(stripeKB/4))
-	r := replay.Run(core.NewPOD(cfg), p.tr, p.warmup)
-	return r.MeanRT
+	c := e.stripeCell(traceName, stripeKB)
+	e.EnsureCells([]Cell{c})
+	return e.cellResult(c.Key).MeanRT
 }
 
 // StripeUnitSweep runs StripeUnitPoint across units and formats the
@@ -63,6 +108,11 @@ func (e *Env) StripeUnitSweep(traceName string, unitsKB []int) *stats.Table {
 	if len(unitsKB) == 0 {
 		unitsKB = []int{16, 32, 64, 128, 256}
 	}
+	cells := make([]Cell, len(unitsKB))
+	for i, kb := range unitsKB {
+		cells[i] = e.stripeCell(traceName, kb)
+	}
+	e.EnsureCells(cells)
 	t := stats.NewTable("Ablation — RAID5 stripe unit under POD on "+traceName,
 		"Stripe unit", "Mean RT")
 	for _, kb := range unitsKB {
@@ -71,15 +121,13 @@ func (e *Env) StripeUnitSweep(traceName string, unitsKB []int) *stats.Table {
 	return t
 }
 
-// DupSweepPoint measures mean write response time (µs) under a
-// synthetic workload whose fully-redundant write fraction is exactly
-// dupFrac, for the named engine — isolating how performance scales
-// with available redundancy.
-func (e *Env) DupSweepPoint(engineName string, dupFrac float64) float64 {
+// dupProfile is the synthetic workload whose fully-redundant write
+// fraction is exactly dupFrac.
+func dupProfile(scale, dupFrac float64) workload.Profile {
 	prof := workload.Profile{
 		Name:            "dupsweep",
 		Seed:            0xD0D0,
-		IOs:             int(20000 * e.Scale * 10), // independent of trace scale granularity
+		IOs:             int(20000 * scale * 10), // independent of trace scale granularity
 		WriteRatio:      0.8,
 		WriteSizes:      []workload.SizeWeight{{Chunks: 1, Weight: 50}, {Chunks: 2, Weight: 25}, {Chunks: 4, Weight: 15}, {Chunks: 8, Weight: 10}},
 		ReadSizes:       []workload.SizeWeight{{Chunks: 1, Weight: 50}, {Chunks: 4, Weight: 30}, {Chunks: 8, Weight: 20}},
@@ -98,10 +146,46 @@ func (e *Env) DupSweepPoint(engineName string, dupFrac float64) float64 {
 	if prof.IOs < 2000 {
 		prof.IOs = 2000
 	}
-	tr, warmup := workload.Generate(prof, 1.0)
-	cfg := BuildConfig(prof, 1.0)
-	r := replay.Run(NewEngine(engineName, cfg), tr, warmup)
-	return r.MeanWriteRT
+	return prof
+}
+
+// dupPack returns the Env-cached trace pack for one redundancy
+// fraction, so Native and POD replay the same generated trace instead
+// of regenerating it once per engine.
+func (e *Env) dupPack(dupFrac float64) *tracePack {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dupPacks == nil {
+		e.dupPacks = make(map[float64]*tracePack)
+	}
+	if p, ok := e.dupPacks[dupFrac]; ok {
+		return p
+	}
+	p := &tracePack{prof: dupProfile(e.Scale, dupFrac), scale: 1.0}
+	e.dupPacks[dupFrac] = p
+	return p
+}
+
+// dupCell is one (engine, redundancy fraction) point of the sweep.
+func (e *Env) dupCell(engineName string, dupFrac float64) Cell {
+	p := e.dupPack(dupFrac)
+	return Cell{
+		Key: fmt.Sprintf("ablate/dup/%s/%.0f", engineName, dupFrac*100),
+		Factory: func() engine.Engine {
+			return NewEngine(engineName, BuildConfig(p.prof, 1.0))
+		},
+		TraceFn: p.generate,
+	}
+}
+
+// DupSweepPoint measures mean write response time (µs) under a
+// synthetic workload whose fully-redundant write fraction is exactly
+// dupFrac, for the named engine — isolating how performance scales
+// with available redundancy.
+func (e *Env) DupSweepPoint(engineName string, dupFrac float64) float64 {
+	c := e.dupCell(engineName, dupFrac)
+	e.EnsureCells([]Cell{c})
+	return e.cellResult(c.Key).MeanWriteRT
 }
 
 // DupSweep compares POD against Native across redundancy levels.
@@ -109,6 +193,11 @@ func (e *Env) DupSweep(fracs []float64) *stats.Table {
 	if len(fracs) == 0 {
 		fracs = []float64{0, 0.25, 0.5, 0.75, 0.9}
 	}
+	var cells []Cell
+	for _, f := range fracs {
+		cells = append(cells, e.dupCell(Native, f), e.dupCell(POD, f))
+	}
+	e.EnsureCells(cells)
 	t := stats.NewTable("Ablation — write RT vs workload redundancy",
 		"Redundant writes", "Native", "POD", "POD vs Native")
 	for _, f := range fracs {
@@ -119,41 +208,63 @@ func (e *Env) DupSweep(fracs []float64) *stats.Table {
 	return t
 }
 
-// LayoutPoint replays one trace under the named engine on a given RAID
-// layout, returning the mean write RT (µs). The RAID5 read-modify-write
+// layoutCell is one (engine, RAID layout) point; RAID5 is the platform
+// default and shares the matrix cell. The RAID5 read-modify-write
 // penalty is what makes write elimination so valuable; RAID1 and RAID0
 // quantify how much of POD's benefit survives on layouts without it.
+func (e *Env) layoutCell(engineName, traceName string, level raid.Level) Cell {
+	if level == raid.RAID5 {
+		return e.matrixCell(engineName, traceName)
+	}
+	p := corpusPack(traceName, e.Scale)
+	return Cell{
+		Key: fmt.Sprintf("ablate/layout/%s/%s/%d", engineName, traceName, level),
+		Factory: func() engine.Engine {
+			diskBlocks := p.prof.FootprintChunks / 2
+			nd := 4
+			if level == raid.RAID0 {
+				// RAID0 over 4 disks has 4/3 the data capacity; keep capacity
+				// comparable by shrinking the disks
+				diskBlocks = diskBlocks * 3 / 4
+			}
+			if level == raid.RAID1 {
+				// mirrored pairs halve capacity: double the disk size
+				diskBlocks = diskBlocks * 3 / 2
+			}
+			disks := make([]*disk.Disk, nd)
+			for i := range disks {
+				disks[i] = disk.New(disk.DefaultParams(diskBlocks))
+			}
+			cfg := BuildConfig(p.prof, e.Scale)
+			cfg.Array = raid.New(level, disks, 16)
+			return NewEngine(engineName, cfg)
+		},
+		TraceFn: p.generate,
+	}
+}
+
+// LayoutPoint replays one trace under the named engine on a given RAID
+// layout, returning the mean write RT (µs).
 func (e *Env) LayoutPoint(engineName, traceName string, level raid.Level) float64 {
-	p := e.pack(traceName)
-	diskBlocks := p.prof.FootprintChunks / 2
-	nd := 4
-	if level == raid.RAID0 {
-		// RAID0 over 4 disks has 4/3 the data capacity; keep capacity
-		// comparable by shrinking the disks
-		diskBlocks = diskBlocks * 3 / 4
-	}
-	if level == raid.RAID1 {
-		// mirrored pairs halve capacity: double the disk size
-		diskBlocks = diskBlocks * 3 / 2
-	}
-	disks := make([]*disk.Disk, nd)
-	for i := range disks {
-		disks[i] = disk.New(disk.DefaultParams(diskBlocks))
-	}
-	cfg := BuildConfig(p.prof, e.Scale)
-	cfg.Array = raid.New(level, disks, 16)
-	r := replay.Run(NewEngine(engineName, cfg), p.tr, p.warmup)
-	return r.MeanWriteRT
+	c := e.layoutCell(engineName, traceName, level)
+	e.EnsureCells([]Cell{c})
+	return e.cellResult(c.Key).MeanWriteRT
 }
 
 // LayoutSweep compares Native and POD write latency across layouts.
 func (e *Env) LayoutSweep(traceName string) *stats.Table {
-	t := stats.NewTable("Ablation — RAID layout vs write RT on "+traceName,
-		"Layout", "Native", "POD", "POD vs Native")
-	for _, l := range []struct {
+	levels := []struct {
 		name  string
 		level raid.Level
-	}{{"RAID0", raid.RAID0}, {"RAID1", raid.RAID1}, {"RAID5", raid.RAID5}} {
+	}{{"RAID0", raid.RAID0}, {"RAID1", raid.RAID1}, {"RAID5", raid.RAID5}}
+	var cells []Cell
+	for _, l := range levels {
+		cells = append(cells, e.layoutCell(Native, traceName, l.level), e.layoutCell(POD, traceName, l.level))
+	}
+	e.EnsureCells(cells)
+	t := stats.NewTable("Ablation — RAID layout vs write RT on "+traceName,
+		"Layout", "Native", "POD", "POD vs Native")
+	for _, l := range levels {
 		n := e.LayoutPoint(Native, traceName, l.level)
 		p := e.LayoutPoint(POD, traceName, l.level)
 		t.AddRowf("%s	%s	%s	%.1f%%", l.name, stats.Ms(n), stats.Ms(p), 100*p/n)
@@ -164,7 +275,10 @@ func (e *Env) LayoutSweep(traceName string) *stats.Table {
 // ChurnPoint replays a sustained-overwrite workload (a small logical
 // region rewritten with fresh content far beyond its size) under POD,
 // with or without the segment cleaner, returning the mean write RT (µs)
-// and the final free-extent count (fragmentation).
+// and the final free-extent count (fragmentation). The replay stays on
+// the calling goroutine instead of becoming a planner cell: the
+// measurement needs the engine's allocator state after the run, which
+// pool jobs release.
 func (e *Env) ChurnPoint(cleaner bool) (float64, int) {
 	prof := workload.Profile{
 		Name:            "churn",
@@ -198,7 +312,9 @@ func (e *Env) ChurnPoint(cleaner bool) (float64, int) {
 	}
 	eng := core.NewPOD(cfg)
 	r := replay.Run(eng, tr, warmup)
-	return r.MeanWriteRT, eng.Base().Alloc.NumFreeExtents()
+	frag := eng.Base().Alloc.NumFreeExtents()
+	eng.Release()
+	return r.MeanWriteRT, frag
 }
 
 // ChurnSweep formats the cleaner on/off comparison.
@@ -219,17 +335,19 @@ func (e *Env) ChurnSweep() *stats.Table {
 // DegradedPoint replays one trace under POD with one failed spindle
 // (RAID5 degraded mode) and returns mean read RT (µs) healthy vs
 // degraded — the kind of failure-injection evaluation the paper leaves
-// as future work.
+// as future work. The healthy run is exactly the POD matrix cell.
 func (e *Env) DegradedPoint(traceName string) (healthy, degraded float64) {
-	p := e.pack(traceName)
-
-	cfg := BuildConfig(p.prof, e.Scale)
-	r := replay.Run(core.NewPOD(cfg), p.tr, p.warmup)
-	healthy = r.MeanReadRT
-
-	cfg2 := BuildConfig(p.prof, e.Scale)
-	cfg2.Array.Fail(0)
-	r2 := replay.Run(core.NewPOD(cfg2), p.tr, p.warmup)
-	degraded = r2.MeanReadRT
-	return healthy, degraded
+	p := corpusPack(traceName, e.Scale)
+	hc := e.matrixCell(POD, traceName)
+	dc := Cell{
+		Key: "ablate/degraded/" + traceName,
+		Factory: func() engine.Engine {
+			cfg := BuildConfig(p.prof, e.Scale)
+			cfg.Array.Fail(0)
+			return core.NewPOD(cfg)
+		},
+		TraceFn: p.generate,
+	}
+	e.EnsureCells([]Cell{hc, dc})
+	return e.cellResult(hc.Key).MeanReadRT, e.cellResult(dc.Key).MeanReadRT
 }

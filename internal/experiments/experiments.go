@@ -118,6 +118,13 @@ type Env struct {
 
 	mu      sync.Mutex
 	results map[string]*replay.Result
+
+	// dupPacks caches the synthetic redundancy-sweep traces by dup
+	// fraction, so Native and POD replay the same generated trace.
+	dupPacks map[float64]*tracePack
+
+	poolOnce sync.Once
+	pool     *replay.Pool
 }
 
 // tracePack is one (profile, scale) trace, generated at most once via
@@ -189,17 +196,31 @@ func (e *Env) pack(name string) *tracePack {
 
 func key(engineName, traceName string) string { return engineName + "/" + traceName }
 
-// EnsureMatrix replays every missing (engine, trace) combination, in
-// parallel, and caches the results.
-func (e *Env) EnsureMatrix(engines, traces []string) {
-	type combo struct{ en, tn string }
-	var missing []combo
+// Cell is one replay the cross-figure planner may need: a stable key,
+// an engine factory, and a lazy trace. The key doubles as the
+// deduplication handle — a sweep point whose configuration is
+// identical to a plain (engine, trace) matrix cell declares the matrix
+// key and is never replayed twice, no matter which figure asks first.
+// The default points folded this way: Fig3's 50% index share and the
+// RAID5 layout/64 KB stripe/threshold-3/healthy-array ablation points,
+// each of which is the evaluation platform's default configuration.
+type Cell struct {
+	Key     string
+	Factory func() engine.Engine
+	TraceFn func() (*trace.Trace, int)
+}
+
+// EnsureCells replays every cell whose key is not yet cached on the
+// Env's persistent worker pool and caches the results. Duplicate keys
+// within one batch run once.
+func (e *Env) EnsureCells(cells []Cell) {
+	var missing []Cell
+	seen := make(map[string]bool, len(cells))
 	e.mu.Lock()
-	for _, tn := range traces {
-		for _, en := range engines {
-			if _, ok := e.results[key(en, tn)]; !ok {
-				missing = append(missing, combo{en, tn})
-			}
+	for _, c := range cells {
+		if _, ok := e.results[c.Key]; !ok && !seen[c.Key] {
+			seen[c.Key] = true
+			missing = append(missing, c)
 		}
 	}
 	e.mu.Unlock()
@@ -209,16 +230,15 @@ func (e *Env) EnsureMatrix(engines, traces []string) {
 
 	jobs := make([]replay.Job, len(missing))
 	for i, c := range missing {
-		p := corpusPack(c.tn, e.Scale)
-		en := c.en
 		jobs[i] = replay.Job{
-			Key:        key(c.en, c.tn),
-			Factory:    func() engine.Engine { return NewEngine(en, BuildConfig(p.prof, e.Scale)) },
-			TraceFn:    p.generate,
+			Key:        c.Key,
+			Factory:    c.Factory,
+			TraceFn:    c.TraceFn,
 			TraceEvery: e.TraceEvery,
 		}
 	}
-	results := replay.RunAll(jobs, e.Workers)
+	e.poolOnce.Do(func() { e.pool = replay.NewPool(e.Workers) })
+	results := e.pool.Run(jobs)
 	e.mu.Lock()
 	for i, r := range results {
 		if r.Err != nil {
@@ -228,6 +248,51 @@ func (e *Env) EnsureMatrix(engines, traces []string) {
 		e.results[jobs[i].Key] = r
 	}
 	e.mu.Unlock()
+}
+
+// cellResult returns the cached result for a cell key; the caller must
+// have run it through EnsureCells first.
+func (e *Env) cellResult(k string) *replay.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.results[k]
+	if !ok {
+		panic(fmt.Sprintf("experiments: cell %q was never replayed", k))
+	}
+	return r
+}
+
+// Close stops the Env's persistent worker pool. Safe when no replay
+// ever ran; the Env must not replay anything afterwards.
+func (e *Env) Close() {
+	e.poolOnce.Do(func() {}) // pool can no longer be created lazily
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// matrixCell is the canonical (engine, trace) evaluation cell: the
+// §IV-A platform built by BuildConfig, keyed so every figure shares
+// it.
+func (e *Env) matrixCell(engineName, traceName string) Cell {
+	p := corpusPack(traceName, e.Scale)
+	return Cell{
+		Key:     key(engineName, traceName),
+		Factory: func() engine.Engine { return NewEngine(engineName, BuildConfig(p.prof, e.Scale)) },
+		TraceFn: p.generate,
+	}
+}
+
+// EnsureMatrix replays every missing (engine, trace) combination, in
+// parallel, and caches the results.
+func (e *Env) EnsureMatrix(engines, traces []string) {
+	cells := make([]Cell, 0, len(engines)*len(traces))
+	for _, tn := range traces {
+		for _, en := range engines {
+			cells = append(cells, e.matrixCell(en, tn))
+		}
+	}
+	e.EnsureCells(cells)
 }
 
 // Result returns the cached replay of one combination, running it if

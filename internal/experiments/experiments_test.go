@@ -8,6 +8,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"github.com/pod-dedup/pod/internal/engine"
 )
 
 // testScale keeps the full matrix affordable in unit-test time while
@@ -245,6 +247,75 @@ func TestNewEngineUnknownPanics(t *testing.T) {
 	}()
 	p := testEnv().pack("homes")
 	NewEngine("nope", BuildConfig(p.prof, 1))
+}
+
+// TestPlannerFoldsDefaultPointsOntoMatrix verifies the cross-figure
+// deduplication: sweep points whose knob sits at the platform default
+// must reuse the (engine, trace) matrix cell rather than replaying it.
+func TestPlannerFoldsDefaultPointsOntoMatrix(t *testing.T) {
+	env := testEnv()
+	matrix := env.Result(SelectDedupe, "homes")
+
+	// threshold 3 is the default — same cached result, no new replay
+	rt, _ := env.ThresholdPoint("homes", 3)
+	if rt != matrix.MeanRT {
+		t.Errorf("threshold-3 point (%.2f) must reuse the Select-Dedupe/homes matrix cell (%.2f)", rt, matrix.MeanRT)
+	}
+	if got := env.cellResult(key(SelectDedupe, "homes")); got != matrix {
+		t.Error("threshold-3 must not replace the cached matrix result")
+	}
+
+	// healthy half of the degraded pair is the POD matrix cell
+	pod := env.Result(POD, "homes")
+	healthy, _ := env.DegradedPoint("homes")
+	if healthy != pod.MeanReadRT {
+		t.Errorf("healthy degraded point (%.2f) must reuse POD/homes (%.2f)", healthy, pod.MeanReadRT)
+	}
+
+	// and the same sharing works in the other direction: a sweep run
+	// first seeds the matrix
+	env2 := testEnv()
+	env2.StripeUnitPoint("web-vm", 64) // default stripe ≡ POD/web-vm
+	env2.mu.Lock()
+	_, seeded := env2.results[key(POD, "web-vm")]
+	env2.mu.Unlock()
+	if !seeded {
+		t.Error("default stripe point must be cached under the POD/web-vm matrix key")
+	}
+}
+
+// TestFig3SharesMatrixCell pins the Fig3 50% index-share point to the
+// Full-Dedupe/mail matrix replay.
+func TestFig3SharesMatrixCell(t *testing.T) {
+	env := testEnv()
+	_, rows := env.Fig3([]float64{0.3, 0.5})
+	matrix := env.Result(FullDedupe, "mail")
+	for _, r := range rows {
+		if r.IndexFrac == 0.5 && r.ReadRTms != matrix.MeanReadRT/1000 {
+			t.Errorf("fig3@0.5 read RT %.3f must equal matrix cell %.3f", r.ReadRTms, matrix.MeanReadRT/1000)
+		}
+	}
+}
+
+func TestEnsureCellsDeduplicatesWithinBatch(t *testing.T) {
+	env := testEnv()
+	built := 0
+	p := corpusPack("homes", env.Scale)
+	cell := Cell{
+		Key: "test/dup-batch",
+		Factory: func() engine.Engine {
+			built++
+			return NewEngine(Native, BuildConfig(p.prof, env.Scale))
+		},
+		TraceFn: p.generate,
+	}
+	env.EnsureCells([]Cell{cell, cell, cell})
+	if built != 1 {
+		t.Fatalf("duplicate keys in one batch built %d engines, want 1", built)
+	}
+	if env.cellResult("test/dup-batch") == nil {
+		t.Fatal("missing cached result")
+	}
 }
 
 func TestThresholdAblation(t *testing.T) {

@@ -99,30 +99,34 @@ func (e *Env) Fig3(fracs []float64) (*stats.Table, []Fig3Row) {
 	if len(fracs) == 0 {
 		fracs = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	}
-	p := e.pack("mail")
-	jobs := make([]replay.Job, len(fracs))
+	p := corpusPack("mail", e.Scale)
+	cells := make([]Cell, len(fracs))
 	for i, f := range fracs {
 		f := f
-		jobs[i] = replay.Job{
+		c := Cell{
 			Key: fmt.Sprintf("fig3/%.0f", f*100),
 			Factory: func() engine.Engine {
 				cfg := BuildConfig(p.prof, e.Scale)
 				cfg.IndexFrac = f
 				return NewEngine(FullDedupe, cfg)
 			},
-			Trace:  p.tr,
-			Warmup: p.warmup,
+			TraceFn: p.generate,
 		}
+		if f == 0.5 {
+			// the platform default: identical to the Full-Dedupe/mail
+			// matrix cell, so the planner shares one replay with
+			// Figures 8–10
+			c.Key = key(FullDedupe, "mail")
+		}
+		cells[i] = c
 	}
-	results := replay.RunAll(jobs, e.Workers)
+	e.EnsureCells(cells)
 
 	t := stats.NewTable("Figure 3 — response time vs index-cache share (mail, Full-Dedupe)",
 		"Index cache", "Read RT", "Write RT")
 	var rows []Fig3Row
-	for i, r := range results {
-		if r.Err != nil {
-			panic(fmt.Sprintf("experiments: %s failed: %v", jobs[i].Key, r.Err))
-		}
+	for i := range cells {
+		r := e.cellResult(cells[i].Key)
 		rows = append(rows, Fig3Row{
 			IndexFrac: fracs[i],
 			ReadRTms:  r.MeanReadRT / 1000,

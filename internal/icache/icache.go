@@ -26,6 +26,7 @@ import (
 	"github.com/pod-dedup/pod/internal/cache"
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/index"
+	"github.com/pod-dedup/pod/internal/probe"
 	"github.com/pod-dedup/pod/internal/sim"
 )
 
@@ -80,8 +81,10 @@ type Controller struct {
 	// from the hot index or the ghost index, so PurgePBA can drop
 	// every entry for a freed block — the consistency mechanism that
 	// replaces in-place overwrite protection in this log-structured
-	// substrate.
-	idxRev map[alloc.PBA][]chunk.Fingerprint
+	// substrate. Nearly every block is referenced by exactly one
+	// fingerprint, so the first one lives inline in the map value and
+	// only collisions beyond it pay for an overflow slice.
+	idxRev *probe.Map[alloc.PBA, revEntry]
 
 	read      *cache.LRU[alloc.PBA, struct{}]
 	ghostRead *cache.Ghost[alloc.PBA]
@@ -127,8 +130,16 @@ func New(p Params) *Controller {
 	// each ghost may grow to the whole budget minus its actual cache
 	c.ghostIdx = cache.NewLRU[chunk.Fingerprint, ghostIndexEntry](c.maxIndexEntries() - ic)
 	c.ghostRead = cache.NewGhost[alloc.PBA](c.maxReadBlocks() - rc)
-	c.idxRev = make(map[alloc.PBA][]chunk.Fingerprint)
+	c.idxRev = probe.NewMap[alloc.PBA, revEntry](0)
 	return c
+}
+
+// revEntry holds the fingerprints referencing one physical block: the
+// first inline (the overwhelmingly common case), the rest in an
+// overflow slice allocated only on collision.
+type revEntry struct {
+	first chunk.Fingerprint
+	rest  []chunk.Fingerprint
 }
 
 func (c *Controller) maxIndexEntries() int { return int(c.p.TotalBytes) / c.p.IndexEntryBytes }
@@ -241,20 +252,31 @@ func (c *Controller) ReadInsert(pba alloc.PBA) {
 func (c *Controller) PurgePBA(pba alloc.PBA) {
 	c.read.Remove(pba)
 	c.ghostRead.Remove(pba)
-	for _, fp := range c.idxRev[pba] {
-		c.idx.Remove(fp)
-		c.ghostIdx.Remove(fp)
+	if e, ok := c.idxRev.Take(pba); ok {
+		c.idx.Remove(e.first)
+		c.ghostIdx.Remove(e.first)
+		for _, fp := range e.rest {
+			c.idx.Remove(fp)
+			c.ghostIdx.Remove(fp)
+		}
 	}
-	delete(c.idxRev, pba)
 }
 
 func (c *Controller) revAdd(pba alloc.PBA, fp chunk.Fingerprint) {
-	for _, f := range c.idxRev[pba] {
+	e, inserted := c.idxRev.Ref(pba)
+	if inserted {
+		*e = revEntry{first: fp}
+		return
+	}
+	if e.first == fp {
+		return
+	}
+	for _, f := range e.rest {
 		if f == fp {
 			return
 		}
 	}
-	c.idxRev[pba] = append(c.idxRev[pba], fp)
+	e.rest = append(e.rest, fp)
 }
 
 func (c *Controller) ghostRemoveFP(fp chunk.Fingerprint) {
@@ -264,18 +286,25 @@ func (c *Controller) ghostRemoveFP(fp chunk.Fingerprint) {
 }
 
 func (c *Controller) revRemove(pba alloc.PBA, fp chunk.Fingerprint) {
-	fps := c.idxRev[pba]
-	for i, f := range fps {
-		if f == fp {
-			fps[i] = fps[len(fps)-1]
-			fps = fps[:len(fps)-1]
-			break
-		}
+	e, ok := c.idxRev.Find(pba)
+	if !ok {
+		return
 	}
-	if len(fps) == 0 {
-		delete(c.idxRev, pba)
-	} else {
-		c.idxRev[pba] = fps
+	if e.first == fp {
+		if len(e.rest) == 0 {
+			c.idxRev.Delete(pba)
+			return
+		}
+		e.first = e.rest[len(e.rest)-1]
+		e.rest = e.rest[:len(e.rest)-1]
+		return
+	}
+	for i, f := range e.rest {
+		if f == fp {
+			e.rest[i] = e.rest[len(e.rest)-1]
+			e.rest = e.rest[:len(e.rest)-1]
+			return
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/cache"
 	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/probe"
 )
 
 // Entry is one hot-index entry: where the chunk lives and how often
@@ -122,8 +123,8 @@ func (h *Hot) Each(fn func(chunk.Fingerprint, Entry) bool) {
 // subset lives in memory — a lookup that misses the hot portion costs
 // the engine an on-disk index I/O.
 type Full struct {
-	all map[chunk.Fingerprint]alloc.PBA
-	rev map[alloc.PBA]chunk.Fingerprint
+	all *probe.Map[chunk.Fingerprint, alloc.PBA]
+	rev *probe.Map[alloc.PBA, chunk.Fingerprint]
 	hot *Hot
 
 	memHits, diskLookups int64
@@ -133,14 +134,14 @@ type Full struct {
 // hotCapacity entries.
 func NewFull(hotCapacity int) *Full {
 	return &Full{
-		all: make(map[chunk.Fingerprint]alloc.PBA),
-		rev: make(map[alloc.PBA]chunk.Fingerprint),
+		all: probe.NewMap[chunk.Fingerprint, alloc.PBA](0),
+		rev: probe.NewMap[alloc.PBA, chunk.Fingerprint](0),
 		hot: NewHot(hotCapacity),
 	}
 }
 
 // Len reports the total number of indexed fingerprints.
-func (f *Full) Len() int { return len(f.all) }
+func (f *Full) Len() int { return f.all.Len() }
 
 // Hot exposes the in-memory portion (for resize and accounting).
 func (f *Full) Hot() *Hot { return f.hot }
@@ -161,7 +162,7 @@ func (f *Full) Lookup(fp chunk.Fingerprint) (pba alloc.PBA, found, memHit bool) 
 		return e.PBA, true, true
 	}
 	f.diskLookups++
-	pba, found = f.all[fp]
+	pba, found = f.all.Get(fp)
 	if found {
 		f.hot.Insert(fp, pba)
 	}
@@ -170,22 +171,22 @@ func (f *Full) Lookup(fp chunk.Fingerprint) (pba alloc.PBA, found, memHit bool) 
 
 // Insert records fp → pba in both the full table and the hot portion.
 func (f *Full) Insert(fp chunk.Fingerprint, pba alloc.PBA) {
-	if old, ok := f.all[fp]; ok {
-		delete(f.rev, old)
+	if old, ok := f.all.Get(fp); ok {
+		f.rev.Delete(old)
 	}
-	f.all[fp] = pba
-	f.rev[pba] = fp
+	f.all.Put(fp, pba)
+	f.rev.Put(pba, fp)
 	f.hot.Insert(fp, pba)
 }
 
 // Forget removes the index entry referencing pba, called when the block
 // is freed so the index never resurrects a dead block.
 func (f *Full) Forget(pba alloc.PBA) {
-	fp, ok := f.rev[pba]
+	fp, ok := f.rev.Get(pba)
 	if !ok {
 		return
 	}
-	delete(f.rev, pba)
-	delete(f.all, fp)
+	f.rev.Delete(pba)
+	f.all.Delete(fp)
 	f.hot.Remove(fp)
 }

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/nvram"
@@ -43,11 +44,233 @@ const (
 	pbaMask    = (1 << 62) - 1
 )
 
+// The forward map, reference counts, and pin counts are direct-mapped
+// paged arrays rather than hash maps: LBAs come from a bump allocator
+// over the trace footprint and PBAs from the block allocator, so both
+// key spaces are dense and bounded, and at trace scale the hash maps'
+// probing and growth rehashes were the simulator's single largest CPU
+// consumer. Keys at or above pagedCap (never produced by real traces,
+// but reachable through hostile journals in fuzzing) fall back to maps
+// so sparse keys cost memory proportional to their count, not their
+// magnitude. Pages are pooled across table lifetimes like the content
+// model's (see engine/store.go); Release returns them.
+const (
+	tblPageBits = 16
+	tblPageSize = 1 << tblPageBits
+	tblPageMask = tblPageSize - 1
+
+	// pagedCap bounds the direct-mapped key range: 2^28 chunks = 1 TiB
+	// of 4 KiB logical space, far above any experiment's footprint.
+	pagedCap = 1 << 28
+)
+
+type mapPage [tblPageSize]uint64
+type cntPage [tblPageSize]int32
+
+var (
+	mapPagePool = sync.Pool{New: func() any { return new(mapPage) }}
+	cntPagePool = sync.Pool{New: func() any { return new(cntPage) }}
+)
+
+// pagedMap holds LBA → encoded mapping (present|shared|pba packed in
+// one word; 0 = absent) for keys below pagedCap, spilling the rest to
+// far. n counts live entries across both regions.
+type pagedMap struct {
+	pages []*mapPage
+	far   map[uint64]uint64
+	n     int
+}
+
+func (p *pagedMap) get(k uint64) uint64 {
+	if k < pagedCap {
+		pg := k >> tblPageBits
+		if pg >= uint64(len(p.pages)) || p.pages[pg] == nil {
+			return 0
+		}
+		return p.pages[pg][k&tblPageMask]
+	}
+	return p.far[k]
+}
+
+func (p *pagedMap) set(k, v uint64) {
+	if k < pagedCap {
+		pg := k >> tblPageBits
+		if pg >= uint64(len(p.pages)) {
+			pages := make([]*mapPage, pg+1)
+			copy(pages, p.pages)
+			p.pages = pages
+		}
+		if p.pages[pg] == nil {
+			p.pages[pg] = mapPagePool.Get().(*mapPage)
+		}
+		slot := &p.pages[pg][k&tblPageMask]
+		if *slot == 0 {
+			p.n++
+		}
+		*slot = v
+		return
+	}
+	if p.far == nil {
+		p.far = make(map[uint64]uint64)
+	}
+	if _, ok := p.far[k]; !ok {
+		p.n++
+	}
+	p.far[k] = v
+}
+
+func (p *pagedMap) del(k uint64) {
+	if k < pagedCap {
+		pg := k >> tblPageBits
+		if pg >= uint64(len(p.pages)) || p.pages[pg] == nil {
+			return
+		}
+		slot := &p.pages[pg][k&tblPageMask]
+		if *slot != 0 {
+			p.n--
+			*slot = 0
+		}
+		return
+	}
+	if _, ok := p.far[k]; ok {
+		p.n--
+		delete(p.far, k)
+	}
+}
+
+// each visits live entries in key order (pages, then the far spill in
+// map order). No caller depends on ordering; the deterministic page
+// walk simply replaces the old map's randomized one.
+func (p *pagedMap) each(fn func(k, v uint64) bool) {
+	for pg, page := range p.pages {
+		if page == nil {
+			continue
+		}
+		base := uint64(pg) << tblPageBits
+		for i := range page {
+			if v := page[i]; v != 0 {
+				if !fn(base+uint64(i), v) {
+					return
+				}
+			}
+		}
+	}
+	for k, v := range p.far {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (p *pagedMap) release() {
+	for i, page := range p.pages {
+		if page != nil {
+			clear(page[:])
+			mapPagePool.Put(page)
+			p.pages[i] = nil
+		}
+	}
+	p.pages = p.pages[:0]
+	p.far = nil
+	p.n = 0
+}
+
+// pagedCount holds a small signed counter per dense key (refcounts,
+// pins); zero means absent. n counts nonzero entries.
+type pagedCount struct {
+	pages []*cntPage
+	far   map[uint64]int32
+	n     int
+}
+
+func (p *pagedCount) get(k uint64) int32 {
+	if k < pagedCap {
+		pg := k >> tblPageBits
+		if pg >= uint64(len(p.pages)) || p.pages[pg] == nil {
+			return 0
+		}
+		return p.pages[pg][k&tblPageMask]
+	}
+	return p.far[k]
+}
+
+// add adjusts key k by d and returns the new value, maintaining the
+// nonzero-entry count.
+func (p *pagedCount) add(k uint64, d int32) int32 {
+	if k < pagedCap {
+		pg := k >> tblPageBits
+		if pg >= uint64(len(p.pages)) {
+			pages := make([]*cntPage, pg+1)
+			copy(pages, p.pages)
+			p.pages = pages
+		}
+		if p.pages[pg] == nil {
+			p.pages[pg] = cntPagePool.Get().(*cntPage)
+		}
+		slot := &p.pages[pg][k&tblPageMask]
+		old := *slot
+		*slot = old + d
+		switch {
+		case old == 0 && *slot != 0:
+			p.n++
+		case old != 0 && *slot == 0:
+			p.n--
+		}
+		return *slot
+	}
+	if p.far == nil {
+		p.far = make(map[uint64]int32)
+	}
+	old := p.far[k]
+	v := old + d
+	switch {
+	case old == 0 && v != 0:
+		p.n++
+		p.far[k] = v
+	case old != 0 && v == 0:
+		p.n--
+		delete(p.far, k)
+	default:
+		p.far[k] = v
+	}
+	return v
+}
+
+func (p *pagedCount) release() {
+	for i, page := range p.pages {
+		if page != nil {
+			clear(page[:])
+			cntPagePool.Put(page)
+			p.pages[i] = nil
+		}
+	}
+	p.pages = p.pages[:0]
+	p.far = nil
+	p.n = 0
+}
+
+const (
+	encPresent = 1 << 63
+	encShared  = 1 << 62
+)
+
+func encodeMapping(mp mapping) uint64 {
+	v := uint64(mp.pba) | encPresent
+	if mp.shared {
+		v |= encShared
+	}
+	return v
+}
+
+func decodeMapping(v uint64) mapping {
+	return mapping{pba: alloc.PBA(v & pbaMask), shared: v&encShared != 0}
+}
+
 // Table is the Map table.
 type Table struct {
-	m      map[uint64]mapping
-	refs   map[alloc.PBA]int32
-	pins   map[alloc.PBA]int32
+	m      pagedMap
+	refs   pagedCount
+	pins   pagedCount
 	shared int64 // live mappings created by deduplication
 	peak   int64 // high-water mark of shared mappings
 
@@ -55,9 +278,19 @@ type Table struct {
 	// when the segment cleaner needs to relocate live blocks
 	rev map[alloc.PBA]map[uint64]struct{}
 
-	dev   *nvram.Device
-	epoch uint32
-	tail  int // next journal append offset
+	dev     *nvram.Device
+	epoch   uint32
+	seedCRC uint32 // crc32 of the little-endian epoch, recomputed per epoch
+	tail    int    // next journal append offset
+
+	// rec is the journal-record scratch buffer: journaling is strictly
+	// sequential per table, and the device copies the bytes, so one
+	// buffer serves every append without escaping to the heap.
+	rec [EntryBytes]byte
+
+	// freedScratch backs the slices returned by Set/Unset/dropMapping;
+	// it is valid only until the table's next mutating call.
+	freedScratch []alloc.PBA
 }
 
 type mapping struct {
@@ -69,20 +302,38 @@ type mapping struct {
 // volatile table (used by engines that do not model persistence).
 func New(dev *nvram.Device) *Table {
 	t := &Table{
-		m:    make(map[uint64]mapping),
-		refs: make(map[alloc.PBA]int32),
-		pins: make(map[alloc.PBA]int32),
 		dev:  dev,
 		tail: headerBytes,
 	}
+	t.seedCRC = epochSeedCRC(t.epoch)
 	if dev != nil {
 		t.writeHeader()
 	}
 	return t
 }
 
+// epochSeedCRC seeds the record CRC with the journal epoch so stale
+// records from an earlier generation can never pass validation. The
+// seed depends only on the epoch, so it is computed once per epoch
+// rather than once per record.
+func epochSeedCRC(epoch uint32) uint32 {
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], epoch)
+	return crc32.ChecksumIEEE(seed[:])
+}
+
 // Len reports the number of mapped LBAs.
-func (t *Table) Len() int { return len(t.m) }
+func (t *Table) Len() int { return t.m.n }
+
+// Release returns the table's pages to the process-wide pools; the
+// table must not be used afterwards. The replay harness calls it at
+// engine teardown via engine.Base.Release.
+func (t *Table) Release() {
+	t.m.release()
+	t.refs.release()
+	t.pins.release()
+	t.rev = nil
+}
 
 // EnableReverseIndex starts maintaining the PBA → LBAs reverse index
 // (required by Referrers), building it from any existing mappings —
@@ -92,9 +343,10 @@ func (t *Table) EnableReverseIndex() {
 		return
 	}
 	t.rev = make(map[alloc.PBA]map[uint64]struct{})
-	for lba, mp := range t.m {
-		t.revAdd(mp.pba, lba)
-	}
+	t.m.each(func(lba, v uint64) bool {
+		t.revAdd(decodeMapping(v).pba, lba)
+		return true
+	})
 }
 
 // Referrers returns the LBAs currently mapped to pba. It panics unless
@@ -113,8 +365,12 @@ func (t *Table) Referrers(pba alloc.PBA) []uint64 {
 
 // LookupFull returns the mapping and its shared flag.
 func (t *Table) LookupFull(lba uint64) (pba alloc.PBA, shared, ok bool) {
-	mp, ok := t.m[lba]
-	return mp.pba, mp.shared, ok
+	v := t.m.get(lba)
+	if v == 0 {
+		return 0, false, false
+	}
+	mp := decodeMapping(v)
+	return mp.pba, mp.shared, true
 }
 
 func (t *Table) revAdd(pba alloc.PBA, lba uint64) {
@@ -157,29 +413,35 @@ func (t *Table) PeakNVRAMBytes() int64 { return t.peak * EntryBytes }
 
 // Lookup returns the physical block backing lba.
 func (t *Table) Lookup(lba uint64) (alloc.PBA, bool) {
-	mp, ok := t.m[lba]
-	return mp.pba, ok
+	v := t.m.get(lba)
+	if v == 0 {
+		return 0, false
+	}
+	return alloc.PBA(v & pbaMask), true
 }
 
 // RefCount reports the logical-reference count of pba (pins excluded).
-func (t *Table) RefCount(pba alloc.PBA) int { return int(t.refs[pba]) }
+func (t *Table) RefCount(pba alloc.PBA) int { return int(t.refs.get(uint64(pba))) }
 
 // Pinned reports whether the hot index currently pins pba.
-func (t *Table) Pinned(pba alloc.PBA) bool { return t.pins[pba] > 0 }
+func (t *Table) Pinned(pba alloc.PBA) bool { return t.pins.get(uint64(pba)) > 0 }
 
 // Set maps lba to pba. shared marks mappings created by deduplication
 // (the data was not written; it references a pre-existing copy). The
 // returned slice lists physical blocks whose last reference disappeared
-// with this update — the caller returns them to the allocator.
+// with this update — the caller returns them to the allocator. The
+// slice aliases table-owned scratch and is valid only until the next
+// mutating call (Set/Unset/Compact/Load); callers must consume it
+// immediately rather than retain it.
 func (t *Table) Set(lba uint64, pba alloc.PBA, shared bool) []alloc.PBA {
 	if uint64(pba) > pbaMask {
 		panic(fmt.Sprintf("maptable: pba %d exceeds encodable range", pba))
 	}
-	if mp, ok := t.m[lba]; ok && mp.pba == pba {
+	if v := t.m.get(lba); v != 0 && alloc.PBA(v&pbaMask) == pba {
 		// same-location update: never let the refcount dip to zero
 		// transiently (the block is still mapped)
-		if mp.shared != shared {
-			if mp.shared {
+		if wasShared := v&encShared != 0; wasShared != shared {
+			if wasShared {
 				t.shared--
 			} else {
 				t.shared++
@@ -187,14 +449,14 @@ func (t *Table) Set(lba uint64, pba alloc.PBA, shared bool) []alloc.PBA {
 					t.peak = t.shared
 				}
 			}
-			t.m[lba] = mapping{pba: pba, shared: shared}
+			t.m.set(lba, encodeMapping(mapping{pba: pba, shared: shared}))
 		}
 		t.journal(lba, uint64(pba), shared, false)
 		return nil
 	}
 	freed := t.dropMapping(lba)
-	t.m[lba] = mapping{pba: pba, shared: shared}
-	t.refs[pba]++
+	t.m.set(lba, encodeMapping(mapping{pba: pba, shared: shared}))
+	t.refs.add(uint64(pba), 1)
 	t.revAdd(pba, lba)
 	if shared {
 		t.shared++
@@ -207,6 +469,8 @@ func (t *Table) Set(lba uint64, pba alloc.PBA, shared bool) []alloc.PBA {
 }
 
 // Unset removes lba's mapping, returning any block freed by the update.
+// The returned slice follows Set's scratch-ownership rule: valid only
+// until the next mutating call.
 func (t *Table) Unset(lba uint64) []alloc.PBA {
 	freed := t.dropMapping(lba)
 	t.journal(lba, 0, false, true)
@@ -214,25 +478,27 @@ func (t *Table) Unset(lba uint64) []alloc.PBA {
 }
 
 // dropMapping removes lba's current mapping (if any) and returns the
-// PBA if its reference count reached zero and it is unpinned.
+// PBA if its reference count reached zero and it is unpinned. The
+// returned slice aliases freedScratch.
 func (t *Table) dropMapping(lba uint64) []alloc.PBA {
-	mp, ok := t.m[lba]
-	if !ok {
+	v := t.m.get(lba)
+	if v == 0 {
 		return nil
 	}
-	delete(t.m, lba)
+	mp := decodeMapping(v)
+	t.m.del(lba)
 	t.revRemove(mp.pba, lba)
 	if mp.shared {
 		t.shared--
 	}
-	t.refs[mp.pba]--
-	if t.refs[mp.pba] < 0 {
+	left := t.refs.add(uint64(mp.pba), -1)
+	if left < 0 {
 		panic("maptable: negative refcount")
 	}
-	if t.refs[mp.pba] == 0 {
-		delete(t.refs, mp.pba)
-		if t.pins[mp.pba] == 0 {
-			return []alloc.PBA{mp.pba}
+	if left == 0 {
+		if t.pins.get(uint64(mp.pba)) == 0 {
+			t.freedScratch = append(t.freedScratch[:0], mp.pba)
+			return t.freedScratch
 		}
 	}
 	return nil
@@ -245,28 +511,35 @@ func (t *Table) dropMapping(lba uint64) []alloc.PBA {
 // returns a descriptive error for the first violation found, or nil.
 // Exposed for property tests over the m-to-1 mapping.
 func (t *Table) CheckConsistency() error {
-	refs := make(map[alloc.PBA]int32, len(t.refs))
+	refs := make(map[alloc.PBA]int32, t.refs.n)
 	var shared int64
-	for lba, mp := range t.m {
+	var bad error
+	t.m.each(func(lba, v uint64) bool {
+		mp := decodeMapping(v)
 		refs[mp.pba]++
 		if mp.shared {
 			shared++
 		}
 		if t.rev != nil {
 			if _, ok := t.rev[mp.pba][lba]; !ok {
-				return fmt.Errorf("maptable: lba %d -> pba %d missing from reverse index", lba, mp.pba)
+				bad = fmt.Errorf("maptable: lba %d -> pba %d missing from reverse index", lba, mp.pba)
+				return false
 			}
 		}
+		return true
+	})
+	if bad != nil {
+		return bad
 	}
 	if shared != t.shared {
 		return fmt.Errorf("maptable: shared counter %d, but %d mappings carry the flag", t.shared, shared)
 	}
-	if len(refs) != len(t.refs) {
-		return fmt.Errorf("maptable: %d referenced blocks, refcount table has %d", len(refs), len(t.refs))
+	if len(refs) != t.refs.n {
+		return fmt.Errorf("maptable: %d referenced blocks, refcount table has %d", len(refs), t.refs.n)
 	}
 	for pba, n := range refs {
-		if t.refs[pba] != n {
-			return fmt.Errorf("maptable: pba %d refcount %d, but %d mappings reference it", pba, t.refs[pba], n)
+		if t.refs.get(uint64(pba)) != n {
+			return fmt.Errorf("maptable: pba %d refcount %d, but %d mappings reference it", pba, t.refs.get(uint64(pba)), n)
 		}
 	}
 	if t.rev != nil {
@@ -274,8 +547,8 @@ func (t *Table) CheckConsistency() error {
 		for _, set := range t.rev {
 			total += len(set)
 		}
-		if total != len(t.m) {
-			return fmt.Errorf("maptable: reverse index holds %d entries, forward map %d", total, len(t.m))
+		if total != t.m.n {
+			return fmt.Errorf("maptable: reverse index holds %d entries, forward map %d", total, t.m.n)
 		}
 	}
 	return nil
@@ -283,26 +556,24 @@ func (t *Table) CheckConsistency() error {
 
 // Each visits every live mapping; return false from fn to stop early.
 func (t *Table) Each(fn func(lba uint64, pba alloc.PBA, shared bool) bool) {
-	for lba, mp := range t.m {
-		if !fn(lba, mp.pba, mp.shared) {
-			return
-		}
-	}
+	t.m.each(func(lba, v uint64) bool {
+		mp := decodeMapping(v)
+		return fn(lba, mp.pba, mp.shared)
+	})
 }
 
 // Pin adds an index-cache pin to pba, protecting it from reclamation.
-func (t *Table) Pin(pba alloc.PBA) { t.pins[pba]++ }
+func (t *Table) Pin(pba alloc.PBA) { t.pins.add(uint64(pba), 1) }
 
 // Unpin drops an index pin. It returns true when the block became
 // reclaimable (no pins, no logical references) — the caller frees it.
 func (t *Table) Unpin(pba alloc.PBA) bool {
-	t.pins[pba]--
-	if t.pins[pba] < 0 {
+	left := t.pins.add(uint64(pba), -1)
+	if left < 0 {
 		panic("maptable: negative pin count")
 	}
-	if t.pins[pba] == 0 {
-		delete(t.pins, pba)
-		return t.refs[pba] == 0
+	if left == 0 {
+		return t.refs.get(uint64(pba)) == 0
 	}
 	return false
 }
@@ -317,13 +588,26 @@ func (t *Table) writeHeader() {
 	_ = t.dev.WriteAt(0, hdr[:]) // a crashed device keeps the old header
 }
 
-func encodeRecord(buf *[EntryBytes]byte, epoch uint32, lba, pbaFlags uint64) {
+// recordSum is the per-record checksum: a murmur-style finalizer over
+// the record words and the epoch seed. The byte-wise CRC32 it replaces
+// cost ~3% of a full podbench run; the finalizer detects the same torn
+// and stale records (any flipped bit avalanches through the mix) in a
+// handful of ALU ops, and the journal format carries no compatibility
+// burden — journal and Load always come from the same build.
+func recordSum(seed uint32, lba, pbaFlags uint64) uint32 {
+	x := lba*0x9e3779b97f4a7c15 ^ pbaFlags ^ uint64(seed)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}
+
+func encodeRecord(buf *[EntryBytes]byte, seedCRC uint32, lba, pbaFlags uint64) {
 	binary.LittleEndian.PutUint64(buf[0:], lba)
 	binary.LittleEndian.PutUint64(buf[8:], pbaFlags)
-	var seed [4]byte
-	binary.LittleEndian.PutUint32(seed[:], epoch)
-	crc := crc32.Update(crc32.ChecksumIEEE(seed[:]), crc32.IEEETable, buf[0:16])
-	binary.LittleEndian.PutUint32(buf[16:], crc)
+	binary.LittleEndian.PutUint32(buf[16:], recordSum(seedCRC, lba, pbaFlags))
 }
 
 func (t *Table) journal(lba, pba uint64, shared, unset bool) {
@@ -341,12 +625,11 @@ func (t *Table) journal(lba, pba uint64, shared, unset bool) {
 		t.Compact()
 		if t.tail+EntryBytes > t.dev.Size() {
 			panic(fmt.Sprintf("maptable: NVRAM too small: %d live entries need %d bytes, have %d",
-				len(t.m), headerBytes+(len(t.m)+1)*EntryBytes, t.dev.Size()))
+				t.m.n, headerBytes+(t.m.n+1)*EntryBytes, t.dev.Size()))
 		}
 	}
-	var rec [EntryBytes]byte
-	encodeRecord(&rec, t.epoch, lba, pf)
-	_ = t.dev.WriteAt(t.tail, rec[:]) // crash mid-record leaves a torn tail; recovery discards it
+	encodeRecord(&t.rec, t.seedCRC, lba, pf)
+	_ = t.dev.WriteAt(t.tail, t.rec[:]) // crash mid-record leaves a torn tail; recovery discards it
 	t.tail += EntryBytes
 }
 
@@ -357,9 +640,11 @@ func (t *Table) Compact() {
 		return
 	}
 	t.epoch++
+	t.seedCRC = epochSeedCRC(t.epoch)
 	t.writeHeader()
 	t.tail = headerBytes
-	for lba, mp := range t.m {
+	t.m.each(func(lba, v uint64) bool {
+		mp := decodeMapping(v)
 		pf := uint64(mp.pba)
 		if mp.shared {
 			pf |= flagShared
@@ -367,11 +652,11 @@ func (t *Table) Compact() {
 		if t.tail+EntryBytes > t.dev.Size() {
 			panic("maptable: NVRAM too small for live snapshot")
 		}
-		var rec [EntryBytes]byte
-		encodeRecord(&rec, t.epoch, lba, pf)
-		_ = t.dev.WriteAt(t.tail, rec[:])
+		encodeRecord(&t.rec, t.seedCRC, lba, pf)
+		_ = t.dev.WriteAt(t.tail, t.rec[:])
 		t.tail += EntryBytes
-	}
+		return true
+	})
 }
 
 // JournalTail reports the current append offset (for tests and space
@@ -397,16 +682,11 @@ func Load(dev *nvram.Device) (*Table, int, error) {
 	epoch := binary.LittleEndian.Uint32(hdr[4:])
 
 	t := &Table{
-		m:     make(map[uint64]mapping),
-		refs:  make(map[alloc.PBA]int32),
-		pins:  make(map[alloc.PBA]int32),
 		dev:   dev,
 		epoch: epoch,
 		tail:  headerBytes,
 	}
-	var seed [4]byte
-	binary.LittleEndian.PutUint32(seed[:], epoch)
-	seedCRC := crc32.ChecksumIEEE(seed[:])
+	t.seedCRC = epochSeedCRC(epoch)
 
 	applied := 0
 	var rec [EntryBytes]byte
@@ -415,19 +695,19 @@ func Load(dev *nvram.Device) (*Table, int, error) {
 			break
 		}
 		want := binary.LittleEndian.Uint32(rec[16:])
-		if crc32.Update(seedCRC, crc32.IEEETable, rec[0:16]) != want {
-			break // torn or stale record: stop at the consistent prefix
-		}
 		lba := binary.LittleEndian.Uint64(rec[0:])
 		pf := binary.LittleEndian.Uint64(rec[8:])
+		if recordSum(t.seedCRC, lba, pf) != want {
+			break // torn or stale record: stop at the consistent prefix
+		}
 		if pf&flagUnset != 0 {
 			t.dropMapping(lba)
 		} else {
 			t.dropMapping(lba)
 			shared := pf&flagShared != 0
 			pba := alloc.PBA(pf & pbaMask)
-			t.m[lba] = mapping{pba: pba, shared: shared}
-			t.refs[pba]++
+			t.m.set(lba, encodeMapping(mapping{pba: pba, shared: shared}))
+			t.refs.add(uint64(pba), 1)
 			if shared {
 				t.shared++
 			}

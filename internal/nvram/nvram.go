@@ -17,16 +17,21 @@ import (
 // ErrCrashed is returned by writes after the injected crash point.
 var ErrCrashed = errors.New("nvram: device crashed (injected fault)")
 
-// Device is a fixed-size persistent byte region. The backing buffer
-// grows lazily up to the logical size: the Map-table journal appends
-// sequentially from offset zero, so most of a generously sized device
-// is never touched, and zeroing it eagerly at construction used to be
-// one of the largest allocation costs of a full experiment run. Bytes
-// past the grown region read as zero, exactly as a freshly zeroed
-// buffer would.
+const (
+	slabShift = 16 // 64 KiB slabs
+	slabSize  = 1 << slabShift
+)
+
+// Device is a fixed-size persistent byte region. The backing store is a
+// sparse array of fixed-size slabs allocated on first write: the
+// Map-table journal appends sequentially from offset zero, so most of a
+// generously sized device is never touched, and neither eager zeroing
+// nor geometric-doubling copies are ever paid — a slab, once allocated,
+// is never moved. Bytes in never-written slabs read as zero, exactly as
+// a freshly zeroed buffer would.
 type Device struct {
-	size int
-	data []byte // grown on demand, len(data) <= size
+	size  int
+	slabs [][]byte // nil until first write to the slab's range
 
 	crashed     bool
 	crashArmed  bool
@@ -38,37 +43,40 @@ type Device struct {
 
 // New returns a zeroed device of the given size.
 func New(size int) *Device {
-	return &Device{size: size}
+	return &Device{
+		size:  size,
+		slabs: make([][]byte, (size+slabSize-1)/slabSize),
+	}
 }
 
 // Size reports the device capacity in bytes.
 func (d *Device) Size() int { return d.size }
 
-// grow extends the backing buffer to at least n bytes (geometric
-// doubling bounds the amortized zeroing cost).
-func (d *Device) grow(n int) {
-	if n <= len(d.data) {
-		return
+// slab returns the backing slab for index i, allocating it on first
+// write. The final slab is trimmed to the device size.
+func (d *Device) slab(i int) []byte {
+	s := d.slabs[i]
+	if s == nil {
+		n := slabSize
+		if rem := d.size - i<<slabShift; rem < n {
+			n = rem
+		}
+		s = make([]byte, n)
+		d.slabs[i] = s
 	}
-	if n <= cap(d.data) {
-		// the region between len and cap was zeroed at allocation and
-		// never written (writes land only below len)
-		d.data = d.data[:n]
-		return
+	return s
+}
+
+// store copies p to off, allocating slabs as needed. Bounds are checked
+// by the caller.
+func (d *Device) store(off int, p []byte) {
+	for len(p) > 0 {
+		i := off >> slabShift
+		s := d.slab(i)
+		n := copy(s[off-i<<slabShift:], p)
+		p = p[n:]
+		off += n
 	}
-	newCap := 2 * cap(d.data)
-	if newCap < n {
-		newCap = n
-	}
-	if newCap < 4096 {
-		newCap = 4096
-	}
-	if newCap > d.size {
-		newCap = d.size
-	}
-	nd := make([]byte, n, newCap)
-	copy(nd, d.data)
-	d.data = nd
 }
 
 // BytesWritten reports the cumulative bytes accepted.
@@ -109,8 +117,7 @@ func (d *Device) WriteAt(off int, p []byte) error {
 	n := len(p)
 	if d.crashArmed && int64(n) > d.bytesToLive {
 		n = int(d.bytesToLive)
-		d.grow(off + n)
-		copy(d.data[off:], p[:n])
+		d.store(off, p[:n])
 		d.bytesWritten += int64(n)
 		if n > 0 {
 			d.writeOps++
@@ -120,8 +127,7 @@ func (d *Device) WriteAt(off int, p []byte) error {
 		d.bytesToLive = 0
 		return ErrCrashed
 	}
-	d.grow(off + n)
-	copy(d.data[off:], p)
+	d.store(off, p)
 	d.bytesWritten += int64(n)
 	if n > 0 {
 		d.writeOps++
@@ -138,14 +144,28 @@ func (d *Device) ReadAt(off int, p []byte) error {
 	if off < 0 || off+len(p) > d.size {
 		return fmt.Errorf("nvram: read out of range: [%d,%d) size %d", off, off+len(p), d.size)
 	}
-	n := 0
-	if off < len(d.data) {
-		n = copy(p, d.data[off:])
-	}
-	// beyond the grown region the device reads as zero; p may be a
-	// reused scratch buffer, so the tail must be cleared explicitly
-	for i := n; i < len(p); i++ {
-		p[i] = 0
+	for len(p) > 0 {
+		i := off >> slabShift
+		base := i << slabShift
+		end := base + slabSize
+		if end > d.size {
+			end = d.size
+		}
+		span := end - off
+		if span > len(p) {
+			span = len(p)
+		}
+		if s := d.slabs[i]; s != nil {
+			copy(p[:span], s[off-base:])
+		} else {
+			// never-written slab reads as zero; p may be a reused
+			// scratch buffer, so clear it explicitly
+			for j := 0; j < span; j++ {
+				p[j] = 0
+			}
+		}
+		p = p[span:]
+		off += span
 	}
 	return nil
 }

@@ -114,6 +114,40 @@ func (t *Tracker) WriteJSON(path, label string, scale float64) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// MergeJSON appends this tracker's entries to the trajectory already
+// at path, so independent runs (e.g. a podload shard sweep after a
+// podbench regen) accumulate into one file. When path does not exist
+// it behaves like WriteJSON; when it does, the existing run context
+// (label, scale, Go version) is kept and only entries/total grow.
+func (t *Tracker) MergeJSON(path, label string, scale float64) error {
+	traj := t.Trajectory(label, scale)
+	if prev, err := ReadJSON(path); err == nil {
+		prev.Entries = append(prev.Entries, traj.Entries...)
+		prev.TotalMS += traj.TotalMS
+		traj = *prev
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	b, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadJSON loads a trajectory previously written by WriteJSON.
+func ReadJSON(path string) (*Trajectory, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(b, &traj); err != nil {
+		return nil, err
+	}
+	return &traj, nil
+}
+
 // PeakRSSKB reports the process's high-water resident set in KB from
 // /proc/self/status (VmHWM). On platforms without procfs it falls back
 // to the Go heap's OS reservation, which undercounts but preserves

@@ -68,6 +68,13 @@ type Array struct {
 	rebuildLast sim.Time
 	rebuildStep sim.Duration
 
+	// segScratch backs the segment slices built by split. Arrays are
+	// driven by a single goroutine (replay is single-threaded per
+	// engine; the serving layer serializes per shard), and Read/Write
+	// fully consume their segments before returning, so one buffer per
+	// array is safe.
+	segScratch []segment
+
 	// accounting
 	logicalReads, logicalWrites int64
 	diskIOs                     int64
@@ -332,10 +339,11 @@ func (a *Array) diskFor(stripe uint64, du int) int {
 	return (p + 1 + du) % len(a.disks)
 }
 
-// split decomposes the logical run [start, start+n) into segments.
+// split decomposes the logical run [start, start+n) into segments. The
+// returned slice aliases segScratch and is valid until the next split.
 func (a *Array) split(start, n uint64) []segment {
 	dps := uint64(a.DataDisksPerStripe())
-	segs := make([]segment, 0, n/a.unit+2)
+	segs := a.segScratch[:0]
 	for n > 0 {
 		u := start / a.unit      // global data-unit index
 		inUnit := start % a.unit // offset within unit
@@ -357,6 +365,7 @@ func (a *Array) split(start, n uint64) []segment {
 		start += ln
 		n -= ln
 	}
+	a.segScratch = segs
 	return segs
 }
 

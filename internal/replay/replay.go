@@ -27,6 +27,15 @@ type Flusher interface {
 	Flush(now sim.Time)
 }
 
+// Releaser is implemented by engines whose substrates draw on pooled
+// resources (the content model's page arenas). runJob invokes it after
+// the replay's result has been extracted — the engine never escapes a
+// pool job, so its arenas can be recycled immediately. Callers of the
+// serial Run keep their engine and must release (or not) themselves.
+type Releaser interface {
+	Release()
+}
+
 // Result summarizes one replay.
 type Result struct {
 	Engine string
@@ -170,8 +179,64 @@ func runJob(j Job) (res *Result) {
 	if j.TraceFn != nil {
 		tr, warmup = j.TraceFn()
 	}
-	return run(j.Factory(), tr, warmup, j.TraceEvery, nil)
+	e := j.Factory()
+	res = run(e, tr, warmup, j.TraceEvery, nil)
+	if r, ok := e.(Releaser); ok {
+		r.Release()
+	}
+	return res
 }
+
+// Pool is a persistent replay worker pool: its workers start once and
+// service batches from many Run calls, so a driver that schedules
+// figure after figure reuses one set of workers (and their warmed
+// allocator state) instead of spawning a fresh pool per figure. Run is
+// safe for concurrent use — batches interleave over the same workers.
+type Pool struct {
+	tasks chan poolTask
+}
+
+type poolTask struct {
+	job  Job
+	slot **Result
+	wg   *sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers (≤ 0 selects
+// one). The workers idle on a channel between batches; Close releases
+// them.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan poolTask)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for t := range p.tasks {
+				*t.slot = runJob(t.job)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Run executes jobs on the pool and returns results in job order,
+// blocking until every job completes. Panicking jobs yield Results
+// with Err set, exactly like RunAll.
+func (p *Pool) Run(jobs []Job) []*Result {
+	results := make([]*Result, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i := range jobs {
+		p.tasks <- poolTask{job: jobs[i], slot: &results[i], wg: &wg}
+	}
+	wg.Wait()
+	return results
+}
+
+// Close stops the pool's workers. Run must not be called after Close.
+func (p *Pool) Close() { close(p.tasks) }
 
 // RunAll executes jobs across a pool of workers and returns results in
 // job order. workers ≤ 0 selects one worker per job. A job that panics

@@ -184,6 +184,66 @@ func TestRunAllEmpty(t *testing.T) {
 	}
 }
 
+func TestPoolReusedAcrossBatches(t *testing.T) {
+	tr := smallTrace(30)
+	p := NewPool(2)
+	defer p.Close()
+	for batch := 0; batch < 3; batch++ {
+		jobs := []Job{
+			{Key: "a", Factory: newEngine, Trace: tr, Warmup: 5},
+			{Key: "b", Factory: newEngine, Trace: tr, Warmup: 5},
+			{Key: "c", Factory: newEngine, Trace: tr, Warmup: 5},
+		}
+		results := p.Run(jobs)
+		if len(results) != 3 {
+			t.Fatalf("batch %d: %d results", batch, len(results))
+		}
+		for i, r := range results {
+			if r == nil || r.Err != nil {
+				t.Fatalf("batch %d job %d failed: %+v", batch, i, r)
+			}
+			if r.MeanRT != results[0].MeanRT {
+				t.Fatalf("batch %d: identical jobs diverged", batch)
+			}
+		}
+	}
+}
+
+func TestPoolMatchesRunAll(t *testing.T) {
+	tr := smallTrace(30)
+	jobs := func() []Job {
+		return []Job{
+			{Key: "x", Factory: newEngine, Trace: tr, Warmup: 5},
+			{Key: "y", Factory: newEngine, Trace: tr, Warmup: 10},
+		}
+	}
+	p := NewPool(0) // ≤ 0 clamps to one worker
+	defer p.Close()
+	a := p.Run(jobs())
+	b := RunAll(jobs(), 2)
+	for i := range a {
+		if a[i].MeanRT != b[i].MeanRT || a[i].UsedBlocks != b[i].UsedBlocks {
+			t.Fatalf("job %d: pool and RunAll disagree", i)
+		}
+	}
+}
+
+func TestPoolRecoversPanickingJob(t *testing.T) {
+	tr := smallTrace(12)
+	p := NewPool(1)
+	defer p.Close()
+	results := p.Run([]Job{
+		{Key: "bad", Factory: func() engine.Engine { panic("pool factory failure") }, Trace: tr},
+		{Key: "good", Factory: newEngine, Trace: tr, Warmup: 2},
+	})
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "pool factory failure") {
+		t.Fatalf("panicking job must surface its error, got %+v", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Stats.Reads+results[1].Stats.Writes == 0 {
+		t.Fatal("job after a panic must still run on the surviving worker")
+	}
+}
+
 // BenchmarkReplayHot drives the full write/read hot path — split,
 // fingerprint, index lookup, allocation, Map-table update, RAID model —
 // through a POD engine on a reusable synthetic trace. Run with

@@ -237,11 +237,14 @@ type Request = api.Request
 // Service under Passthrough.
 type Result = api.Result
 
-// envelope pairs a queued request with its optional completion channel
-// (set by Do; Submit leaves it nil).
+// envelope is one shard-queue entry: either a single request with its
+// optional completion channel (Submit leaves done nil, Do sets it), or
+// a batch of requests bound for the same shard (SubmitBatch; batches
+// never carry completion channels).
 type envelope struct {
-	req  *Request
-	done chan Result
+	req   *Request
+	done  chan Result
+	batch []*Request
 }
 
 type shard struct {
@@ -412,7 +415,7 @@ func (s *Server) worker(sh *shard) {
 	batch := make([]envelope, 0, s.cfg.MaxBatch)
 	served := 0 // within the current batch; the recover path fails the rest
 	failEnv := func(env envelope) {
-		if env.done != nil {
+		if env.done != nil && env.req != nil {
 			env.done <- Result{Shard: sh.id,
 				Err: fault.New(fault.KindUnavailable, fault.Permanent, -1, 0, sim.Time(env.req.Time))}
 		}
@@ -439,7 +442,13 @@ func (s *Server) worker(sh *shard) {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		for _, r := range batch[served:] {
-			sh.serve(r, &s.cfg)
+			if r.batch != nil {
+				for _, req := range r.batch {
+					sh.serve(envelope{req: req}, &s.cfg)
+				}
+			} else {
+				sh.serve(r, &s.cfg)
+			}
 			served++
 		}
 		sh.batches++
@@ -673,6 +682,56 @@ func (s *Server) submit(env envelope) error {
 		}
 	}
 	sh.ch <- env
+	return nil
+}
+
+// SubmitBatch routes a batch of requests in one call: the batch is
+// bucketed per destination shard, preserving order, and each shard
+// receives its whole bucket as a single queue entry — one channel
+// send (and one queue slot) per touched shard instead of one per
+// request, which is what keeps cross-shard submission off the profile
+// at high shard counts. Ownership of the slice transfers to the
+// server; the caller must not mutate or reuse the backing array until
+// the requests have been served (in practice: allocate a fresh batch
+// per call).
+//
+// The whole batch is validated before anything is enqueued; a
+// validation error rejects the batch without side effects. Under the
+// Shed policy a full shard queue drops that shard's entire bucket
+// (every dropped request is counted); other shards' buckets still
+// land. Under Block a full queue blocks the caller, exactly like
+// Submit. After Close it returns ErrClosed.
+func (s *Server) SubmitBatch(reqs []Request) error {
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
+	buckets := make([][]*Request, len(s.shards))
+	for i := range reqs {
+		sid := s.router.Shard(reqs[i].LBA)
+		buckets[sid] = append(buckets[sid], &reqs[i])
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for sid, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		env := envelope{batch: b}
+		if s.cfg.Policy == Shed {
+			select {
+			case s.shards[sid].ch <- env:
+			default:
+				atomic.AddInt64(&s.shed, int64(len(b)))
+			}
+			continue
+		}
+		s.shards[sid].ch <- env
+	}
 	return nil
 }
 

@@ -163,6 +163,105 @@ func TestConcurrentClientsDrainCompletely(t *testing.T) {
 	}
 }
 
+// TestSubmitBatchMatchesSubmit drives the same trace through two
+// identically configured servers — one via per-request Submit, one via
+// SubmitBatch — and checks the end states agree exactly: batching is a
+// submission-path optimization, never a semantic change.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	tr, prof := testTrace(t)
+	cfg := func() Config {
+		return Config{
+			Shards:     4,
+			GranChunks: 256,
+			Timing:     Queued,
+			NewEngine:  podFactory(prof),
+		}
+	}
+
+	one, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Requests {
+		if err := one.Submit(apiReq(&tr.Requests[i])); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	one.Close()
+
+	batched, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bsize = 64
+	var batch []Request
+	for i := range tr.Requests {
+		batch = append(batch, *apiReq(&tr.Requests[i]))
+		if len(batch) == bsize {
+			if err := batched.SubmitBatch(batch); err != nil {
+				t.Fatalf("batch ending at %d: %v", i, err)
+			}
+			batch = nil
+		}
+	}
+	if len(batch) > 0 {
+		if err := batched.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched.Close()
+
+	a, b := one.Stats(), batched.Stats()
+	if a.Completed != b.Completed {
+		t.Fatalf("completed: submit %d, batch %d", a.Completed, b.Completed)
+	}
+	if !reflect.DeepEqual(a.Engine, b.Engine) {
+		t.Fatalf("engine stats diverge:\n submit: %+v\n batch:  %+v", a.Engine, b.Engine)
+	}
+	if a.UsedBlocks != b.UsedBlocks {
+		t.Fatalf("used blocks: submit %d, batch %d", a.UsedBlocks, b.UsedBlocks)
+	}
+	if a.Latency.Mean() != b.Latency.Mean() || a.Latency.Percentile(99) != b.Latency.Percentile(99) {
+		t.Fatalf("latency distributions diverge: submit mean %.2f p99 %.2f, batch mean %.2f p99 %.2f",
+			a.Latency.Mean(), a.Latency.Percentile(99), b.Latency.Mean(), b.Latency.Percentile(99))
+	}
+}
+
+// TestSubmitBatchValidatesWholeBatch checks that one malformed request
+// rejects the batch before anything is enqueued.
+func TestSubmitBatchValidatesWholeBatch(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{Shards: 2, NewEngine: podFactory(prof)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Request{
+		{Op: trace.Write, LBA: 0, Content: []chunk.ContentID{1}},
+		{Op: trace.Read, LBA: 8, Chunks: 0}, // invalid: zero-length read
+	}
+	if err := srv.SubmitBatch(batch); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	srv.Close()
+	if got := srv.Stats().Completed; got != 0 {
+		t.Fatalf("%d requests served from a rejected batch", got)
+	}
+}
+
+// TestSubmitBatchAfterCloseRefused checks the closed-server path.
+func TestSubmitBatchAfterCloseRefused(t *testing.T) {
+	_, prof := testTrace(t)
+	srv, err := New(Config{Shards: 2, NewEngine: podFactory(prof)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	err = srv.SubmitBatch([]Request{{Op: trace.Read, LBA: 0, Chunks: 1}})
+	if err != ErrClosed {
+		t.Fatalf("batch after close: %v, want ErrClosed", err)
+	}
+}
+
 // TestShedPolicyBoundsQueue verifies the load-shedding backpressure
 // path: with the sole worker paused and a depth-1 queue, surplus
 // submissions must be refused with ErrShed and counted, never queued
