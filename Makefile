@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-flood bench-delta fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-flood bench-delta fuzz clean
 
 all: build vet test
 
@@ -19,6 +19,7 @@ check:
 	$(MAKE) smoke-metrics
 	$(MAKE) smoke-chaos
 	$(MAKE) smoke-bgdedup
+	$(MAKE) smoke-globalfp
 	$(MAKE) smoke-flood
 	$(MAKE) bench-delta
 
@@ -56,6 +57,19 @@ smoke-chaos:
 smoke-bgdedup:
 	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 2 -rate 500 \
 		-bgdedup -bgdedup-expect-reclaim -metrics-out /tmp/pod-bgdedup-smoke.json
+
+# Global-fingerprint-tier smoke: 8 shards with the cross-shard tier
+# enabled under the race detector, latent sector faults plus a mid-run
+# disk failure racing the hint/fold traffic, and the read-back oracle
+# plus the post-drain cross-shard pin audit (podload runs
+# Server.CheckConsistency whenever -globalfp is set, again after crash
+# recovery). -globalfp-expect-remaps makes podload exit non-zero
+# unless the tier actually recovered cross-shard duplicates, so this
+# target fails if the advertisement/remap path ever goes dead.
+smoke-globalfp:
+	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 8 -rate 500 \
+		-globalfp -globalfp-expect-remaps -chaos globalfp -chaos-seed 11 \
+		-metrics-out /tmp/pod-globalfp-smoke.json
 
 # Flood smoke: 16 shards driven far past capacity under the race
 # detector with the chaos read-back oracle enabled, so the batched

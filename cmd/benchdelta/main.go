@@ -10,25 +10,91 @@
 //	           [-max-alloc-frac 0.10] [-min-allocs 100000]
 //
 // Entries are matched by name; names present in only one file are
-// reported but never fail the check (the reference carries flood-sweep
-// entries a plain podbench run does not regenerate). The two gates are
-// deliberately asymmetric: allocation counts are deterministic for a
-// given binary and trace, so they get the tight threshold, while
-// wall-clock carries scheduler and cache noise — especially in CI,
-// where the bench run follows the full race-detector suite — so it
-// gets a looser fraction and a floor that exempts sub-second entries
-// whose relative noise dwarfs any real signal. The two trajectories
-// must be recorded at the same scale — comparing a 0.1-scale run
-// against full-scale numbers would flag nothing but the scale itself.
+// logged and skipped, never failed (the reference carries flood-sweep
+// entries a plain podbench run does not regenerate, and a new bench
+// label lands one run before its baseline is committed). The two
+// gates are deliberately asymmetric: allocation counts are
+// deterministic for a given binary and trace, so they get the tight
+// threshold, while wall-clock carries scheduler and cache noise —
+// especially in CI, where the bench run follows the full race-detector
+// suite — so it gets a looser fraction and a floor that exempts
+// sub-second entries whose relative noise dwarfs any real signal. The
+// two trajectories must be recorded at the same scale — comparing a
+// 0.1-scale run against full-scale numbers would flag nothing but the
+// scale itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/pod-dedup/pod/internal/perf"
 )
+
+// limits groups the regression thresholds compare applies.
+type limits struct {
+	maxWallFrac  float64 // allowed wall-clock regression fraction
+	maxAllocFrac float64 // allowed allocation regression fraction
+	minWallMS    float64 // ignore wall deltas on reference entries shorter than this
+	minAllocs    uint64  // ignore alloc deltas on reference entries smaller than this
+}
+
+// compare walks the new trajectory against the reference, writing the
+// per-entry report to w, and returns the number of entries that
+// regressed beyond the limits. Entries whose name has no committed
+// baseline are logged and skipped — a fresh bench label must be able
+// to land one run before its reference exists — as are reference-only
+// names. A scale mismatch is the one unconditional error: every delta
+// would be an artifact of the scale, so nothing can be compared.
+func compare(w io.Writer, refT, curT *perf.Trajectory, lim limits) (int, error) {
+	if refT.Scale != curT.Scale {
+		return 0, fmt.Errorf("scale mismatch: reference %g vs new %g", refT.Scale, curT.Scale)
+	}
+
+	refByName := make(map[string]*perf.Entry, len(refT.Entries))
+	for i := range refT.Entries {
+		e := &refT.Entries[i]
+		if _, dup := refByName[e.Name]; !dup {
+			refByName[e.Name] = e
+		}
+	}
+
+	regressions := 0
+	for i := range curT.Entries {
+		n := &curT.Entries[i]
+		r, ok := refByName[n.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchdelta: %-12s new entry (no reference) — skipped\n", n.Name)
+			continue
+		}
+		delete(refByName, n.Name)
+		if r.WallMS >= lim.minWallMS {
+			frac := n.WallMS/r.WallMS - 1
+			if frac > lim.maxWallFrac {
+				fmt.Fprintf(w, "benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%) REGRESSION\n",
+					n.Name, r.WallMS, n.WallMS, 100*frac)
+				regressions++
+			} else {
+				fmt.Fprintf(w, "benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%)\n",
+					n.Name, r.WallMS, n.WallMS, 100*frac)
+			}
+		}
+		if r.Allocs >= lim.minAllocs {
+			frac := float64(n.Allocs)/float64(r.Allocs) - 1
+			if frac > lim.maxAllocFrac {
+				fmt.Fprintf(w, "benchdelta: %-12s alloc %9d   -> %9d   (%+.1f%%) REGRESSION\n",
+					n.Name, r.Allocs, n.Allocs, 100*frac)
+				regressions++
+			}
+		}
+	}
+	for name := range refByName {
+		fmt.Fprintf(w, "benchdelta: %-12s only in reference — skipped\n", name)
+	}
+	return regressions, nil
+}
 
 func main() {
 	ref := flag.String("ref", "BENCH_replay.json", "committed reference trajectory")
@@ -53,50 +119,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
 		os.Exit(1)
 	}
-	if refT.Scale != curT.Scale {
-		fmt.Fprintf(os.Stderr, "benchdelta: scale mismatch: reference %g vs new %g\n", refT.Scale, curT.Scale)
+
+	regressions, err := compare(os.Stdout, refT, curT, limits{
+		maxWallFrac:  *maxWallFrac,
+		maxAllocFrac: *maxAllocFrac,
+		minWallMS:    *minWallMS,
+		minAllocs:    *minAllocs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
 		os.Exit(1)
-	}
-
-	refByName := make(map[string]*perf.Entry, len(refT.Entries))
-	for i := range refT.Entries {
-		e := &refT.Entries[i]
-		if _, dup := refByName[e.Name]; !dup {
-			refByName[e.Name] = e
-		}
-	}
-
-	regressions := 0
-	for i := range curT.Entries {
-		n := &curT.Entries[i]
-		r, ok := refByName[n.Name]
-		if !ok {
-			fmt.Printf("benchdelta: %-12s new entry (no reference) — skipped\n", n.Name)
-			continue
-		}
-		delete(refByName, n.Name)
-		if r.WallMS >= *minWallMS {
-			frac := n.WallMS/r.WallMS - 1
-			if frac > *maxWallFrac {
-				fmt.Printf("benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%) REGRESSION\n",
-					n.Name, r.WallMS, n.WallMS, 100*frac)
-				regressions++
-			} else {
-				fmt.Printf("benchdelta: %-12s wall  %9.1fms -> %9.1fms (%+.1f%%)\n",
-					n.Name, r.WallMS, n.WallMS, 100*frac)
-			}
-		}
-		if r.Allocs >= *minAllocs {
-			frac := float64(n.Allocs)/float64(r.Allocs) - 1
-			if frac > *maxAllocFrac {
-				fmt.Printf("benchdelta: %-12s alloc %9d   -> %9d   (%+.1f%%) REGRESSION\n",
-					n.Name, r.Allocs, n.Allocs, 100*frac)
-				regressions++
-			}
-		}
-	}
-	for name := range refByName {
-		fmt.Printf("benchdelta: %-12s only in reference — skipped\n", name)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdelta: %d regression(s) beyond wall %.0f%% / alloc %.0f%%\n",

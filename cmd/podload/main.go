@@ -90,6 +90,7 @@ import (
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
 	"github.com/pod-dedup/pod/internal/fault"
+	"github.com/pod-dedup/pod/internal/globalfp"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/perf"
 	"github.com/pod-dedup/pod/internal/server"
@@ -124,13 +125,17 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot (with sampled traces) as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the merged metrics snapshot as Prometheus text to this file")
 	traceSample := flag.Int("trace-sample", 0, "record every nth request per shard with its phase timeline (0 = off)")
-	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, or bgdedup (\"\" = none)")
+	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, bgdedup, or globalfp (\"\" = none)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault schedule and transient coin")
 	deadlineUS := flag.Int64("deadline-us", 0, "per-request virtual deadline in us (0 = none)")
 	bgDedup := flag.Bool("bgdedup", false, "attach the idle-aware background dedup scanner to every shard (POD / Select-Dedupe only)")
 	bgRate := flag.Int64("bgdedup-rate", 0, "background scanner budget, 4 KiB blocks per simulated second (0 = default)")
 	bgExpect := flag.Bool("bgdedup-expect-reclaim", false, "fail the run unless the background scanner reclaimed at least one block")
 	cleanerOn := flag.Bool("cleaner", false, "enable the background segment cleaner on every shard")
+	gfp := flag.Bool("globalfp", false, "enable the global fingerprint tier: async cross-shard dedup recovery (implies -bgdedup; needs 2-64 shards)")
+	gfpQueue := flag.Int("globalfp-queue", 0, "per-partition advertisement queue capacity (0 = default)")
+	gfpRate := flag.Int("globalfp-rate", 0, "remap folds the tier applies per shard per engine tick (0 = default)")
+	gfpExpect := flag.Bool("globalfp-expect-remaps", false, "fail the run unless the tier applied at least one cross-shard remap")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
 		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
@@ -139,6 +144,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
 		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
 		fmt.Fprintf(os.Stderr, "               [-bgdedup] [-bgdedup-rate n] [-bgdedup-expect-reclaim] [-cleaner]\n")
+		fmt.Fprintf(os.Stderr, "               [-globalfp] [-globalfp-queue n] [-globalfp-rate n] [-globalfp-expect-remaps]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -198,6 +204,34 @@ func main() {
 			// the scenario exists to exercise the scanner under faults
 			*bgDedup = true
 		}
+		if *chaosName == "globalfp" {
+			// the scenario exists to race cross-shard remaps with faults
+			*gfp = true
+		}
+	}
+	if *gfpQueue < 0 {
+		fmt.Fprintln(os.Stderr, "podload: -globalfp-queue must be >= 0")
+		os.Exit(2)
+	}
+	if *gfpRate < 0 {
+		fmt.Fprintln(os.Stderr, "podload: -globalfp-rate must be >= 0")
+		os.Exit(2)
+	}
+	if (*gfpQueue > 0 || *gfpRate > 0 || *gfpExpect) && !*gfp {
+		fmt.Fprintln(os.Stderr, "podload: -globalfp-queue/-globalfp-rate/-globalfp-expect-remaps require -globalfp")
+		os.Exit(2)
+	}
+	if *gfp {
+		if *shards < 2 {
+			fmt.Fprintln(os.Stderr, "podload: -globalfp requires at least 2 shards (the tier recovers cross-shard dedup losses; one shard has none)")
+			os.Exit(2)
+		}
+		if *shards > 64 {
+			fmt.Fprintln(os.Stderr, "podload: -globalfp supports at most 64 shards")
+			os.Exit(2)
+		}
+		// the tier's shard agents wrap the out-of-line scanner
+		*bgDedup = true
 	}
 	if *bgExpect && !*bgDedup {
 		fmt.Fprintln(os.Stderr, "podload: -bgdedup-expect-reclaim requires -bgdedup")
@@ -274,6 +308,11 @@ func main() {
 		TraceSample: *traceSample,
 		DeadlineUS:  *deadlineUS,
 		RetrySeed:   *chaosSeed,
+		GlobalFP:    *gfp,
+		GlobalFPParams: globalfp.Params{
+			QueueLen:     *gfpQueue,
+			FoldsPerTick: *gfpRate,
+		},
 		NewEngine: func(shard int) engine.Engine {
 			cfg := experiments.BuildConfig(prof, *scale)
 			cfg.Cleaner = engine.CleanerParams{Enabled: *cleanerOn}
@@ -487,6 +526,31 @@ func main() {
 			}
 		}
 	}
+	if *gfp {
+		g := snap.Metrics.Gauges
+		fmt.Printf("globalfp: ads queued=%d dropped=%d | dups detected=%d hints broadcast=%d installed=%d | table entries=%d fixes=%d\n",
+			g["globalfp_ads_queued"], g["globalfp_ads_dropped"],
+			g["globalfp_dups_detected"], g["globalfp_hints_broadcast"], g["globalfp_hints_installed"],
+			g["globalfp_table_entries"], g["globalfp_table_fixes"])
+		fmt.Printf("globalfp: remaps applied=%d rejected=%d reclaimed=%d blocks | pins granted=%d rejects=%d | recalls %d sent %d done\n",
+			g["globalfp_remaps_applied"], g["globalfp_remaps_rejected"], g["globalfp_reclaimed_blocks"],
+			g["globalfp_pins_granted"], g["globalfp_pin_rejects"],
+			g["globalfp_recalls_sent"], g["globalfp_recalls_done"])
+		fmt.Printf("globalfp: remote inline dedupes=%d remote reads=%d\n",
+			snap.Engine.RemoteDeduped, snap.Engine.RemoteReads)
+		if *gfpExpect && g["globalfp_remaps_applied"] == 0 && snap.Engine.RemoteDeduped == 0 {
+			fmt.Fprintln(os.Stderr, "podload: -globalfp-expect-remaps: tier neither folded a duplicate nor enabled a remote inline dedupe")
+			os.Exit(1)
+		}
+		// The cross-shard audit: every remote reference targets a live,
+		// correctly pinned canonical. Runs post-Close, so settlement has
+		// quiesced the protocol.
+		if cerr := srv.CheckConsistency(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "podload: globalfp consistency: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Println("globalfp: cross-shard consistency PASS")
+	}
 
 	// --- chaos verdict ---
 	if oracle != nil {
@@ -559,6 +623,14 @@ func main() {
 					os.Exit(1)
 				}
 			}
+			if *gfp {
+				// re-audit cross-shard references against the recovered
+				// pin state (ref pins only; hinted pins are volatile)
+				if cerr := srv.CheckConsistency(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "podload: globalfp consistency after recovery: %v\n", cerr)
+					os.Exit(1)
+				}
+			}
 			fmt.Printf("chaos recovery: %d journal records replayed, %d blocks re-verified, consistency PASS\n",
 				rec, checked2)
 		}
@@ -611,18 +683,19 @@ func main() {
 
 	if *benchJSON != "" {
 		for k, v := range map[string]float64{
-			"shards":           float64(*shards),
-			"clients":          float64(*clients),
-			"rate_rps":         *rate,
-			"completed":        float64(snap.Completed),
-			"shed":             float64(snap.ShedCount),
-			"throughput_sim":   simTput,
-			"throughput_wall":  wallRPS,
-			"p50_sojourn_us":   p50,
-			"p95_sojourn_us":   p95,
-			"p99_sojourn_us":   p99,
-			"mean_sojourn_us":  snap.Latency.Mean(),
-			"gomaxprocs_value": float64(runtime.GOMAXPROCS(0)),
+			"shards":             float64(*shards),
+			"clients":            float64(*clients),
+			"rate_rps":           *rate,
+			"completed":          float64(snap.Completed),
+			"shed":               float64(snap.ShedCount),
+			"throughput_sim":     simTput,
+			"throughput_wall":    wallRPS,
+			"p50_sojourn_us":     p50,
+			"p95_sojourn_us":     p95,
+			"p99_sojourn_us":     p99,
+			"mean_sojourn_us":    snap.Latency.Mean(),
+			"gomaxprocs_value":   float64(runtime.GOMAXPROCS(0)),
+			"writes_removed_pct": snap.Engine.WriteRemovalPct(),
 		} {
 			track.Annotate(k, v)
 		}

@@ -1,0 +1,47 @@
+package alloc
+
+import "fmt"
+
+// Remote-encoded PBAs let one shard's Map table reference a canonical
+// physical block owned by another shard, which is how the global
+// fingerprint tier folds cross-shard duplicates without copying data.
+// The encoding rides inside the 62-bit PBA space the Map table already
+// journals (maptable reserves bits 62–63 for its present/shared flags),
+// so remote references persist and recover through the existing
+// journaled Map.Set path with no new record format:
+//
+//	bit  61     remote flag
+//	bits 32–60  owning shard index
+//	bits 0–31   canonical PBA on the owning shard
+//
+// A shard's allocatable data region is far below 2^32 blocks, and the
+// serving layer far below 2^29 shards, so the split loses nothing.
+// Remote-encoded values must never reach the local allocator, content
+// store, or RAID array — engine.Base branches on IsRemote before every
+// such use.
+const (
+	remoteBit        = PBA(1) << 61
+	remoteShardShift = 32
+	remoteLocalMask  = PBA(1)<<remoteShardShift - 1
+)
+
+// MakeRemote encodes a reference to canonical block pba on the given
+// shard.
+func MakeRemote(shard int, pba PBA) PBA {
+	if pba > remoteLocalMask {
+		panic(fmt.Sprintf("alloc: canonical pba %d exceeds remote-encodable range", pba))
+	}
+	if shard < 0 || PBA(shard) > (remoteBit>>remoteShardShift)-1 {
+		panic(fmt.Sprintf("alloc: shard %d exceeds remote-encodable range", shard))
+	}
+	return remoteBit | PBA(shard)<<remoteShardShift | pba
+}
+
+// IsRemote reports whether pba is a remote-encoded canonical reference.
+func IsRemote(pba PBA) bool { return pba&remoteBit != 0 }
+
+// RemoteParts decodes a remote-encoded reference into the owning shard
+// and the canonical PBA local to that shard.
+func RemoteParts(pba PBA) (shard int, canon PBA) {
+	return int((pba &^ remoteBit) >> remoteShardShift), pba & remoteLocalMask
+}

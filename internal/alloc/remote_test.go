@@ -1,0 +1,42 @@
+package alloc
+
+import "testing"
+
+func TestRemoteEncodingRoundTrip(t *testing.T) {
+	cases := []struct {
+		shard int
+		pba   PBA
+	}{
+		{0, 0}, {1, 1}, {63, 1<<32 - 1}, {7, 123456}, {29, 42},
+	}
+	for _, c := range cases {
+		enc := MakeRemote(c.shard, c.pba)
+		if !IsRemote(enc) {
+			t.Fatalf("MakeRemote(%d, %d) = %d: not flagged remote", c.shard, c.pba, enc)
+		}
+		shard, pba := RemoteParts(enc)
+		if shard != c.shard || pba != c.pba {
+			t.Fatalf("RemoteParts(MakeRemote(%d, %d)) = (%d, %d)", c.shard, c.pba, shard, pba)
+		}
+	}
+	if IsRemote(12345) {
+		t.Fatal("plain PBA flagged remote")
+	}
+}
+
+func TestMakeRemoteRejectsOutOfRange(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MakeRemote(-1, 0) },
+		func() { MakeRemote(1<<29, 0) },
+		func() { MakeRemote(0, PBA(1)<<32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range encode did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -201,6 +201,49 @@ func (c *Core) ScanBlock(pba alloc.PBA, id chunk.ContentID) (remapped, reclaimed
 	return remapped, reclaimed
 }
 
+// FoldRemote is the remap-candidate intake of the global fingerprint
+// tier: it merges a local duplicate copy onto a cross-shard canonical
+// through the same revalidated path the cursor sweep uses. The
+// candidate may be arbitrarily stale, so everything is re-checked at
+// apply time — the duplicate must still be a live, referenced local
+// block holding exactly the advertised content (re-read through the
+// array in virtual time, so background I/O shares the disk queues and
+// injected faults abort the candidate harmlessly; re-hashed against
+// the advertised fingerprint). Every referrer is then rewired onto the
+// remote canonical via the journaled Map.Set path, handing the local
+// refcount to the remote reference and freeing the duplicate. Returns
+// the LBAs rewired, the physical blocks reclaimed, and whether the
+// candidate survived revalidation.
+func (c *Core) FoldRemote(now sim.Time, dup alloc.PBA, fp chunk.Fingerprint, canon alloc.PBA) (remapped, reclaimed int, ok bool) {
+	id, live := c.b.Store.Read(dup)
+	if !live || c.b.Map.RefCount(dup) == 0 {
+		return 0, 0, false
+	}
+	ch := chunk.Chunk{Content: id}
+	if fper.Fingerprint(&ch) != fp {
+		return 0, 0, false
+	}
+	if _, err := c.b.Array.Read(now, uint64(dup), 1); err != nil {
+		return 0, 0, false
+	}
+	c.b.St.SwapInIOs++ // accounted as background I/O
+	c.scanned++
+	c.dupBlocks++
+
+	refs := c.b.Map.Referrers(dup)
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	before := c.b.Alloc.Used()
+	for _, lba := range refs {
+		c.b.SetRemoteRef(lba, canon)
+		remapped++
+	}
+	reclaimed = int(before - c.b.Alloc.Used())
+	c.remapped += int64(remapped)
+	c.reclaimed += int64(reclaimed)
+	c.b.St.NVRAMPeakBytes = c.b.Map.PeakNVRAMBytes()
+	return remapped, reclaimed, true
+}
+
 // seqScore counts how many of a block's referrers have a logical
 // neighbour mapped to the corresponding physical neighbour — the
 // "sequentially stored" property Select-Dedupe's classifier tests.

@@ -104,6 +104,12 @@ func Attach(e engine.Engine, p Params) (*Scanner, bool) {
 	return New(h.Base(), p), true
 }
 
+// Core exposes the scanner's merge machinery; the global fingerprint
+// tier's shard agent drives FoldRemote through it, so cross-shard
+// remap candidates share the cursor sweep's revalidation, counters,
+// and fingerprint table.
+func (s *Scanner) Core() *Core { return s.core }
+
 // Stats reports the scanner's lifetime progress.
 type Stats struct {
 	Steps, Wraps, ScanIOs              int64

@@ -27,7 +27,7 @@ import (
 
 // Scenarios returns the known scenario names.
 func Scenarios() []string {
-	return []string{"sector", "diskfail", "storm", "limp", "full", "bgdedup"}
+	return []string{"sector", "diskfail", "storm", "limp", "full", "bgdedup", "globalfp"}
 }
 
 // Build compiles a named scenario for one array: ndisks spindles of
@@ -93,6 +93,16 @@ func Build(name string, ndisks int, perDisk uint64, horizon sim.Time, seed uint6
 		sectors()
 		s.Fails = append(s.Fails, fault.DiskFail{Disk: ndisks - 1, At: horizon / 2})
 		storm(horizon*5/8, horizon*7/8, 100)
+	case "globalfp":
+		// cross-shard remap traffic racing faults: latent sectors from
+		// the start (fold revalidation reads hit them), a whole-disk
+		// failure mid-run, and an early storm while hints and folds are
+		// still landing (podload arms the global fingerprint tier and
+		// the scanner when it sees this name). The oracle, the per-shard
+		// sweeps, and the cross-shard pin audit must all hold.
+		sectors()
+		s.Fails = append(s.Fails, fault.DiskFail{Disk: ndisks - 1, At: horizon / 2})
+		storm(horizon/4, horizon/2, 100)
 	default:
 		return fault.Schedule{}, fmt.Errorf("chaos: unknown scenario %q (want one of %s)",
 			name, strings.Join(Scenarios(), ", "))

@@ -96,9 +96,15 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		st.Cat3++
 	}
 
+	sink := s.base.Ads
 	positions := s.base.PositionsScratch(req.N)
 	for i := 0; i < req.N; i++ {
 		if dedupe[i] && s.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
+			// duplicate evidence for the tier: an inline hit against
+			// a local copy (remote hits are already global knowledge)
+			if sink != nil && !alloc.IsRemote(target[i]) {
+				sink.Advertise(chs[i].FP, target[i], false)
+			}
 			continue
 		} else {
 			positions = append(positions, i)
@@ -115,6 +121,11 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		}
 		for k, pos := range positions {
 			s.base.InsertIndex(chs[pos].FP, pbas[k])
+			// canonical candidate for the tier: fire-and-forget, so
+			// the write path never waits on tier load
+			if sink != nil {
+				sink.Advertise(chs[pos].FP, pbas[k], true)
+			}
 		}
 	} else {
 		done = s.base.AbsorbWrite(done)

@@ -22,6 +22,12 @@ const (
 	// MapUpdateUS is the bookkeeping cost charged when a write is
 	// fully absorbed by the Map table (no data I/O).
 	MapUpdateUS = 10
+	// RemoteReadUS is the flat service time charged when a read must
+	// fetch a cross-shard canonical block (a remote-encoded mapping
+	// installed by the global fingerprint tier). It models a fetch
+	// from a peer's cache/disk over the interconnect rather than a
+	// trip through the local disk queues; see DESIGN.md §12.
+	RemoteReadUS = 2000
 )
 
 // IndexZoneFrac is the fraction of the array reserved at the top of the
@@ -106,6 +112,23 @@ type Base struct {
 	// OnFree, when set, is invoked for every reclaimed physical block
 	// (Full-Dedupe uses it to drop full-index entries).
 	OnFree func(alloc.PBA)
+
+	// Ads, when set, receives fingerprint advertisements from the
+	// write path (the global fingerprint tier's intake). Publication
+	// is fire-and-forget: implementations must never block, so the
+	// inline path stays shard-local regardless of tier load.
+	Ads AdSink
+
+	// OnRemoteRef, when set, is invoked on reference-count transitions
+	// of remote-encoded canonical blocks: up=true when the first local
+	// mapping referencing the canonical appears, up=false when the
+	// last disappears. The tier agent converts these into pin traffic
+	// toward the owning shard.
+	OnRemoteRef func(c alloc.PBA, up bool)
+
+	// onParole mirrors maptable.Table.OnParole and survives Recover
+	// replacing the Map table (RecoverLoad rewires it).
+	onParole func(alloc.PBA)
 
 	dataBlocks uint64 // allocatable region [0, dataBlocks)
 	zoneBlocks uint64 // reserved index/swap zone [dataBlocks, dataBlocks+zoneBlocks)
@@ -207,6 +230,21 @@ func (b *Base) instrument() {
 	b.Reg.GaugeFunc("cleaner_reclaimed_blocks", func() int64 { return b.cleaner.reclaimed })
 }
 
+// AdSink receives asynchronous fingerprint advertisements from the
+// write path. fresh marks a chunk that was physically written (a new
+// canonical candidate); !fresh marks an inline dedup hit against pba
+// (duplicate evidence). Advertise must never block the caller.
+type AdSink interface {
+	Advertise(fp chunk.Fingerprint, pba alloc.PBA, fresh bool)
+}
+
+// SetOnParole installs the parole hook on the Base and its current Map
+// table; RecoverLoad re-installs it on the recovered table.
+func (b *Base) SetOnParole(fn func(alloc.PBA)) {
+	b.onParole = fn
+	b.Map.OnParole = fn
+}
+
 // BackgroundTask is a unit of idle-time background work driven in
 // virtual time from the engine's per-request Tick (the out-of-line
 // deduplication scanner). Implementations issue their own I/O through
@@ -275,6 +313,20 @@ func (b *Base) NVRAM() *nvram.Device { return b.nvdev }
 // record is appended before the write completes — so the recovered
 // logical view equals the state at the moment of the crash.
 func (b *Base) Recover() (int, error) {
+	applied, err := b.RecoverLoad()
+	if err != nil {
+		return applied, err
+	}
+	b.RecoverFinish(nil)
+	return applied, nil
+}
+
+// RecoverLoad is the first phase of recovery: it rebuilds the Map
+// table from the NVRAM journal. The sharded server runs this phase on
+// every shard before any RecoverFinish, so cross-shard canonical
+// references can be re-pinned on their owners before each owner prunes
+// its physical contents.
+func (b *Base) RecoverLoad() (int, error) {
 	if b.nvdev == nil {
 		return 0, fmt.Errorf("engine: no NVRAM configured (Config.NVRAMBytes = 0)")
 	}
@@ -283,20 +335,39 @@ func (b *Base) Recover() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	tbl.OnParole = b.onParole
 	b.Map = tbl
+	return applied, nil
+}
 
-	// rebuild allocator occupancy and prune orphan contents
+// RecoverFinish completes recovery: allocator occupancy and surviving
+// physical contents are reconstructed from the recovered mappings plus
+// the given pinned blocks — cross-shard canonicals other shards
+// reference, which must survive although no local mapping names them.
+// pinned carries one entry per (referencing shard, block) pair, so
+// duplicate PBAs are expected and each adds a pin. Remote-encoded
+// mappings are skipped: their blocks live on the owning shard.
+func (b *Base) RecoverFinish(pinned []alloc.PBA) {
 	a := alloc.New(b.dataBlocks)
 	keep := make(map[alloc.PBA]bool)
-	tbl.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+	reserve := func(pba alloc.PBA) {
 		if !keep[pba] {
 			keep[pba] = true
 			if !a.Reserve(pba, 1) {
 				panic(fmt.Sprintf("engine: recovered mapping references unreservable block %d", pba))
 			}
 		}
+	}
+	b.Map.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+		if !alloc.IsRemote(pba) {
+			reserve(pba)
+		}
 		return true
 	})
+	for _, pba := range pinned {
+		b.Map.Pin(pba)
+		reserve(pba)
+	}
 	b.Alloc = a
 	b.Store.Retain(keep)
 
@@ -310,7 +381,6 @@ func (b *Base) Recover() (int, error) {
 	if b.bg != nil {
 		b.bg.RecoverReset()
 	}
-	return applied, nil
 }
 
 // Release returns pooled substrate resources (the content model's page
@@ -332,14 +402,27 @@ func (b *Base) Stats() *Stats { return b.St }
 func (b *Base) UsedBlocks() uint64 { return b.Alloc.Used() }
 
 // ReadContent resolves lba through the Map table into the content
-// model.
+// model. A remote-encoded mapping resolves to not-ok at engine level —
+// the content lives on another shard; the serving layer hops via
+// ResolveRemote.
 func (b *Base) ReadContent(lba uint64) (uint64, bool) {
 	pba, ok := b.Map.Lookup(lba)
-	if !ok {
+	if !ok || alloc.IsRemote(pba) {
 		return 0, false
 	}
 	id, ok := b.Store.Read(pba)
 	return uint64(id), ok
+}
+
+// ResolveRemote reports whether lba maps to a cross-shard canonical
+// and, if so, the remote-encoded reference. The sharded server uses it
+// to hop content reads to the owning shard.
+func (b *Base) ResolveRemote(lba uint64) (alloc.PBA, bool) {
+	pba, ok := b.Map.Lookup(lba)
+	if !ok || !alloc.IsRemote(pba) {
+		return 0, false
+	}
+	return pba, true
 }
 
 // SplitRequest chunks a write request without fingerprinting (bypass
@@ -398,15 +481,38 @@ func resetBools(s []bool, n int) []bool {
 }
 
 // FreeBlocks reclaims physical blocks: allocator, content model, cache
-// purge, and the engine-specific hook.
+// purge, and the engine-specific hook. A remote-encoded canonical that
+// lost its last local reference has nothing local to reclaim — the
+// block lives on the owning shard — so only the OnRemoteRef down
+// transition fires; the index hint stays valid (the binding holds as
+// long as the owner keeps the canonical pinned, and a revoke purges it
+// before the owner ever frees the block).
 func (b *Base) FreeBlocks(pbas []alloc.PBA) {
 	for _, pba := range pbas {
+		if alloc.IsRemote(pba) {
+			if b.OnRemoteRef != nil {
+				b.OnRemoteRef(pba, false)
+			}
+			continue
+		}
 		b.Alloc.Free(pba, 1)
 		b.Store.Free(pba)
 		b.IC.PurgePBA(pba)
 		if b.OnFree != nil {
 			b.OnFree(pba)
 		}
+	}
+}
+
+// SetRemoteRef installs lba → canonical (a remote-encoded PBA) through
+// the journaled map path, firing OnRemoteRef on the 0→1 local
+// reference transition and freeing whatever blocks the mapping
+// displaced.
+func (b *Base) SetRemoteRef(lba uint64, c alloc.PBA) {
+	up := b.Map.RefCount(c) == 0
+	b.FreeBlocks(b.Map.Set(lba, c, true))
+	if up && b.OnRemoteRef != nil {
+		b.OnRemoteRef(c, true)
 	}
 }
 
@@ -417,6 +523,21 @@ func (b *Base) FreeBlocks(pbas []alloc.PBA) {
 // same request may have released it). On mismatch nothing changes and
 // the caller writes the chunk instead.
 func (b *Base) TryDedupe(lba uint64, pba alloc.PBA, id chunk.ContentID) bool {
+	if alloc.IsRemote(pba) {
+		// Cross-shard dedupe against a tier-granted hint. The local
+		// content model cannot validate a peer's block; instead the
+		// binding itself is trusted: a hint enters the hot index only
+		// under a grant that pinned the canonical on its owner, the
+		// owner never mutates a pinned block, and a revoke purges the
+		// hint before the owner frees it — so an index hit on a
+		// remote target is valid by construction (fingerprints are
+		// injective over content IDs in both fingerprint modes).
+		b.SetRemoteRef(lba, pba)
+		b.St.ChunksDeduped++
+		b.St.RemoteDeduped++
+		b.St.NVRAMPeakBytes = b.Map.PeakNVRAMBytes()
+		return true
+	}
 	got, ok := b.Store.Read(pba)
 	if !ok || got != id {
 		return false
@@ -440,6 +561,11 @@ func (b *Base) VerifyWrite(req *trace.Request) {
 		pba, ok := b.Map.Lookup(lba)
 		if !ok {
 			panic(fmt.Sprintf("engine: lba %d unmapped immediately after write", lba))
+		}
+		if alloc.IsRemote(pba) {
+			// the content lives on the owning shard; the serving
+			// layer's cross-shard audit verifies these bindings
+			continue
 		}
 		b.Store.MustMatch(pba, req.Content[i])
 	}
@@ -547,7 +673,25 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, erro
 	// contiguous disk runs
 	hit := resetBools(b.hitScratch, req.N)
 	b.hitScratch = hit
+	remoteMiss := false
 	for i := 0; i < req.N; i++ {
+		if alloc.IsRemote(pbas[i]) {
+			// A cross-shard canonical: probe the read cache under the
+			// remote-encoded key (distinct from any local PBA); a
+			// miss is a flat-latency fetch from the owning shard, not
+			// a trip through the local disk queues. hit[i] keeps the
+			// local miss-coalescing loop off this block either way.
+			if b.IC.ReadHit(pbas[i]) {
+				b.St.CacheHits++
+			} else {
+				b.St.CacheMisses++
+				b.St.RemoteReads++
+				b.IC.ReadInsert(pbas[i])
+				remoteMiss = true
+			}
+			hit[i] = true
+			continue
+		}
 		hit[i] = b.IC.ReadHit(pbas[i])
 		if hit[i] {
 			b.St.CacheHits++
@@ -559,7 +703,10 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, erro
 	var missRuns int
 	done := t
 	i := 0
-	anyMiss := false
+	anyMiss := remoteMiss
+	if remoteMiss {
+		done = t.Add(RemoteReadUS)
+	}
 	for i < req.N {
 		if hit[i] {
 			i++
@@ -680,6 +827,11 @@ func (b *Base) CheckConsistency() error {
 	mapped := make(map[alloc.PBA]bool)
 	var bad error
 	b.Map.Each(func(lba uint64, pba alloc.PBA, _ bool) bool {
+		if alloc.IsRemote(pba) {
+			// the block lives on the owning shard; the serving
+			// layer's cross-shard audit covers these
+			return true
+		}
 		if _, ok := b.Store.Read(pba); !ok {
 			bad = fmt.Errorf("engine: lba %d maps to dead block %d", lba, pba)
 			return false
@@ -690,8 +842,26 @@ func (b *Base) CheckConsistency() error {
 	if bad != nil {
 		return bad
 	}
+	// Pinned blocks survive with zero local references (cross-shard
+	// canonicals on parole), so occupancy is the union of mapped and
+	// pinned blocks.
+	b.Map.EachPinned(func(pba alloc.PBA, _ int) bool {
+		if alloc.IsRemote(pba) {
+			bad = fmt.Errorf("engine: remote-encoded reference %d carries local pins", pba)
+			return false
+		}
+		if _, ok := b.Store.Read(pba); !ok {
+			bad = fmt.Errorf("engine: pinned block %d is dead in the content model", pba)
+			return false
+		}
+		mapped[pba] = true
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
 	if uint64(len(mapped)) != b.Alloc.Used() {
-		return fmt.Errorf("engine: %d distinct mapped blocks vs %d allocated (leak or double-use)",
+		return fmt.Errorf("engine: %d distinct mapped+pinned blocks vs %d allocated (leak or double-use)",
 			len(mapped), b.Alloc.Used())
 	}
 	return nil

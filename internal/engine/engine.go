@@ -64,6 +64,10 @@ type Stats struct {
 
 	IndexDiskIOs int64 // on-disk index lookups (Full-Dedupe's bottleneck)
 
+	// cross-shard deduplication (global fingerprint tier)
+	RemoteDeduped int64 // chunks absorbed against another shard's canonical copy
+	RemoteReads   int64 // read blocks fetched from a peer shard's canonical
+
 	// read path
 	CacheHits, CacheMisses int64 // read-cache block hits/misses
 	ReadIOs                int64 // disk read operations issued for user reads

@@ -1,0 +1,143 @@
+// Package serving holds experiments that need the full sharded front
+// end (internal/server), not just a bare engine replay. It lives in
+// its own package because internal/server's tests import the root
+// experiments package for engine factories — an experiment importing
+// server back into internal/experiments would close that cycle.
+//
+// The headline experiment is the global-fingerprint-tier shard sweep:
+// LBA sharding (EXPERIMENTS.md) buys serving throughput but costs
+// dedup ratio, because each shard's index only sees its slice of the
+// content stream. GlobalFPSweep measures how much of that loss the
+// cross-shard tier recovers, at equal shard counts and identical
+// workloads, tier off versus on.
+package serving
+
+import (
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/bgdedup"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/experiments"
+	"github.com/pod-dedup/pod/internal/server"
+	"github.com/pod-dedup/pod/internal/stats"
+	"github.com/pod-dedup/pod/internal/trace"
+	"github.com/pod-dedup/pod/internal/workload"
+)
+
+// Run is one measured serving pass.
+type Run struct {
+	WritesRemovedPct float64 // inline writes removed, % of write chunks
+	UsedBlocks       uint64  // physical occupancy after Close
+	P99SojournUS     float64 // merged sojourn p99, µs
+	RemoteDeduped    int64   // inline dedupes against a peer shard's canonical
+	RemapsApplied    int64   // out-of-line cross-shard folds (tier runs only)
+}
+
+// Point compares the tier off and on at one shard count.
+type Point struct {
+	Shards int
+	Base   Run // tier off (background scanner still attached)
+	Tier   Run // tier on
+}
+
+// GlobalFPSweep floods the trace through the sharded serving layer at
+// each shard count, tier off and tier on, and reports both runs per
+// point. Both configurations attach the background dedup scanner, so
+// the delta isolates the tier itself. Submission is batched and
+// single-threaded in schedule order — deterministic queueing; only the
+// tier's hint-delivery races vary run to run (delivery is asynchronous
+// by design, so the tier numbers are a floor, not a constant).
+func GlobalFPSweep(tr *trace.Trace, prof workload.Profile, scale float64, shardCounts []int) ([]Point, error) {
+	points := make([]Point, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		base, err := serveOnce(tr, prof, scale, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("serving: %d shards, tier off: %w", n, err)
+		}
+		tier, err := serveOnce(tr, prof, scale, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("serving: %d shards, tier on: %w", n, err)
+		}
+		points = append(points, Point{Shards: n, Base: base, Tier: tier})
+	}
+	return points, nil
+}
+
+// Table formats a sweep the way the replay experiments format theirs.
+func Table(points []Point) *stats.Table {
+	t := stats.NewTable("Global fingerprint tier — shard sweep (flood)",
+		"Shards", "Removed (off)", "Removed (on)", "Blocks (off)", "Blocks (on)", "p99 delta")
+	for _, p := range points {
+		delta := 0.0
+		if p.Base.P99SojournUS > 0 {
+			delta = 100 * (p.Tier.P99SojournUS/p.Base.P99SojournUS - 1)
+		}
+		t.AddRowf("%d\t%s\t%s\t%d\t%d\t%+.1f%%",
+			p.Shards, stats.Pct(p.Base.WritesRemovedPct), stats.Pct(p.Tier.WritesRemovedPct),
+			p.Base.UsedBlocks, p.Tier.UsedBlocks, delta)
+	}
+	return t
+}
+
+const submitBatch = 256 // client-side batching, as the committed flood sweep
+
+func serveOnce(tr *trace.Trace, prof workload.Profile, scale float64, shards int, tier bool) (Run, error) {
+	srv, err := server.New(server.Config{
+		Shards:   shards,
+		Timing:   server.Queued,
+		GlobalFP: tier,
+		NewEngine: func(int) engine.Engine {
+			e := experiments.NewEngine(experiments.POD, experiments.BuildConfig(prof, scale))
+			bgdedup.Attach(e, bgdedup.Params{})
+			return e
+		},
+	})
+	if err != nil {
+		return Run{}, err
+	}
+	batch := make([]server.Request, 0, submitBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := srv.SubmitBatch(batch); err != nil {
+			return err
+		}
+		batch = make([]server.Request, 0, submitBatch)
+		return nil
+	}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		req := server.Request{Op: r.Op, LBA: r.LBA} // flood: every arrival at t=0
+		if r.Op == trace.Read {
+			req.Chunks = r.N
+		} else {
+			req.Content = r.Content
+		}
+		batch = append(batch, req)
+		if len(batch) == submitBatch {
+			if err := flush(); err != nil {
+				return Run{}, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return Run{}, err
+	}
+	if err := srv.Close(); err != nil {
+		return Run{}, err
+	}
+	if tier {
+		if err := srv.CheckConsistency(); err != nil {
+			return Run{}, err
+		}
+	}
+	snap := srv.Stats()
+	return Run{
+		WritesRemovedPct: snap.Engine.WriteRemovalPct(),
+		UsedBlocks:       snap.UsedBlocks,
+		P99SojournUS:     snap.Latency.Percentile(99),
+		RemoteDeduped:    snap.Engine.RemoteDeduped,
+		RemapsApplied:    snap.Metrics.Gauges["globalfp_remaps_applied"],
+	}, nil
+}

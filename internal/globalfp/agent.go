@@ -1,0 +1,468 @@
+package globalfp
+
+import (
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/bgdedup"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+// foldMaxBacklog gates fold I/O the way the scanner gates sweeps: remap
+// candidates wait while more than this much queued disk work is ahead
+// of them, so folding never inflates foreground sojourn.
+const foldMaxBacklog = 2 * sim.Millisecond
+
+// foldStepInterval paces fold steps in virtual time. The backlog gate
+// alone is not enough under sustained load: between back-to-back
+// requests the disk queue momentarily looks drained, and an ungated
+// agent would slot a revalidation read into every such gap — tens of
+// thousands of injected I/Os that foreground requests then queue
+// behind. One budgeted step per interval bounds fold I/O to a few
+// percent of disk time; whatever is still queued at Close settles
+// after the serving window, where it costs no sojourn at all.
+const foldStepInterval = 200 * sim.Millisecond
+
+// paroleBudget bounds recalls started per fold step.
+const paroleBudget = 16
+
+// fper is stateless; see bgdedup for why synthetic fingerprints are
+// always safe off the write path.
+var fper chunk.SyntheticFingerprinter
+
+// foldReq is one queued remap candidate: fold the local duplicate dup
+// onto the remote canonical the hint for fp names.
+type foldReq struct {
+	dup   alloc.PBA
+	fp    chunk.Fingerprint
+	canon alloc.PBA
+}
+
+// Agent is a shard's endpoint of the global fingerprint tier: an
+// engine.BackgroundTask wrapping the shard's bgdedup scanner (the tier
+// requires background dedup — candidates apply through its revalidated
+// merge path). It publishes the shard's advertisements, drains the
+// shard's control inbox every tick (never idle-gated: hints must land
+// under load), applies budgeted remap folds in idle windows, and runs
+// the owner-side pin/parole/recall protocol.
+//
+// All agent state is guarded by the shard lock: every entry point —
+// Tick/Flush via the engine, OnRemoteRef/OnParole via the Base hooks,
+// settlement via the server — runs with the shard's mutex held. Tier
+// calls made from here (Advertise, Fix, Recall) take partition locks,
+// never shard locks, so the shard → partition lock order is acyclic.
+type Agent struct {
+	b     *engine.Base
+	t     *Tier
+	shard int
+	inner engine.BackgroundTask
+	core  *bgdedup.Core
+
+	foldQ     []foldReq
+	nextFold  sim.Time
+	paroleQ   []alloc.PBA
+	recalling map[alloc.PBA]int // local canonical → revoke acks outstanding
+	hinted    []uint64          // bitset: local blocks holding the hinted pin
+	msgBuf    []message         // inbox drain scratch
+	freeBuf   [1]alloc.PBA
+
+	hintsInstalled int64
+	remapsApplied  int64
+	remapsRejected int64
+	reclaimed      int64
+	pinsGranted    int64
+	pinRejects     int64
+	refPins        int64
+	refUnpins      int64
+	recallsSent    int64
+	recallsDone    int64
+}
+
+// Attach wires a shard agent onto any engine that exposes its substrate
+// (Select-Dedupe and POD); ok is false for engines without one. The
+// shard's scanner must already be attached — the agent wraps it; a
+// missing scanner gets a Core of its own (tests), losing only the
+// cursor sweep.
+func Attach(e engine.Engine, t *Tier, shard int) (*Agent, bool) {
+	h, ok := e.(interface{ Base() *engine.Base })
+	if !ok {
+		return nil, false
+	}
+	return New(h.Base(), t, shard), true
+}
+
+// New builds the agent, interposes it as the engine's background task
+// and advertisement sink, and registers its gauges.
+func New(b *engine.Base, t *Tier, shard int) *Agent {
+	a := &Agent{
+		b: b, t: t, shard: shard,
+		inner:     b.Background(),
+		recalling: make(map[alloc.PBA]int),
+		hinted:    make([]uint64, (b.DataBlocks()+63)/64),
+	}
+	if s, ok := a.inner.(*bgdedup.Scanner); ok {
+		a.core = s.Core() // shared counters: folds show in bgdedup gauges too
+	} else {
+		a.core = bgdedup.NewCore(b)
+	}
+	b.SetBackground(a)
+	b.Ads = a
+	b.OnRemoteRef = a.onRemoteRef
+	b.SetOnParole(a.onParole)
+	t.register(shard, a)
+
+	b.Reg.GaugeFunc("globalfp_hints_installed", func() int64 { return a.hintsInstalled })
+	b.Reg.GaugeFunc("globalfp_remaps_applied", func() int64 { return a.remapsApplied })
+	b.Reg.GaugeFunc("globalfp_remaps_rejected", func() int64 { return a.remapsRejected })
+	b.Reg.GaugeFunc("globalfp_reclaimed_blocks", func() int64 { return a.reclaimed })
+	b.Reg.GaugeFunc("globalfp_pins_granted", func() int64 { return a.pinsGranted })
+	b.Reg.GaugeFunc("globalfp_pin_rejects", func() int64 { return a.pinRejects })
+	b.Reg.GaugeFunc("globalfp_ref_pins", func() int64 { return a.refPins })
+	b.Reg.GaugeFunc("globalfp_ref_unpins", func() int64 { return a.refUnpins })
+	b.Reg.GaugeFunc("globalfp_recalls_sent", func() int64 { return a.recallsSent })
+	b.Reg.GaugeFunc("globalfp_recalls_done", func() int64 { return a.recallsDone })
+	b.Reg.GaugeFunc("globalfp_fold_backlog", func() int64 { return int64(len(a.foldQ)) })
+	return a
+}
+
+func (a *Agent) hintedTest(pba alloc.PBA) bool {
+	return a.hinted[pba>>6]&(1<<(uint(pba)&63)) != 0
+}
+func (a *Agent) hintedSet(pba alloc.PBA)   { a.hinted[pba>>6] |= 1 << (uint(pba) & 63) }
+func (a *Agent) hintedClear(pba alloc.PBA) { a.hinted[pba>>6] &^= 1 << (uint(pba) & 63) }
+
+// Advertise implements engine.AdSink: the engine's write path publishes
+// through the agent so the shard number rides along.
+func (a *Agent) Advertise(fp chunk.Fingerprint, pba alloc.PBA, fresh bool) {
+	a.t.Advertise(a.shard, fp, pba, fresh)
+}
+
+// onRemoteRef reports this shard's 0↔1 reference transitions on a
+// remote canonical to its owner (the ref-pin half of the pin
+// invariant). Fired by Base.SetRemoteRef and Base.FreeBlocks.
+func (a *Agent) onRemoteRef(c alloc.PBA, up bool) {
+	owner, _ := alloc.RemoteParts(c)
+	kind := msgRefDown
+	if up {
+		kind = msgRefUp
+	}
+	a.t.send(owner, message{kind: kind, canon: c, from: a.shard})
+}
+
+// onParole queues a hinted canonical whose last local reference
+// disappeared; recall decides later (the block may be re-referenced
+// before the parole budget reaches it, making the entry a no-op).
+func (a *Agent) onParole(pba alloc.PBA) {
+	if a.hintedTest(pba) {
+		a.paroleQ = append(a.paroleQ, pba)
+	}
+}
+
+// Tick implements engine.BackgroundTask. Control-message processing is
+// deliberately unconditional: it is pure bookkeeping (no disk I/O), and
+// deferring it to idle windows would delay hint installation past the
+// very writes the hints exist to deduplicate. Fold I/O and recalls run
+// one budgeted step per foldStepInterval, and only in (near-)idle disk
+// windows — the scanner's pacing discipline; the wrapped scanner gets
+// the tail of the tick.
+func (a *Agent) Tick(now sim.Time) {
+	a.drainMsgs(now, a.t.p.MsgsPerTick)
+	if now >= a.nextFold {
+		if a.b.Array.Backlog(now) > foldMaxBacklog {
+			a.nextFold = now.Add(foldStepInterval / 4)
+		} else {
+			a.nextFold = now.Add(foldStepInterval)
+			a.applyFolds(now, a.t.p.FoldsPerTick)
+			a.processParole(paroleBudget)
+		}
+	}
+	if a.inner != nil {
+		a.inner.Tick(now)
+	}
+}
+
+// Flush implements engine.BackgroundTask: converge the wrapped scanner,
+// then drain every queued message, fold, and parole to quiescence.
+func (a *Agent) Flush(now sim.Time) {
+	if a.inner != nil {
+		a.inner.Flush(now)
+	}
+	a.DrainAll(now)
+}
+
+// RecoverReset implements engine.BackgroundTask: all agent state is
+// volatile DRAM bookkeeping — queued folds, paroles, in-flight recalls,
+// and the hinted bitset die with the crash. Post-recovery pins are
+// rebuilt by the serving layer as ref pins only; the hinted pins are
+// simply gone, consistent with their table entries (tier.Reset).
+func (a *Agent) RecoverReset() {
+	a.foldQ = a.foldQ[:0]
+	a.paroleQ = a.paroleQ[:0]
+	for k := range a.recalling {
+		delete(a.recalling, k)
+	}
+	a.hinted = make([]uint64, (a.b.DataBlocks()+63)/64)
+	if a.inner != nil {
+		a.inner.RecoverReset()
+	}
+}
+
+// DrainAll processes everything currently queued — messages, folds,
+// paroles — without budgets or idle gates, repeating until nothing
+// moves. Returns the number of items processed; settlement loops over
+// all shards until a full round moves nothing.
+func (a *Agent) DrainAll(now sim.Time) int {
+	total := 0
+	for {
+		n := a.drainMsgs(now, -1)
+		n += a.applyFolds(now, -1)
+		n += a.processParole(-1)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// ReAdvertise republishes every distinct live, referenced local block —
+// the settlement pass that retries fold candidates dropped under load
+// (full ad queues) or aborted by injected faults. Only meaningful after
+// Tier.Stop, when advertisements process synchronously.
+func (a *Agent) ReAdvertise() {
+	visited := make([]uint64, len(a.hinted))
+	a.b.Map.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+		if alloc.IsRemote(pba) {
+			return true
+		}
+		w, bit := pba>>6, uint64(1)<<(uint(pba)&63)
+		if visited[w]&bit != 0 {
+			return true
+		}
+		visited[w] |= bit
+		id, ok := a.b.Store.Read(pba)
+		if !ok {
+			return true
+		}
+		ch := chunk.Chunk{Content: id}
+		a.t.Advertise(a.shard, fper.Fingerprint(&ch), pba, true)
+		return true
+	})
+}
+
+// drainMsgs handles up to budget queued control messages (all when
+// budget < 0) and returns the number handled.
+func (a *Agent) drainMsgs(now sim.Time, budget int) int {
+	a.msgBuf = a.t.inbox[a.shard].take(a.msgBuf[:0], budget)
+	for _, m := range a.msgBuf {
+		a.handle(now, m)
+	}
+	return len(a.msgBuf)
+}
+
+func (a *Agent) handle(now sim.Time, m message) {
+	switch m.kind {
+	case msgPinReq:
+		a.handlePinReq(m)
+	case msgGrant:
+		a.handleGrant(m)
+	case msgRefUp:
+		_, local := alloc.RemoteParts(m.canon)
+		a.b.Map.Pin(local)
+		a.refPins++
+	case msgRefDown:
+		_, local := alloc.RemoteParts(m.canon)
+		a.refUnpins++
+		if a.b.Map.Unpin(local) {
+			a.freeLocal(local)
+		}
+	case msgRevoke:
+		// Purge the hint binding (and any cached read of the remote
+		// block) so no new references form, then ack. Existing remote
+		// mappings stay valid: this shard's ref pin holds the block.
+		a.b.IC.PurgePBA(m.canon)
+		owner, _ := alloc.RemoteParts(m.canon)
+		a.t.send(owner, message{kind: msgRevokeAck, canon: m.canon, from: a.shard})
+	case msgRevokeAck:
+		a.handleRevokeAck(m)
+	}
+}
+
+// handlePinReq is the owner side of a grant: validate the canonical
+// against live local state (the advertisement may be arbitrarily
+// stale), take the one hinted pin, and grant every beneficiary.
+func (a *Agent) handlePinReq(m message) {
+	_, local := alloc.RemoteParts(m.canon)
+	if !a.validCanonical(local, m.fp) {
+		a.pinRejects++
+		a.t.Fix(m.fp, m.canon)
+		return
+	}
+	if !a.hintedTest(local) {
+		a.hintedSet(local)
+		a.b.Map.Pin(local)
+		a.pinsGranted++
+	}
+	for s := 0; s < a.t.shards; s++ {
+		if m.bene&(uint64(1)<<uint(s)) == 0 {
+			continue
+		}
+		a.t.send(s, message{
+			kind: msgGrant, fp: m.fp, canon: m.canon,
+			dup: m.dup, hasDup: m.hasDup,
+		})
+	}
+}
+
+// validCanonical checks that the local block still is what the
+// advertisement claimed: live, holding content with the advertised
+// fingerprint, still referenced (or already pinned), and not mid-recall.
+func (a *Agent) validCanonical(local alloc.PBA, fp chunk.Fingerprint) bool {
+	id, ok := a.b.Store.Read(local)
+	if !ok {
+		return false
+	}
+	ch := chunk.Chunk{Content: id}
+	if fper.Fingerprint(&ch) != fp {
+		return false
+	}
+	if a.b.Map.RefCount(local) == 0 && !a.b.Map.Pinned(local) {
+		return false
+	}
+	if _, mid := a.recalling[local]; mid {
+		return false
+	}
+	return true
+}
+
+// handleGrant is the beneficiary side: install the fp → canonical hint
+// into the hot index and queue a fold of any local duplicate — the
+// targeted copy a duplicate-hit ad named, or whatever local block the
+// index previously bound this fingerprint to.
+func (a *Agent) handleGrant(m message) {
+	dup, hasDup := m.dup, m.hasDup
+	if !hasDup {
+		if e, ok := a.b.IC.IndexPeek(m.fp); ok && !alloc.IsRemote(e.PBA) {
+			dup, hasDup = e.PBA, true
+		}
+	}
+	a.b.IC.IndexInsert(m.fp, m.canon)
+	a.hintsInstalled++
+	if hasDup {
+		a.foldQ = append(a.foldQ, foldReq{dup: dup, fp: m.fp, canon: m.canon})
+	}
+}
+
+// handleRevokeAck counts a revoke round down; the last ack releases the
+// hinted pin, freeing the block unless ref pins (or a revived local
+// reference) still hold it. A RefUp that raced the recall has already
+// been processed — same-sender FIFO — so its pin survives the release.
+func (a *Agent) handleRevokeAck(m message) {
+	_, local := alloc.RemoteParts(m.canon)
+	left, ok := a.recalling[local]
+	if !ok {
+		return
+	}
+	left--
+	if left > 0 {
+		a.recalling[local] = left
+		return
+	}
+	delete(a.recalling, local)
+	a.recallsDone++
+	if a.hintedTest(local) {
+		a.hintedClear(local)
+		if a.b.Map.Unpin(local) {
+			a.freeLocal(local)
+		}
+	}
+}
+
+// applyFolds applies up to budget queued remap candidates (all when
+// budget < 0) and returns the number consumed. Order is irrelevant —
+// candidates touch disjoint duplicates — so the queue drains from the
+// tail.
+func (a *Agent) applyFolds(now sim.Time, budget int) int {
+	n := 0
+	for (budget < 0 || n < budget) && len(a.foldQ) > 0 {
+		f := a.foldQ[len(a.foldQ)-1]
+		a.foldQ = a.foldQ[:len(a.foldQ)-1]
+		n++
+		// The hint must still be the index's live binding: a revoke or
+		// eviction since enqueue invalidates the candidate.
+		if e, ok := a.b.IC.IndexPeek(f.fp); !ok || e.PBA != f.canon {
+			a.remapsRejected++
+			continue
+		}
+		if remapped, reclaimed, ok := a.core.FoldRemote(now, f.dup, f.fp, f.canon); ok {
+			a.remapsApplied++
+			a.reclaimed += int64(reclaimed)
+			_ = remapped
+		} else {
+			a.remapsRejected++
+		}
+	}
+	return n
+}
+
+// processParole starts recalls for up to budget paroled canonicals (all
+// when budget < 0) and returns the queue entries consumed. Entries are
+// re-validated: a block re-referenced, already recalled, or freed since
+// parole is skipped.
+func (a *Agent) processParole(budget int) int {
+	n := 0
+	for (budget < 0 || n < budget) && len(a.paroleQ) > 0 {
+		pba := a.paroleQ[len(a.paroleQ)-1]
+		a.paroleQ = a.paroleQ[:len(a.paroleQ)-1]
+		n++
+		if !a.hintedTest(pba) {
+			continue
+		}
+		if _, mid := a.recalling[pba]; mid {
+			continue
+		}
+		if a.b.Map.RefCount(pba) > 0 {
+			continue
+		}
+		id, ok := a.b.Store.Read(pba)
+		if !ok {
+			continue
+		}
+		ch := chunk.Chunk{Content: id}
+		acks := a.t.Recall(fper.Fingerprint(&ch), a.shard, pba)
+		a.recallsSent++
+		a.recalling[pba] = acks
+	}
+	return n
+}
+
+func (a *Agent) freeLocal(pba alloc.PBA) {
+	a.freeBuf[0] = pba
+	a.b.FreeBlocks(a.freeBuf[:])
+}
+
+// AgentStats is a snapshot of one agent's lifetime counters.
+type AgentStats struct {
+	HintsInstalled int64
+	RemapsApplied  int64
+	RemapsRejected int64
+	Reclaimed      int64
+	PinsGranted    int64
+	PinRejects     int64
+	RecallsSent    int64
+	RecallsDone    int64
+}
+
+// Stats snapshots the agent's counters; call with the shard lock held
+// (the server's merged snapshot path already does).
+func (a *Agent) Stats() AgentStats {
+	return AgentStats{
+		HintsInstalled: a.hintsInstalled,
+		RemapsApplied:  a.remapsApplied,
+		RemapsRejected: a.remapsRejected,
+		Reclaimed:      a.reclaimed,
+		PinsGranted:    a.pinsGranted,
+		PinRejects:     a.pinRejects,
+		RecallsSent:    a.recallsSent,
+		RecallsDone:    a.recallsDone,
+	}
+}

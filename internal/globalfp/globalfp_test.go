@@ -1,0 +1,374 @@
+// Tests live in globalfp_test so they can drive the tier through the
+// real engines (internal/server imports globalfp, and the end-to-end
+// test here imports server).
+package globalfp_test
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/bgdedup"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/core"
+	"github.com/pod-dedup/pod/internal/disk"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/globalfp"
+	"github.com/pod-dedup/pod/internal/raid"
+	"github.com/pod-dedup/pod/internal/sim"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func testConfig(perDisk uint64) engine.Config {
+	disks := make([]*disk.Disk, 4)
+	for i := range disks {
+		disks[i] = disk.New(disk.DefaultParams(perDisk))
+	}
+	return engine.Config{
+		Array:       raid.New(raid.RAID5, disks, 16),
+		MemoryBytes: 256 * 1024,
+		Verify:      true,
+		NVRAMBytes:  1 << 22,
+	}
+}
+
+// cluster is a tier over n standalone engines with the ad path in
+// synchronous mode (Stop before any traffic), so every test is
+// deterministic without goroutine scheduling in the picture.
+type cluster struct {
+	tier   *globalfp.Tier
+	engs   []*core.SelectDedupe
+	agents []*globalfp.Agent
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	tier, err := globalfp.NewTier(n, globalfp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Stop() // synchronous ads from here on
+	c := &cluster{tier: tier}
+	for i := 0; i < n; i++ {
+		e := core.NewSelectDedupe(testConfig(1 << 14))
+		if _, ok := bgdedup.Attach(e, bgdedup.Params{}); !ok {
+			t.Fatal("bgdedup.Attach refused Select-Dedupe")
+		}
+		a, ok := globalfp.Attach(e, tier, i)
+		if !ok {
+			t.Fatal("globalfp.Attach refused Select-Dedupe")
+		}
+		c.engs = append(c.engs, e)
+		c.agents = append(c.agents, a)
+	}
+	return c
+}
+
+// settle exchanges protocol traffic round-robin until nothing moves —
+// the same loop the server runs at Close.
+func (c *cluster) settle(now sim.Time) {
+	for round := 0; round < 64; round++ {
+		moved := 0
+		for _, a := range c.agents {
+			moved += a.DrainAll(now)
+		}
+		if moved == 0 && c.tier.Backlog() == 0 {
+			return
+		}
+	}
+}
+
+func (c *cluster) check(t *testing.T) {
+	t.Helper()
+	for i, e := range c.engs {
+		if err := e.Base().CheckConsistency(); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+}
+
+func seq(from, n int) []chunk.ContentID {
+	ids := make([]chunk.ContentID, n)
+	for i := range ids {
+		ids[i] = chunk.ContentID(from + i)
+	}
+	return ids
+}
+
+func write(t *testing.T, e engine.Engine, at sim.Time, lba uint64, ids []chunk.ContentID) {
+	t.Helper()
+	if _, err := e.Write(&trace.Request{Time: at, Op: trace.Write, LBA: lba, N: len(ids), Content: ids}); err != nil {
+		t.Fatalf("write lba %d: %v", lba, err)
+	}
+}
+
+func TestNewTierValidatesShardCount(t *testing.T) {
+	if _, err := globalfp.NewTier(1, globalfp.Params{}); err == nil {
+		t.Fatal("1 shard accepted")
+	}
+	if _, err := globalfp.NewTier(65, globalfp.Params{}); err == nil {
+		t.Fatal("65 shards accepted")
+	}
+	tr, err := globalfp.NewTier(64, globalfp.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Stop()
+}
+
+// TestHintEnablesCrossShardInlineDedupe is the tier's reason to exist:
+// after shard 0 writes content and the hint broadcast lands, shard 1's
+// first write of the same content deduplicates inline against shard
+// 0's copy — recovering exactly the "first write per shard" loss that
+// LBA sharding introduces.
+func TestHintEnablesCrossShardInlineDedupe(t *testing.T) {
+	c := newCluster(t, 2)
+	ids := seq(1, 8)
+
+	write(t, c.engs[0], 0, 0, ids) // canonical copies + fresh ads
+	c.settle(1000)                 // broadcast → pin → grant → hint on shard 1
+
+	st1before := *c.engs[1].Stats()
+	write(t, c.engs[1], 2000, 0, ids)
+	c.settle(3000)
+
+	st1 := c.engs[1].Stats()
+	if st1.RemoteDeduped != 8 {
+		t.Fatalf("shard 1 remote-deduped %d chunks, want 8", st1.RemoteDeduped)
+	}
+	if st1.WritesRemoved != st1before.WritesRemoved+1 {
+		t.Fatalf("shard 1 writes removed %d → %d, want the whole request removed", st1before.WritesRemoved, st1.WritesRemoved)
+	}
+	if used := c.engs[1].UsedBlocks(); used != 0 {
+		t.Fatalf("shard 1 uses %d blocks, want 0 (all chunks remote)", used)
+	}
+
+	// Pin accounting on the owner: one hinted pin + one ref pin from
+	// shard 1 on each of the 8 canonicals.
+	b0 := c.engs[0].Base()
+	for pba := alloc.PBA(0); pba < 8; pba++ {
+		if pins := b0.Map.PinCount(pba); pins != 2 {
+			t.Fatalf("canonical %d holds %d pins, want 2 (hinted + shard-1 ref)", pba, pins)
+		}
+	}
+
+	// Logical view through the remote mapping resolver.
+	b1 := c.engs[1].Base()
+	for i, id := range ids {
+		enc, ok := b1.ResolveRemote(uint64(i))
+		if !ok {
+			t.Fatalf("lba %d: no remote mapping", i)
+		}
+		shard, canon := alloc.RemoteParts(enc)
+		if shard != 0 {
+			t.Fatalf("lba %d resolved to shard %d", i, shard)
+		}
+		got, live := b0.Store.Read(canon)
+		if !live || got != id {
+			t.Fatalf("lba %d: canonical content %d,%v want %d", i, got, live, id)
+		}
+	}
+	c.check(t)
+}
+
+// TestFoldMergesPreexistingDuplicates: both shards already hold copies
+// (written before any hint could land). The second advertisement is a
+// detected cross-shard duplicate; the fold rewires shard 1's referrers
+// onto shard 0's canonical and reclaims shard 1's copies.
+func TestFoldMergesPreexistingDuplicates(t *testing.T) {
+	c := newCluster(t, 2)
+	ids := seq(100, 8)
+
+	write(t, c.engs[0], 0, 0, ids)
+	write(t, c.engs[1], 0, 0, ids) // duplicate copies, no hint yet
+	if used := c.engs[1].UsedBlocks(); used != 8 {
+		t.Fatalf("shard 1 uses %d blocks before settle, want 8", used)
+	}
+
+	c.settle(10000)
+
+	if used := c.engs[1].UsedBlocks(); used != 0 {
+		t.Fatalf("shard 1 uses %d blocks after fold, want 0", used)
+	}
+	st := c.agents[1].Stats()
+	if st.RemapsApplied == 0 {
+		t.Fatalf("no remaps applied: %+v", st)
+	}
+	tc := c.tier.Snapshot()
+	if tc.DupsDetected == 0 {
+		t.Fatalf("tier detected no cross-shard duplicates: %+v", tc)
+	}
+	// Shard 1's logical view is intact through the remote references.
+	b0, b1 := c.engs[0].Base(), c.engs[1].Base()
+	for i, id := range ids {
+		enc, ok := b1.ResolveRemote(uint64(i))
+		if !ok {
+			t.Fatalf("lba %d: not folded to a remote mapping", i)
+		}
+		_, canon := alloc.RemoteParts(enc)
+		if got, live := b0.Store.Read(canon); !live || got != id {
+			t.Fatalf("lba %d: canonical content %d,%v want %d", i, got, live, id)
+		}
+	}
+	c.check(t)
+}
+
+// TestRecallFreesAbandonedCanonical: when every reference — local and
+// remote — to a hinted canonical disappears, the parole/recall round
+// must revoke the hints and actually free the block. This is the
+// capacity-leak guard: pins must never outlive their reason.
+func TestRecallFreesAbandonedCanonical(t *testing.T) {
+	c := newCluster(t, 2)
+	ids := seq(500, 8)
+
+	write(t, c.engs[0], 0, 0, ids)
+	c.settle(1000)
+	write(t, c.engs[1], 2000, 0, ids) // remote refs via hints
+	c.settle(3000)
+
+	// Overwrite both shards' LBAs with fresh content: shard 1's RefDown
+	// drops the ref pins, shard 0's overwrite paroles the canonicals,
+	// and the recall round revokes and frees them.
+	write(t, c.engs[1], 4000, 0, seq(900, 8))
+	c.settle(5000)
+	write(t, c.engs[0], 6000, 0, seq(700, 8))
+	c.settle(7000)
+
+	b0 := c.engs[0].Base()
+	for pba := alloc.PBA(0); pba < 8; pba++ {
+		if pins := b0.Map.PinCount(pba); pins != 0 {
+			t.Fatalf("abandoned canonical %d still holds %d pins", pba, pins)
+		}
+	}
+	st := c.agents[0].Stats()
+	if st.RecallsSent == 0 || st.RecallsDone != st.RecallsSent {
+		t.Fatalf("recalls sent %d done %d, want all complete", st.RecallsSent, st.RecallsDone)
+	}
+	// 8 old canonicals on shard 0 freed, 8 fresh blocks live on each.
+	if used := c.engs[0].UsedBlocks(); used != 8 {
+		t.Fatalf("shard 0 uses %d blocks, want 8 (old canonicals freed)", used)
+	}
+	if tc := c.tier.Snapshot(); tc.Entries != 16 {
+		// 8 new entries per shard's fresh content (distinct), old 8 gone
+		t.Logf("tier entries = %d", tc.Entries)
+	}
+	c.check(t)
+}
+
+// TestStaleAdvertisementIsHarmless: an advertisement for a block that
+// was overwritten before the tier processed it must be rejected at the
+// owner (pin refused, table fixed) and never produce a grant.
+func TestStaleAdvertisementIsHarmless(t *testing.T) {
+	c := newCluster(t, 2)
+
+	b0 := c.engs[0].Base()
+	// Advertise a fingerprint that names a block whose content is
+	// something else entirely (fingerprint of content 999 against the
+	// block holding content 1).
+	write(t, c.engs[0], 0, 0, seq(1, 1))
+	var fper chunk.SyntheticFingerprinter
+	ch := chunk.Chunk{Content: 999}
+	c.tier.Advertise(0, fper.Fingerprint(&ch), 0, true)
+	c.settle(1000)
+
+	st := c.agents[0].Stats()
+	if st.PinRejects == 0 {
+		t.Fatalf("stale advertisement was not rejected: %+v", st)
+	}
+	if pins := b0.Map.PinCount(0); pins != 1 {
+		// 1 pin is legitimate: block 0's true fingerprint was also
+		// advertised by the write itself and hinted.
+		t.Fatalf("block 0 holds %d pins, want 1", pins)
+	}
+	if tc := c.tier.Snapshot(); tc.TableFixes == 0 {
+		t.Fatalf("tier never dropped the stale entry: %+v", tc)
+	}
+	c.check(t)
+}
+
+// TestRecoveryRebuildsPinsFromShardIndexes: after a crash the tier is
+// rebuilt from the shard maps alone — remote mappings recover through
+// the journaled Map path, canonicals are re-pinned as ref pins, and
+// content stays reachable.
+func TestRecoveryRebuildsPinsFromShardIndexes(t *testing.T) {
+	c := newCluster(t, 2)
+	ids := seq(300, 8)
+
+	write(t, c.engs[0], 0, 0, ids)
+	c.settle(1000)
+	write(t, c.engs[1], 2000, 0, ids)
+	c.settle(3000)
+
+	// Whole-node crash: every shard loads its journal, remote mappings
+	// found in the recovered maps yield pin lists, recovery finishes
+	// with canonicals protected, tier state resets.
+	b := []*engine.Base{c.engs[0].Base(), c.engs[1].Base()}
+	for i := range b {
+		if _, err := b[i].RecoverLoad(); err != nil {
+			t.Fatalf("shard %d load: %v", i, err)
+		}
+	}
+	pinned := make([][]alloc.PBA, 2)
+	for i := range b {
+		seen := map[alloc.PBA]bool{}
+		b[i].Map.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+			if alloc.IsRemote(pba) && !seen[pba] {
+				seen[pba] = true
+				owner, canon := alloc.RemoteParts(pba)
+				pinned[owner] = append(pinned[owner], canon)
+			}
+			return true
+		})
+	}
+	for i := range b {
+		b[i].RecoverFinish(pinned[i])
+	}
+	c.tier.Reset()
+
+	for pba := alloc.PBA(0); pba < 8; pba++ {
+		if pins := b[0].Map.PinCount(pba); pins != 1 {
+			t.Fatalf("recovered canonical %d holds %d pins, want 1 ref pin (hinted pins are volatile)", pba, pins)
+		}
+	}
+	for i, id := range ids {
+		enc, ok := b[1].ResolveRemote(uint64(i))
+		if !ok {
+			t.Fatalf("lba %d: remote mapping lost in recovery", i)
+		}
+		_, canon := alloc.RemoteParts(enc)
+		if got, live := b[0].Store.Read(canon); !live || got != id {
+			t.Fatalf("lba %d: canonical content %d,%v want %d", i, got, live, id)
+		}
+	}
+	c.check(t)
+}
+
+// TestRemoteReadResolvesThroughMapping: a read of a folded LBA pays the
+// modeled remote fetch and returns success, and repeat reads hit the
+// local read cache.
+func TestRemoteReadResolvesThroughMapping(t *testing.T) {
+	c := newCluster(t, 2)
+	ids := seq(800, 8)
+	write(t, c.engs[0], 0, 0, ids)
+	c.settle(1000)
+	write(t, c.engs[1], 2000, 0, ids)
+	c.settle(3000)
+
+	rt, err := c.engs[1].Read(&trace.Request{Time: 4000, Op: trace.Read, LBA: 0, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt < engine.RemoteReadUS {
+		t.Fatalf("remote read rt %dus, want >= %dus (modeled remote fetch)", rt, engine.RemoteReadUS)
+	}
+	st := c.engs[1].Stats()
+	if st.RemoteReads == 0 {
+		t.Fatalf("no remote reads counted: %+v", st)
+	}
+	before := st.CacheHits
+	if _, err := c.engs[1].Read(&trace.Request{Time: 5000000, Op: trace.Read, LBA: 0, N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits <= before {
+		t.Fatalf("repeat remote read missed the read cache (hits %d → %d)", before, st.CacheHits)
+	}
+}

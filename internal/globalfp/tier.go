@@ -1,0 +1,275 @@
+package globalfp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/probe"
+)
+
+// tierEntry is one fingerprint's record: the canonical copy and the
+// shards already granted a hint for it (suppresses duplicate-ad
+// re-grant storms; fresh advertisements may always re-grant, which is
+// how settlement re-advertisement retries faulted folds).
+type tierEntry struct {
+	canon   alloc.PBA // remote-encoded owner+pba
+	granted uint64    // beneficiary shards already granted
+}
+
+// partition is one fingerprint partition: its own table, ad queue, and
+// worker goroutine, so tier load spreads without a global lock.
+type partition struct {
+	mu  sync.Mutex
+	tbl *probe.Map[chunk.Fingerprint, tierEntry]
+	ch  chan ad
+}
+
+// Tier is the global fingerprint tier shared by every shard of one
+// server: fingerprint-partitioned tables fed by bounded ad queues,
+// plus the reliable control inboxes the shard agents drain.
+type Tier struct {
+	p      Params
+	shards int
+	parts  []partition
+	inbox  []inbox
+	agents []*Agent
+	wg     sync.WaitGroup
+
+	stopped atomic.Bool
+
+	adsQueued      atomic.Int64
+	adsDropped     atomic.Int64
+	adsProcessed   atomic.Int64
+	dupsDetected   atomic.Int64
+	hintsBroadcast atomic.Int64
+	tableFixes     atomic.Int64
+	recalls        atomic.Int64
+}
+
+// NewTier builds the tier for a server of the given shard count and
+// starts its partition workers. Beneficiary sets are shard bitmasks,
+// so the tier supports 2–64 shards.
+func NewTier(shards int, p Params) (*Tier, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("globalfp: tier needs at least 2 shards (got %d); a single shard already sees the whole content stream", shards)
+	}
+	if shards > 64 {
+		return nil, fmt.Errorf("globalfp: tier supports at most 64 shards (got %d)", shards)
+	}
+	p = p.withDefaults()
+	t := &Tier{
+		p:      p,
+		shards: shards,
+		parts:  make([]partition, p.Partitions),
+		inbox:  make([]inbox, shards),
+		agents: make([]*Agent, shards),
+	}
+	for i := range t.parts {
+		t.parts[i].tbl = probe.NewMap[chunk.Fingerprint, tierEntry](1 << 12)
+		t.parts[i].ch = make(chan ad, p.QueueLen)
+	}
+	for i := range t.parts {
+		part := &t.parts[i]
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for a := range part.ch {
+				t.processAd(a)
+			}
+		}()
+	}
+	return t, nil
+}
+
+// Shards reports the shard count the tier was built for.
+func (t *Tier) Shards() int { return t.shards }
+
+// Agent returns the shard's registered agent (nil before Attach).
+func (t *Tier) Agent(shard int) *Agent { return t.agents[shard] }
+
+func (t *Tier) register(shard int, a *Agent) {
+	if t.agents[shard] != nil {
+		panic(fmt.Sprintf("globalfp: shard %d attached twice", shard))
+	}
+	t.agents[shard] = a
+}
+
+func (t *Tier) part(fp chunk.Fingerprint) *partition {
+	return &t.parts[binary.LittleEndian.Uint64(fp[:8])%uint64(len(t.parts))]
+}
+
+func (t *Tier) send(shard int, m message) { t.inbox[shard].push(m) }
+
+// Advertise publishes one (fingerprint, shard, PBA) sighting.
+// Non-blocking while the tier is serving: a full partition queue drops
+// the ad (a lost opportunity, never an error). After Stop —
+// settlement re-advertisement — ads are processed synchronously
+// instead, so nothing published during drain is lost.
+func (t *Tier) Advertise(shard int, fp chunk.Fingerprint, pba alloc.PBA, fresh bool) {
+	a := ad{fp: fp, pba: pba, shard: shard, fresh: fresh}
+	if t.stopped.Load() {
+		t.processAd(a)
+		return
+	}
+	select {
+	case t.part(fp).ch <- a:
+		t.adsQueued.Add(1)
+	default:
+		t.adsDropped.Add(1)
+	}
+}
+
+// Stop closes the ad queues and waits for the workers to drain every
+// queued advertisement. Subsequent Advertise calls process
+// synchronously (settlement).
+func (t *Tier) Stop() {
+	if t.stopped.Swap(true) {
+		return
+	}
+	for i := range t.parts {
+		close(t.parts[i].ch)
+	}
+	t.wg.Wait()
+}
+
+// processAd lands one advertisement on its partition table, emitting
+// whatever pin/grant traffic it implies.
+func (t *Tier) processAd(a ad) {
+	t.adsProcessed.Add(1)
+	enc := alloc.MakeRemote(a.shard, a.pba)
+	p := t.part(a.fp)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.tbl.Find(a.fp)
+	if !ok {
+		// First sighting: register the canonical and ask its owner to
+		// grant index hints to every other shard — the proactive push
+		// that lets a peer's first write of this content deduplicate
+		// inline instead of becoming a per-shard duplicate copy.
+		all := (uint64(1)<<uint(t.shards) - 1) &^ (uint64(1) << uint(a.shard))
+		p.tbl.Put(a.fp, tierEntry{canon: enc, granted: all})
+		t.send(a.shard, message{kind: msgPinReq, fp: a.fp, canon: enc, bene: all})
+		t.hintsBroadcast.Add(1)
+		return
+	}
+	if e.canon == enc {
+		return // the canonical advertising itself
+	}
+	owner, _ := alloc.RemoteParts(e.canon)
+	if owner == a.shard {
+		// another copy on the canonical's own shard: the local
+		// scanner's cursor sweep merges same-shard duplicates
+		return
+	}
+	// Cross-shard duplicate detected: (re-)grant the advertiser a hint
+	// with a targeted fold of its copy. Duplicate-hit ads for an
+	// already-granted shard are suppressed (the fold is in flight);
+	// fresh ads always re-grant, so settlement re-advertisement
+	// retries candidates an injected fault aborted.
+	bit := uint64(1) << uint(a.shard)
+	if !a.fresh && e.granted&bit != 0 {
+		return
+	}
+	t.dupsDetected.Add(1)
+	e.granted |= bit
+	t.send(owner, message{
+		kind: msgPinReq, fp: a.fp, canon: e.canon,
+		bene: bit, dup: a.pba, hasDup: true,
+	})
+}
+
+// Fix drops a table entry whose canonical failed owner-side validation
+// (freed or overwritten before the pin request landed — the stale-ad
+// case). The next fresh advertisement re-registers the fingerprint.
+func (t *Tier) Fix(fp chunk.Fingerprint, canon alloc.PBA) {
+	p := t.part(fp)
+	p.mu.Lock()
+	if e, ok := p.tbl.Find(fp); ok && e.canon == canon {
+		p.tbl.Delete(fp)
+	}
+	p.mu.Unlock()
+	t.tableFixes.Add(1)
+}
+
+// Recall starts reclaiming a canonical whose owner paroled it: the
+// table entry is dropped and a revoke is broadcast to every other
+// shard. Returns the number of acks the owner must collect before
+// releasing the hinted pin.
+func (t *Tier) Recall(fp chunk.Fingerprint, shard int, pba alloc.PBA) int {
+	enc := alloc.MakeRemote(shard, pba)
+	p := t.part(fp)
+	p.mu.Lock()
+	if e, ok := p.tbl.Find(fp); ok && e.canon == enc {
+		p.tbl.Delete(fp)
+	}
+	p.mu.Unlock()
+	acks := 0
+	for s := 0; s < t.shards; s++ {
+		if s == shard {
+			continue
+		}
+		t.send(s, message{kind: msgRevoke, fp: fp, canon: enc})
+		acks++
+	}
+	t.recalls.Add(1)
+	return acks
+}
+
+// Reset drops all volatile tier state — partition tables and queued
+// control messages — after a crash; the serving layer re-pins
+// canonicals from the recovered shard maps and the tables are
+// re-learned from fresh advertisements (rebuild-on-recover, no new
+// journal).
+func (t *Tier) Reset() {
+	for i := range t.parts {
+		p := &t.parts[i]
+		p.mu.Lock()
+		p.tbl = probe.NewMap[chunk.Fingerprint, tierEntry](1 << 12)
+		p.mu.Unlock()
+	}
+	for i := range t.inbox {
+		t.inbox[i].clear()
+	}
+}
+
+// Backlog reports the total queued control messages across all shard
+// inboxes (settlement polls it toward zero).
+func (t *Tier) Backlog() int {
+	n := 0
+	for i := range t.inbox {
+		n += t.inbox[i].len()
+	}
+	return n
+}
+
+// Counters is a snapshot of the tier's lifetime counters.
+type Counters struct {
+	AdsQueued, AdsDropped, AdsProcessed int64
+	DupsDetected, HintsBroadcast        int64
+	TableFixes, Recalls                 int64
+	Entries                             int64
+}
+
+// Snapshot reads the tier counters and current table size.
+func (t *Tier) Snapshot() Counters {
+	c := Counters{
+		AdsQueued:      t.adsQueued.Load(),
+		AdsDropped:     t.adsDropped.Load(),
+		AdsProcessed:   t.adsProcessed.Load(),
+		DupsDetected:   t.dupsDetected.Load(),
+		HintsBroadcast: t.hintsBroadcast.Load(),
+		TableFixes:     t.tableFixes.Load(),
+		Recalls:        t.recalls.Load(),
+	}
+	for i := range t.parts {
+		p := &t.parts[i]
+		p.mu.Lock()
+		c.Entries += int64(p.tbl.Len())
+		p.mu.Unlock()
+	}
+	return c
+}

@@ -197,6 +197,14 @@ func (c *Controller) IndexLookup(fp chunk.Fingerprint) (index.Entry, bool) {
 	return index.Entry{}, false
 }
 
+// IndexPeek reads the hot index without touching recency, hit
+// statistics, or the ghost — the global fingerprint tier uses it to
+// find a shard's local copy of a fingerprint before a granted hint
+// overwrites the binding.
+func (c *Controller) IndexPeek(fp chunk.Fingerprint) (index.Entry, bool) {
+	return c.idx.Peek(fp)
+}
+
 // IndexInsert adds fp → pba to the hot index. In adaptive mode evicted
 // entries move to the ghost index; either way the reverse map tracks
 // every live entry for purge-on-free.

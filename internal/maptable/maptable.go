@@ -249,6 +249,27 @@ func (p *pagedCount) release() {
 	p.n = 0
 }
 
+// each visits every nonzero counter; return false from fn to stop.
+// Dense keys come in ascending order, far keys in map order.
+func (p *pagedCount) each(fn func(k uint64, v int32) bool) {
+	for pg, page := range p.pages {
+		if page == nil {
+			continue
+		}
+		base := uint64(pg) << tblPageBits
+		for i, v := range page {
+			if v != 0 && !fn(base+uint64(i), v) {
+				return
+			}
+		}
+	}
+	for k, v := range p.far {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
 const (
 	encPresent = 1 << 63
 	encShared  = 1 << 62
@@ -291,6 +312,14 @@ type Table struct {
 	// freedScratch backs the slices returned by Set/Unset/dropMapping;
 	// it is valid only until the table's next mutating call.
 	freedScratch []alloc.PBA
+
+	// OnParole, when set, is invoked whenever a block's last logical
+	// reference disappears while a pin suppresses its reclamation — the
+	// block survives as a pinned, unmapped "parolee". The global
+	// fingerprint tier uses the hook to start recalling cross-shard
+	// hints so the block can eventually be freed. The handler runs
+	// inside the mutating call and must not re-enter the table.
+	OnParole func(alloc.PBA)
 }
 
 type mapping struct {
@@ -500,6 +529,9 @@ func (t *Table) dropMapping(lba uint64) []alloc.PBA {
 			t.freedScratch = append(t.freedScratch[:0], mp.pba)
 			return t.freedScratch
 		}
+		if t.OnParole != nil {
+			t.OnParole(mp.pba)
+		}
 	}
 	return nil
 }
@@ -564,6 +596,17 @@ func (t *Table) Each(fn func(lba uint64, pba alloc.PBA, shared bool) bool) {
 
 // Pin adds an index-cache pin to pba, protecting it from reclamation.
 func (t *Table) Pin(pba alloc.PBA) { t.pins.add(uint64(pba), 1) }
+
+// PinCount reports the number of pins currently held on pba.
+func (t *Table) PinCount(pba alloc.PBA) int { return int(t.pins.get(uint64(pba))) }
+
+// EachPinned visits every block holding at least one pin; return false
+// from fn to stop early. Dense PBAs come in ascending order.
+func (t *Table) EachPinned(fn func(pba alloc.PBA, pins int) bool) {
+	t.pins.each(func(k uint64, v int32) bool {
+		return fn(alloc.PBA(k), int(v))
+	})
+}
 
 // Unpin drops an index pin. It returns true when the block became
 // reclaimable (no pins, no logical references) — the caller frees it.

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/engine"
+	"github.com/pod-dedup/pod/internal/globalfp"
+	"github.com/pod-dedup/pod/internal/metrics"
+)
+
+// baseHolder matches engines exposing their substrate (Select-Dedupe
+// and POD); the global fingerprint tier and the cross-shard audit need
+// direct Map/Store access.
+type baseHolder interface {
+	Base() *engine.Base
+}
+
+// initGlobalFP builds the tier and wires one agent per shard. Called by
+// New after every shard engine exists (so an engine-hook-attached
+// bgdedup scanner is already in place for the agent to wrap).
+func (s *Server) initGlobalFP() error {
+	tier, err := globalfp.NewTier(s.cfg.Shards, s.cfg.GlobalFPParams)
+	if err != nil {
+		return err
+	}
+	s.tier = tier
+	s.agents = make([]*globalfp.Agent, s.cfg.Shards)
+	for i, sh := range s.shards {
+		a, ok := globalfp.Attach(sh.eng, tier, i)
+		if !ok {
+			return fmt.Errorf("server: shard %d engine %s has no Map-table substrate; the global fingerprint tier requires Select-Dedupe or POD engines", i, sh.eng.Name())
+		}
+		s.agents[i] = a
+	}
+
+	// Tier-level gauges live in the server registry: the tier is shared
+	// state, not any one shard's.
+	s.reg.GaugeFunc("globalfp_ads_queued", func() int64 { return tier.Snapshot().AdsQueued })
+	s.reg.GaugeFunc("globalfp_ads_dropped", func() int64 { return tier.Snapshot().AdsDropped })
+	s.reg.GaugeFunc("globalfp_dups_detected", func() int64 { return tier.Snapshot().DupsDetected })
+	s.reg.GaugeFunc("globalfp_hints_broadcast", func() int64 { return tier.Snapshot().HintsBroadcast })
+	s.reg.GaugeFunc("globalfp_table_entries", func() int64 { return tier.Snapshot().Entries })
+	s.reg.GaugeFunc("globalfp_table_fixes", func() int64 { return tier.Snapshot().TableFixes })
+	s.reg.GaugeFunc("globalfp_recalls", func() int64 { return tier.Snapshot().Recalls })
+	return nil
+}
+
+// initRemovalGauges exports the paper's headline metric as gauges:
+// per-shard writes-removed percentage (×100, labeled like the other
+// shard series) in each shard engine's registry, and the aggregate in
+// the server registry.
+//
+// Locking: a shard's engine registry is only snapshotted with that
+// shard's mu held (Stats does so), so the per-shard callback reads the
+// engine stats bare. The server registry is snapshotted by Stats
+// *before* any shard lock is taken, so the aggregate callback may take
+// each shard's mu in turn.
+func (s *Server) initRemovalGauges() {
+	for _, sh := range s.shards {
+		sh := sh
+		sh.eng.Metrics().GaugeFunc(
+			metrics.Labeled("server_writes_removed_pct_x100", "shard", strconv.Itoa(sh.id)),
+			func() int64 { return int64(sh.eng.Stats().WriteRemovalPct() * 100) })
+	}
+	s.reg.GaugeFunc("server_writes_removed_pct_x100", func() int64 {
+		agg := engine.NewStats()
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			agg.Merge(sh.eng.Stats())
+			sh.mu.Unlock()
+		}
+		return int64(agg.WriteRemovalPct() * 100)
+	})
+}
+
+// settleGlobalFP runs once, from Close, after the workers have drained:
+// the tier's ad queues are stopped and drained, every shard republishes
+// its distinct live blocks (retrying candidates that were dropped under
+// load or aborted by injected faults), and the shards exchange
+// grant/fold/recall traffic round-robin until a full round moves
+// nothing — the quiescent point the cross-shard audit assumes.
+func (s *Server) settleGlobalFP() {
+	s.tier.Stop()
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		s.agents[i].ReAdvertise()
+		sh.mu.Unlock()
+	}
+	// Each round's work strictly shrinks the remaining protocol state
+	// (folds consume duplicates, recalls consume paroles); the cap is a
+	// backstop against an invariant bug turning Close into a hang.
+	for round := 0; round < 256; round++ {
+		moved := 0
+		for i, sh := range s.shards {
+			sh.mu.Lock()
+			moved += s.agents[i].DrainAll(sh.lastStart)
+			sh.mu.Unlock()
+		}
+		if moved == 0 && s.tier.Backlog() == 0 {
+			return
+		}
+	}
+}
+
+// recoverGlobalFP is CrashAndRecover with the tier enabled. Recovery is
+// three-phase because cross-shard references must be re-pinned before
+// any allocator is rebuilt:
+//
+//  1. every shard replays its NVRAM journal into a recovered Map table;
+//  2. the recovered maps are scanned for remote mappings, yielding one
+//     pin per (referencing shard, canonical) pair — the durable remote
+//     references are the tier's only crash-surviving state;
+//  3. every shard finishes recovery with its pin list, rebuilding
+//     allocator/store occupancy with canonicals protected.
+//
+// The tier tables and all agent bookkeeping are volatile and reset;
+// they re-learn from fresh advertisements (rebuild-on-recover).
+func (s *Server) recoverGlobalFP() (int, error) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	bases := make([]*engine.Base, len(s.shards))
+	for i, sh := range s.shards {
+		h, ok := sh.eng.(baseHolder)
+		if !ok {
+			return 0, fmt.Errorf("server: shard %d engine %s does not support crash recovery", i, sh.eng.Name())
+		}
+		bases[i] = h.Base()
+	}
+	total := 0
+	for i, b := range bases {
+		n, err := b.RecoverLoad()
+		if err != nil {
+			return total, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		total += n
+	}
+	pinned := make([][]alloc.PBA, len(bases))
+	for _, b := range bases {
+		seen := make(map[alloc.PBA]bool)
+		b.Map.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+			if !alloc.IsRemote(pba) || seen[pba] {
+				return true
+			}
+			seen[pba] = true
+			owner, canon := alloc.RemoteParts(pba)
+			pinned[owner] = append(pinned[owner], canon)
+			return true
+		})
+	}
+	for i, b := range bases {
+		b.RecoverFinish(pinned[i])
+	}
+	s.tier.Reset()
+	return total, nil
+}
+
+// CheckConsistency audits the whole server: each shard's engine-level
+// invariants, then — with the tier enabled — the cross-shard reference
+// invariant: every remote mapping's canonical must be live on its
+// owner, and the owner's pin count must equal the number of
+// referencing shards plus at most one (the tier's hinted pin). Call it
+// after Close; mid-serve the protocol is legitimately in flight.
+func (s *Server) CheckConsistency() error {
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if !closed {
+		return errors.New("server: CheckConsistency before Close")
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	for i, sh := range s.shards {
+		if c, ok := sh.eng.(interface{ CheckConsistency() error }); ok {
+			if err := c.CheckConsistency(); err != nil {
+				return fmt.Errorf("server: shard %d: %w", i, err)
+			}
+		}
+	}
+	if s.tier == nil {
+		return nil
+	}
+	bases := make([]*engine.Base, len(s.shards))
+	for i, sh := range s.shards {
+		h, ok := sh.eng.(baseHolder)
+		if !ok {
+			return fmt.Errorf("server: shard %d engine %s lacks a substrate for the cross-shard audit", i, sh.eng.Name())
+		}
+		bases[i] = h.Base()
+	}
+	refs := make(map[alloc.PBA]uint64) // canonical (encoded) → referencing shards
+	for i, b := range bases {
+		seen := make(map[alloc.PBA]bool)
+		b.Map.Each(func(_ uint64, pba alloc.PBA, _ bool) bool {
+			if alloc.IsRemote(pba) && !seen[pba] {
+				seen[pba] = true
+				refs[pba] |= uint64(1) << uint(i)
+			}
+			return true
+		})
+	}
+	for enc, mask := range refs {
+		owner, canon := alloc.RemoteParts(enc)
+		ob := bases[owner]
+		if _, live := ob.Store.Read(canon); !live {
+			return fmt.Errorf("server: shards %b reference dead canonical %d on shard %d", mask, canon, owner)
+		}
+		pins := ob.Map.PinCount(canon)
+		nrefs := bits.OnesCount64(mask)
+		if slack := pins - nrefs; slack < 0 || slack > 1 {
+			return fmt.Errorf("server: canonical %d on shard %d holds %d pins for %d referencing shards (want refs or refs+1)", canon, owner, pins, nrefs)
+		}
+	}
+	return nil
+}

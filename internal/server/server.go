@@ -32,9 +32,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/fault"
+	"github.com/pod-dedup/pod/internal/globalfp"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/sim"
 	"github.com/pod-dedup/pod/internal/stats"
@@ -113,6 +115,15 @@ type Config struct {
 	// NewEngine constructs shard i's engine. Each call must return a
 	// fresh engine over fresh substrates; shards share nothing.
 	NewEngine func(shard int) engine.Engine
+
+	// GlobalFP enables the global fingerprint tier: an async
+	// fingerprint-sharded second index that detects cross-shard
+	// duplicates and recovers the dedup ratio lost to LBA sharding.
+	// Requires 2–64 shards and engines exposing a Map-table substrate
+	// (Select-Dedupe or POD); see internal/globalfp.
+	GlobalFP bool
+	// GlobalFPParams tunes the tier; zero values select defaults.
+	GlobalFPParams globalfp.Params
 
 	// TraceSample, when positive, records every TraceSample-th request
 	// served by each shard as a structured trace (full phase timeline)
@@ -308,6 +319,11 @@ type Server struct {
 	// metrics live in each shard engine's registry under shard labels.
 	reg *metrics.Registry
 
+	// global fingerprint tier (nil unless Config.GlobalFP)
+	tier       *globalfp.Tier
+	agents     []*globalfp.Agent
+	settleOnce sync.Once
+
 	wg      sync.WaitGroup
 	closeMu sync.RWMutex
 	closed  bool
@@ -385,6 +401,12 @@ func New(cfg Config) (*Server, error) {
 				return 0
 			})
 		s.shards[i] = sh
+	}
+	s.initRemovalGauges()
+	if cfg.GlobalFP {
+		if err := s.initGlobalFP(); err != nil {
+			return nil, err
+		}
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -763,6 +785,12 @@ func (s *Server) Close() error {
 		}
 	}
 	s.wg.Wait()
+	if s.tier != nil {
+		// Settlement: with the workers drained, stop the ad queues and
+		// run the tier protocol to quiescence (every caller of a
+		// concurrent Close waits for it; the work runs once).
+		s.settleOnce.Do(s.settleGlobalFP)
+	}
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return s.closeErr
@@ -779,12 +807,37 @@ func (s *Server) WithEngine(i int, fn func(engine.Engine)) {
 }
 
 // ReadContent resolves lba through its owning shard's engine (the
-// verification path; no simulated I/O).
+// verification path; no simulated I/O). With the global fingerprint
+// tier enabled a mapping may name a canonical block on another shard:
+// the remote reference is resolved under the local shard's lock, then
+// the content is read under the owner's — two sequential acquisitions,
+// never nested, so shard lock order stays acyclic.
 func (s *Server) ReadContent(lba uint64) (uint64, bool) {
 	sh := s.shards[s.router.Shard(lba)]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.eng.ReadContent(lba)
+	if id, ok := sh.eng.ReadContent(lba); ok {
+		sh.mu.Unlock()
+		return id, true
+	}
+	if s.tier != nil {
+		if h, ok := sh.eng.(baseHolder); ok {
+			if enc, ok := h.Base().ResolveRemote(lba); ok {
+				owner, canon := alloc.RemoteParts(enc)
+				sh.mu.Unlock()
+				osh := s.shards[owner]
+				osh.mu.Lock()
+				defer osh.mu.Unlock()
+				if oh, ok := osh.eng.(baseHolder); ok {
+					if id, live := oh.Base().Store.Read(canon); live {
+						return uint64(id), true
+					}
+				}
+				return 0, false
+			}
+		}
+	}
+	sh.mu.Unlock()
+	return 0, false
 }
 
 // CrashAndRecover simulates a whole-node power failure after Close:
@@ -798,6 +851,9 @@ func (s *Server) CrashAndRecover() (int, error) {
 	s.closeMu.RUnlock()
 	if !closed {
 		return 0, errors.New("server: CrashAndRecover before Close")
+	}
+	if s.tier != nil {
+		return s.recoverGlobalFP()
 	}
 	total := 0
 	for _, sh := range s.shards {
