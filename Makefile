@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-flood bench-delta fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-flood smoke-streams bench-delta fuzz clean
 
 all: build vet test
 
@@ -21,6 +21,7 @@ check:
 	$(MAKE) smoke-bgdedup
 	$(MAKE) smoke-globalfp
 	$(MAKE) smoke-flood
+	$(MAKE) smoke-streams
 	$(MAKE) bench-delta
 
 # Serving-mode smoke: a small sharded podload run. podload exits
@@ -81,6 +82,20 @@ smoke-globalfp:
 smoke-flood:
 	$(GO) run -race ./cmd/podload -trace mixed -scale 0.02 -shards 16 -clients 16 \
 		-rate 20000 -chaos sector -chaos-seed 11 -metrics-out /tmp/pod-flood-smoke.json
+
+# Stream-apportionment smoke: the adversarial multi-tenant sweeps under
+# the race detector. TestStreamsDynamicBeatsStatic fails unless the
+# locality-driven apportioner removes more writes in total than every
+# static split (and than a fully shared cache on the scan mix), and the
+# core property tests pin single-stream equivalence and the
+# never-starved floor, so this target fails if the apportionment loop
+# ever stops adapting. A serving-layer run then exercises the tagged
+# path end to end (podload exits non-zero if no tagged write reaches an
+# engine).
+smoke-streams:
+	$(GO) test -race -run 'TestStream' ./internal/experiments/ ./internal/core/ ./internal/icache/
+	$(GO) test -race ./internal/locality/
+	$(GO) run -race ./cmd/podload -streams -stream-profile adversarial -scale 0.1 -shards 2 -rate 2000
 
 # Bench-delta gate: regenerate the full-scale trajectory (now cheap
 # enough to run in CI) and fail on regressions against the committed

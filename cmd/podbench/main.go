@@ -73,6 +73,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "                [-trace-sample n] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
 		fmt.Fprintf(os.Stderr, "             capacity (background-dedup reclamation; on demand, not in \"all\")\n")
+		fmt.Fprintf(os.Stderr, "             streams (per-stream index-cache apportionment sweep; on demand, not in \"all\")\n")
 		fmt.Fprintf(os.Stderr, "profiling flags measure the harness itself: -cpuprofile/-memprofile write pprof\n")
 		fmt.Fprintf(os.Stderr, "profiles, -bench-json writes a perf trajectory tagged with -bench-label\n")
 		flag.PrintDefaults()
@@ -87,10 +88,11 @@ func main() {
 	// misplaced or misspelled flag ("podbench table2 -bogus") would
 	// otherwise ride along as an experiment name; reject everything
 	// up front rather than failing after minutes of replay.
-	// "capacity" (background dedup reclamation) is on-demand only: it is
+	// "capacity" (background dedup reclamation) and "streams" (per-
+	// stream index-cache apportionment) are on-demand only: they are
 	// not part of "all" so the default artifact set stays identical to
 	// the paper's engine matrix.
-	known := map[string]bool{"all": true, "capacity": true}
+	known := map[string]bool{"all": true, "capacity": true, "streams": true}
 	for _, n := range allExperiments {
 		known[n] = true
 	}
@@ -172,6 +174,11 @@ func main() {
 				fmt.Println(env.Raw())
 			case "capacity":
 				t, _ := env.Capacity()
+				fmt.Println(t)
+			case "streams":
+				t, _ := env.Streams()
+				fmt.Println(t)
+				t, _ = env.StreamsScan()
 				fmt.Println(t)
 			case "schemes":
 				fmt.Println(env.SchemesTable())

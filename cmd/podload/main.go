@@ -8,6 +8,7 @@
 //	        [-shards n] [-clients n] [-rate r] [-requests n]
 //	        [-write-ratio f] [-queue n] [-batch n] [-policy block|shed]
 //	        [-route-chunks n] [-submit-batch n] [-cpuprofile f]
+//	        [-streams] [-stream-profile adversarial|scan]
 //	        [-bench-json f] [-bench-label s]
 //	        [-metrics-out f] [-metrics-prom f] [-trace-sample n]
 //
@@ -41,6 +42,19 @@
 // phase timeline. With -metrics-out the run additionally fails (exit 1)
 // if the snapshot contains no histogram samples — the CI smoke
 // assertion that the metrics pipeline is live.
+//
+// Multi-tenant streams: -streams enables per-stream fingerprint-index
+// apportionment on every shard's engine (POD and Select-Dedupe schemes
+// only) — the iCache index partition is divided into per-tenant quotas
+// by the locality estimator, with a shared floor. It needs a
+// stream-tagged workload: the mixed trace (tenants tagged 1-3) or an
+// adversarial profile via -stream-profile (adversarial = two anti-phase
+// burst tenants; scan = those plus a churning low-locality scan), which
+// replaces -trace and pins the engine DRAM budget to the profile's
+// tuning. The run prints a per-stream verdict block — writes, writes
+// removed inline (pct recomputed from the counts merged across
+// shards), and each tenant's summed index quota — and fails (exit 1)
+// if no stream-tagged write reached any engine.
 //
 // Background dedup: -bgdedup attaches the idle-aware out-of-line
 // deduplication scanner (internal/bgdedup) to every shard's engine
@@ -128,6 +142,8 @@ func main() {
 	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, bgdedup, or globalfp (\"\" = none)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault schedule and transient coin")
 	deadlineUS := flag.Int64("deadline-us", 0, "per-request virtual deadline in us (0 = none)")
+	streamsOn := flag.Bool("streams", false, "enable per-stream index-cache apportionment on every shard (POD / Select-Dedupe; needs a stream-tagged workload)")
+	streamProfile := flag.String("stream-profile", "", "adversarial multi-tenant workload: adversarial (anti-phase burst tenants) or scan (plus a churning scan); requires -streams, replaces -trace")
 	bgDedup := flag.Bool("bgdedup", false, "attach the idle-aware background dedup scanner to every shard (POD / Select-Dedupe only)")
 	bgRate := flag.Int64("bgdedup-rate", 0, "background scanner budget, 4 KiB blocks per simulated second (0 = default)")
 	bgExpect := flag.Bool("bgdedup-expect-reclaim", false, "fail the run unless the background scanner reclaimed at least one block")
@@ -142,6 +158,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-submit-batch n]\n")
 		fmt.Fprintf(os.Stderr, "               [-cpuprofile f] [-bench-json f] [-bench-label s]\n")
 		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
+		fmt.Fprintf(os.Stderr, "               [-streams] [-stream-profile adversarial|scan]\n")
 		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
 		fmt.Fprintf(os.Stderr, "               [-bgdedup] [-bgdedup-rate n] [-bgdedup-expect-reclaim] [-cleaner]\n")
 		fmt.Fprintf(os.Stderr, "               [-globalfp] [-globalfp-queue n] [-globalfp-rate n] [-globalfp-expect-remaps]\n")
@@ -242,14 +259,50 @@ func main() {
 			pod.SchemePOD, pod.SchemeSelectDedupe, schemeName)
 		os.Exit(2)
 	}
+	// Stream-mode validation fails fast, before any trace is generated:
+	// a bad combination would otherwise only surface as an all-zero
+	// verdict block minutes into a replay.
+	switch *streamProfile {
+	case "", "adversarial", "scan":
+	default:
+		fmt.Fprintf(os.Stderr, "podload: unknown -stream-profile %q (want adversarial or scan)\n", *streamProfile)
+		os.Exit(2)
+	}
+	if *streamProfile != "" && !*streamsOn {
+		fmt.Fprintln(os.Stderr, "podload: -stream-profile requires -streams")
+		os.Exit(2)
+	}
+	if *streamsOn {
+		if schemeName != pod.SchemePOD && schemeName != pod.SchemeSelectDedupe {
+			fmt.Fprintf(os.Stderr, "podload: -streams supports schemes %s and %s only (got %s)\n",
+				pod.SchemePOD, pod.SchemeSelectDedupe, schemeName)
+			os.Exit(2)
+		}
+		if *streamProfile == "" && *traceName != "mixed" {
+			fmt.Fprintf(os.Stderr, "podload: -streams needs a stream-tagged workload; trace %q is untagged (use -trace mixed or -stream-profile)\n", *traceName)
+			os.Exit(2)
+		}
+		if *streamProfile != "" && *writeRatio >= 0 {
+			fmt.Fprintln(os.Stderr, "podload: -write-ratio applies to named traces, not -stream-profile")
+			os.Exit(2)
+		}
+	}
 
 	// --- workload ---
 	var (
 		tr   *trace.Trace
 		prof workload.Profile
 	)
-	switch *traceName {
-	case "mixed":
+	switch {
+	case *streamProfile != "":
+		var dims workload.MixedDims
+		if *streamProfile == "adversarial" {
+			tr, _, dims = workload.AdversarialMix(*scale)
+		} else {
+			tr, _, dims = workload.AdversarialScanMix(*scale)
+		}
+		prof = workload.Profile{Name: tr.Name, FootprintChunks: dims.FootprintChunks, MemoryBytes: dims.MemoryBytes}
+	case *traceName == "mixed":
 		if *writeRatio >= 0 {
 			fmt.Fprintln(os.Stderr, "podload: -write-ratio applies to named traces, not mixed")
 			os.Exit(2)
@@ -316,6 +369,15 @@ func main() {
 		NewEngine: func(shard int) engine.Engine {
 			cfg := experiments.BuildConfig(prof, *scale)
 			cfg.Cleaner = engine.CleanerParams{Enabled: *cleanerOn}
+			if *streamsOn {
+				cfg.Streams = engine.StreamParams{Enabled: true}
+			}
+			if *streamProfile != "" {
+				// the adversarial pools are tuned against the profile's
+				// DRAM budget; scaling it with the trace would break the
+				// pool / index-partition ratios the mix is built around
+				cfg.MemoryBytes = prof.MemoryBytes
+			}
 			if *chaosName != "" {
 				// same fault plan against every shard's array; the
 				// transient coin varies per shard via the seed
@@ -344,6 +406,9 @@ func main() {
 
 	fmt.Printf("podload: trace=%s scheme=%s shards=%d clients=%d rate=%s requests=%d queue=%d batch=%d policy=%s\n",
 		tr.Name, schemeName, *shards, *clients, rateString(*rate), n, *queue, *batch, policy)
+	if *streamsOn {
+		fmt.Printf("streams: per-stream index-cache apportionment on (dynamic, locality-driven)\n")
+	}
 	if *chaosName != "" {
 		fmt.Printf("chaos: scenario=%s seed=%d horizon=%v deadline=%s\n",
 			*chaosName, *chaosSeed, horizon, usString(*deadlineUS))
@@ -409,7 +474,7 @@ func main() {
 				}
 				for _, i := range parts[c] {
 					r := &tr.Requests[i]
-					req := server.Request{Time: int64(arrivals[i]), Op: r.Op, LBA: r.LBA}
+					req := server.Request{Time: int64(arrivals[i]), Op: r.Op, LBA: r.LBA, Stream: r.Stream}
 					if r.Op == trace.Read {
 						req.Chunks = r.N
 					} else {
@@ -504,6 +569,37 @@ func main() {
 		}
 	}
 	fmt.Printf("shards: %d, completed/shard min %d max %d\n", snap.Shards, lo, hi)
+
+	// --- per-stream verdict ---
+	// Raw per-stream counters sum correctly across the merged shard
+	// snapshots; the removal percentage is recomputed from the merged
+	// counts (the per-shard pct gauge does not survive summation).
+	// Quotas likewise sum: the line reports the tenant's total index
+	// entries across every shard's partition.
+	if *streamsOn {
+		g := snap.Metrics.Gauges
+		tagged := int64(0)
+		for s := 0; s < int(trace.MaxStreams); s++ {
+			l := strconv.Itoa(s)
+			writes, okW := g[metrics.Labeled("stream_writes", "stream", l)]
+			quota, okQ := g[metrics.Labeled("icache_stream_quota", "stream", l)]
+			if !okW && !okQ {
+				continue
+			}
+			removed := g[metrics.Labeled("stream_writes_removed", "stream", l)]
+			pct := 0.0
+			if writes > 0 {
+				pct = 100 * float64(removed) / float64(writes)
+			}
+			fmt.Printf("stream %d: writes=%d removed=%d (%.1f%%) index-quota=%d entries\n",
+				s, writes, removed, pct, quota)
+			tagged += writes
+		}
+		if tagged == 0 {
+			fmt.Fprintln(os.Stderr, "podload: -streams: no stream-tagged writes reached any engine")
+			os.Exit(1)
+		}
+	}
 
 	// --- background-work verdict ---
 	// Unlabeled substrate gauges sum across shards in the merged snapshot.

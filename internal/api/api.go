@@ -26,17 +26,25 @@ const (
 // chunks.
 type ContentID = chunk.ContentID
 
+// StreamID identifies the tenant stream a request belongs to; the zero
+// value is the default (untagged) stream. Valid IDs are below
+// trace.MaxStreams.
+type StreamID = trace.StreamID
+
 // Request is one I/O against a simulated volume.
 //
 // Time is the arrival time in simulated microseconds. For writes,
 // Content carries one ContentID per 4 KB chunk and determines the
 // request length; Chunks is ignored. For reads, Chunks is the number
-// of 4 KB chunks to read.
+// of 4 KB chunks to read. Stream tags the tenant stream; engines with
+// per-stream cache apportionment enabled use it to divide fingerprint
+// index quota between co-located tenants.
 type Request struct {
 	Time    int64
 	Op      Op
 	LBA     uint64
 	Chunks  int
+	Stream  StreamID
 	Content []ContentID
 }
 
@@ -68,6 +76,9 @@ func (r *Request) Validate() error {
 	default:
 		return fmt.Errorf("api: unknown op %d", r.Op)
 	}
+	if r.Stream >= trace.MaxStreams {
+		return fmt.Errorf("api: stream id %d out of range (max %d)", r.Stream, trace.MaxStreams-1)
+	}
 	return nil
 }
 
@@ -79,6 +90,7 @@ func (r *Request) Trace() trace.Request {
 		Op:      r.Op,
 		LBA:     r.LBA,
 		N:       r.Len(),
+		Stream:  r.Stream,
 		Content: r.Content,
 	}
 }
@@ -90,6 +102,7 @@ func FromTrace(tr trace.Request) Request {
 		Time:    int64(tr.Time),
 		Op:      tr.Op,
 		LBA:     tr.LBA,
+		Stream:  tr.Stream,
 		Content: tr.Content,
 	}
 	if tr.Op == OpRead {

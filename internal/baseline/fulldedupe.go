@@ -36,7 +36,7 @@ func NewFullDedupe(cfg engine.Config) *FullDedupe {
 	f := &FullDedupe{
 		base: b,
 		// the in-memory portion of the full table is the index cache
-		full: index.NewFull(b.IC.Index().Cap()),
+		full: index.NewFull(b.IC.IndexCapTotal()),
 	}
 	b.OnFree = f.full.Forget
 	return f

@@ -60,7 +60,7 @@ type Core struct {
 // entries naming reclaimed blocks are dropped through the engine's
 // OnFree hook (chained, so an existing hook keeps firing).
 func NewCore(b *engine.Base) *Core {
-	c := &Core{b: b, fps: index.NewFull(b.IC.Index().Cap())}
+	c := &Core{b: b, fps: index.NewFull(b.IC.IndexCapTotal())}
 	prev := b.OnFree
 	b.OnFree = func(pba alloc.PBA) {
 		c.fps.Forget(pba)
@@ -83,7 +83,7 @@ func (c *Core) Counters() (scanned, mergedLBAs, dupBlocks, remapped, reclaimed i
 // re-scanning is idempotent — a block merged before the crash simply
 // has no duplicate left to find).
 func (c *Core) Reset() {
-	c.fps = index.NewFull(c.b.IC.Index().Cap())
+	c.fps = index.NewFull(c.b.IC.IndexCapTotal())
 }
 
 // ReadBatch reads the given physical blocks back elevator-style: sorted

@@ -80,7 +80,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 
 	dup, dedupe, target := s.base.WriteScratch(req.N)
 	for i := range chs {
-		if e, ok := s.base.IC.IndexLookup(chs[i].FP); ok {
+		if e, ok := s.base.IC.IndexLookupS(uint32(req.Stream), chs[i].FP); ok {
 			dup[i] = true
 			target[i] = e.PBA
 		}
@@ -120,7 +120,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 			return done.Sub(t), err
 		}
 		for k, pos := range positions {
-			s.base.InsertIndex(chs[pos].FP, pbas[k])
+			s.base.InsertIndexS(req.Stream, chs[pos].FP, pbas[k])
 			// canonical candidate for the tier: fire-and-forget, so
 			// the write path never waits on tier load
 			if sink != nil {
@@ -130,6 +130,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	} else {
 		done = s.base.AbsorbWrite(done)
 	}
+	s.base.NoteStreamWrite(req.Stream, len(positions) == 0)
 
 	s.base.VerifyWrite(req)
 	rt := done.Sub(t)

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/icache"
+	"github.com/pod-dedup/pod/internal/locality"
 	"github.com/pod-dedup/pod/internal/maptable"
 	"github.com/pod-dedup/pod/internal/metrics"
 	"github.com/pod-dedup/pod/internal/nvram"
@@ -64,6 +66,28 @@ type Config struct {
 	// Verify makes every dedup decision check the physical content
 	// model (catching index/store divergence at the point of damage).
 	Verify bool
+
+	// Streams configures HPDedup-style per-stream apportionment of the
+	// fingerprint-index cache (off unless Streams.Enabled). Used by the
+	// Select-Dedupe/POD write path; other engines ignore stream tags.
+	Streams StreamParams
+}
+
+// StreamParams configures per-stream index-cache apportionment.
+type StreamParams struct {
+	Enabled bool
+	// StaticShares, when non-nil, fixes each stream's share of the
+	// index partition for the engine's lifetime (no estimator) —
+	// the baseline the dynamic apportioner is evaluated against.
+	// When nil, a temporal-locality estimator re-divides the partition
+	// every Interval with a shared floor per active stream.
+	StaticShares map[uint32]float64
+	// Interval is the apportionment period (default: the engine's
+	// iCache evaluation interval).
+	Interval sim.Duration
+	// Locality tunes the estimator; the zero value selects defaults,
+	// with the sketch sized to the index partition.
+	Locality locality.Params
 }
 
 // WithDefaults fills unset fields with the evaluation defaults.
@@ -140,6 +164,14 @@ type Base struct {
 	cleaner  cleanerState
 	bg       BackgroundTask
 
+	// Stream-mode state (nil/zero unless Cfg.Streams.Enabled): the
+	// locality estimator behind dynamic apportionment, its schedule,
+	// and per-stream write-removal accounting for the fairness gauges.
+	Loc           *locality.Estimator
+	strInterval   sim.Duration
+	nextApportion sim.Time
+	strAcct       map[uint32]*streamWrites
+
 	// chScratch backs SplitRequest/SplitAndFingerprint. One write
 	// request is chunked, consumed, and forgotten before the next
 	// arrives, so the whole replay shares a single chunk buffer.
@@ -206,8 +238,41 @@ func NewBase(cfg Config) *Base {
 		b.cleaner = cleanerState{p: cfg.Cleaner.withDefaults(data)}
 		b.Map.EnableReverseIndex()
 	}
+	if cfg.Streams.Enabled {
+		b.setupStreams()
+	}
 	b.instrument()
 	return b
+}
+
+// setupStreams puts the iCache into per-stream mode and, for dynamic
+// apportionment, builds a fresh locality estimator. Runs at
+// construction and again after recovery rebuilds the caches (the
+// estimator is DRAM state and comes back cold, like the caches).
+func (b *Base) setupStreams() {
+	sp := b.Cfg.Streams
+	b.IC.EnableStreams(sp.StaticShares)
+	b.strInterval = sp.Interval
+	if b.strInterval == 0 {
+		b.strInterval = b.icparams.Interval
+	}
+	b.nextApportion = sim.Time(b.strInterval)
+	if b.strAcct == nil {
+		b.strAcct = make(map[uint32]*streamWrites)
+	}
+	if sp.StaticShares != nil {
+		b.Loc = nil
+		return
+	}
+	lp := sp.Locality.WithDefaults()
+	if sp.Locality.WindowEntries == 0 {
+		// size the sketch so a sketch hit predicts an index hit at full
+		// quota: index-partition entries, scaled by the sample rate
+		if w := b.IC.IndexCapTotal() >> lp.SampleShift; w > 0 {
+			lp.WindowEntries = w
+		}
+	}
+	b.Loc = locality.New(lp)
 }
 
 // instrument wires the substrates' live gauges into the registry. It
@@ -228,6 +293,53 @@ func (b *Base) instrument() {
 	b.Reg.GaugeFunc("cleaner_passes", func() int64 { return b.cleaner.passes })
 	b.Reg.GaugeFunc("cleaner_blocks_moved", func() int64 { return b.cleaner.moved })
 	b.Reg.GaugeFunc("cleaner_reclaimed_blocks", func() int64 { return b.cleaner.reclaimed })
+	for id, c := range b.strAcct {
+		b.instrumentStreamWrites(id, c)
+	}
+}
+
+// streamWrites is one stream's write-removal accounting. Like Stats it
+// is cumulative and survives crash recovery.
+type streamWrites struct {
+	writes, removed int64
+}
+
+// NoteStreamWrite attributes one serviced write request to its tenant
+// stream for the per-stream fairness gauges (writes, removed, and
+// writes_removed_pct{stream=...}). A no-op unless stream mode is on,
+// so untagged single-tenant runs publish byte-identical metrics.
+func (b *Base) NoteStreamWrite(stream trace.StreamID, removed bool) {
+	if b.strAcct == nil {
+		return
+	}
+	id := uint32(stream)
+	c := b.strAcct[id]
+	if c == nil {
+		c = &streamWrites{}
+		b.strAcct[id] = c
+		b.instrumentStreamWrites(id, c)
+	}
+	c.writes++
+	if removed {
+		c.removed++
+	}
+}
+
+func (b *Base) instrumentStreamWrites(id uint32, c *streamWrites) {
+	label := strconv.FormatUint(uint64(id), 10)
+	// raw counts sum correctly under cross-shard snapshot merges; the
+	// pct gauge is exact per shard (recompute from counts after a merge)
+	b.Reg.GaugeFunc(metrics.Labeled("stream_writes", "stream", label),
+		func() int64 { return c.writes })
+	b.Reg.GaugeFunc(metrics.Labeled("stream_writes_removed", "stream", label),
+		func() int64 { return c.removed })
+	b.Reg.GaugeFunc(metrics.Labeled("writes_removed_pct", "stream", label),
+		func() int64 {
+			if c.writes == 0 {
+				return 0
+			}
+			return c.removed * 100 / c.writes
+		})
 }
 
 // AdSink receives asynchronous fingerprint advertisements from the
@@ -376,6 +488,9 @@ func (b *Base) RecoverFinish(pinned []alloc.PBA) {
 	}
 	// volatile caches come back cold
 	b.IC = icache.New(b.icparams)
+	if b.Cfg.Streams.Enabled {
+		b.setupStreams()
+	}
 	// re-point the live gauges at the rebuilt substrates
 	b.instrument()
 	if b.bg != nil {
@@ -442,6 +557,12 @@ func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Durat
 	chs := b.SplitRequest(req)
 	cost := b.Hash.FingerprintAll(chs)
 	b.Ph.Observe(metrics.PhaseFingerprint, int64(cost))
+	if b.Loc != nil {
+		s := uint32(req.Stream)
+		for i := range chs {
+			b.Loc.Record(s, chs[i].FP)
+		}
+	}
 	return chs, sim.Duration(cost)
 }
 
@@ -643,6 +764,13 @@ func (b *Base) InsertIndex(fp chunk.Fingerprint, pba alloc.PBA) {
 	b.IC.IndexInsert(fp, pba)
 }
 
+// InsertIndexS is InsertIndex on behalf of a tenant stream: in stream
+// mode the entry lands in (and can only evict from) that stream's
+// quota.
+func (b *Base) InsertIndexS(stream trace.StreamID, fp chunk.Fingerprint, pba alloc.PBA) {
+	b.IC.IndexInsertS(uint32(stream), fp, pba)
+}
+
 // ReadMapped services a read request through the Map table (or at
 // identity addresses when identity is set), filtering through the read
 // cache and coalescing cache misses into contiguous disk runs. A disk
@@ -800,6 +928,12 @@ func (b *Base) ApplyRepartition(now sim.Time, rep icache.Repartition) {
 // cleaner relocates blocks the scanner sits the window out, so
 // relocation and reclamation never interleave their referrer rewiring.
 func (b *Base) Tick(now sim.Time) {
+	if b.Loc != nil && now >= b.nextApportion {
+		b.nextApportion = now.Add(b.strInterval)
+		if shares := b.Loc.Apportion(); shares != nil {
+			b.IC.SetStreamShares(shares)
+		}
+	}
 	b.ApplyRepartition(now, b.IC.Tick(now))
 	if b.maybeClean(now) {
 		return

@@ -66,14 +66,18 @@ func DefaultParams(totalBytes int64) Params {
 }
 
 // ghostIndexEntry preserves the metadata needed to re-admit an index
-// entry on swap-in.
+// entry on swap-in; stream remembers the owning tenant so stream-mode
+// swap-ins return the entry to the right quota.
 type ghostIndexEntry struct {
-	pba alloc.PBA
+	pba    alloc.PBA
+	stream uint32
 }
 
 // Controller manages the partitioned storage cache.
 type Controller struct {
 	p Params
+
+	streamState
 
 	idx      *index.Hot
 	ghostIdx *cache.LRU[chunk.Fingerprint, ghostIndexEntry]
@@ -125,6 +129,7 @@ func New(p Params) *Controller {
 	}
 	c := &Controller{p: p, indexFrac: p.IndexFrac, nextEval: sim.Time(p.Interval)}
 	ic, rc := c.capacitiesFor(p.IndexFrac)
+	c.icEntries = ic
 	c.idx = index.NewHot(ic)
 	c.read = cache.NewLRU[alloc.PBA, struct{}](rc)
 	// each ghost may grow to the whole budget minus its actual cache
@@ -181,10 +186,19 @@ func (c *Controller) History() []FracPoint {
 
 // --- index-cache path ---
 
-// IndexLookup searches the hot index, counting a ghost hit on miss
-// (the Access Monitor's signal that a larger index cache would have
-// deduplicated this chunk).
+// IndexLookup searches the hot index on the default stream.
 func (c *Controller) IndexLookup(fp chunk.Fingerprint) (index.Entry, bool) {
+	return c.IndexLookupS(0, fp)
+}
+
+// IndexLookupS searches the index on behalf of a tenant stream,
+// counting a ghost hit on miss (the Access Monitor's signal that a
+// larger index cache would have deduplicated this chunk). Outside
+// stream mode the stream is ignored.
+func (c *Controller) IndexLookupS(stream uint32, fp chunk.Fingerprint) (index.Entry, bool) {
+	if c.streamMode {
+		return c.streamLookup(stream, fp)
+	}
 	if e, ok := c.idx.Lookup(fp); ok {
 		c.idxHits++
 		return e, true
@@ -202,13 +216,33 @@ func (c *Controller) IndexLookup(fp chunk.Fingerprint) (index.Entry, bool) {
 // find a shard's local copy of a fingerprint before a granted hint
 // overwrites the binding.
 func (c *Controller) IndexPeek(fp chunk.Fingerprint) (index.Entry, bool) {
+	if c.streamMode {
+		if o, ok := c.fpOwner.Find(fp); ok {
+			return c.strs[*o].idx.Peek(fp)
+		}
+		return index.Entry{}, false
+	}
 	return c.idx.Peek(fp)
 }
 
-// IndexInsert adds fp → pba to the hot index. In adaptive mode evicted
-// entries move to the ghost index; either way the reverse map tracks
-// every live entry for purge-on-free.
+// IndexInsert adds fp → pba to the hot index on the default stream.
 func (c *Controller) IndexInsert(fp chunk.Fingerprint, pba alloc.PBA) {
+	c.IndexInsertS(0, fp, pba)
+}
+
+// IndexInsertS adds fp → pba to the index on behalf of a tenant
+// stream. In adaptive mode evicted entries move to the ghost index;
+// either way the reverse map tracks every live entry for
+// purge-on-free. In stream mode the entry lands in (and can only
+// evict from) the inserting stream's quota.
+func (c *Controller) IndexInsertS(stream uint32, fp chunk.Fingerprint, pba alloc.PBA) {
+	if c.streamMode {
+		if e, ok := c.IndexPeek(fp); ok && e.PBA == pba {
+			return
+		}
+		c.streamInsert(stream, fp, pba)
+		return
+	}
 	if e, ok := c.idx.Peek(fp); ok && e.PBA == pba {
 		return
 	}
@@ -261,11 +295,9 @@ func (c *Controller) PurgePBA(pba alloc.PBA) {
 	c.read.Remove(pba)
 	c.ghostRead.Remove(pba)
 	if e, ok := c.idxRev.Take(pba); ok {
-		c.idx.Remove(e.first)
-		c.ghostIdx.Remove(e.first)
+		c.dropFP(e.first)
 		for _, fp := range e.rest {
-			c.idx.Remove(fp)
-			c.ghostIdx.Remove(fp)
+			c.dropFP(fp)
 		}
 	}
 }
@@ -370,13 +402,18 @@ func (c *Controller) Tick(now sim.Time) Repartition {
 
 	// shrink one side; hot-index victims keep their reverse links as
 	// they move into the ghost
-	for _, ev := range c.idx.Resize(ic) {
-		if c.p.Adaptive {
-			if gev, gevicted := c.ghostIdx.Put(ev.FP, ghostIndexEntry{pba: ev.Entry.PBA}); gevicted {
-				c.revRemove(gev.Val.pba, gev.Key)
+	c.icEntries = ic
+	if c.streamMode {
+		c.recomputeStreamCaps()
+	} else {
+		for _, ev := range c.idx.Resize(ic) {
+			if c.p.Adaptive {
+				if gev, gevicted := c.ghostIdx.Put(ev.FP, ghostIndexEntry{pba: ev.Entry.PBA}); gevicted {
+					c.revRemove(gev.Val.pba, gev.Key)
+				}
+			} else {
+				c.revRemove(ev.Entry.PBA, ev.FP)
 			}
-		} else {
-			c.revRemove(ev.Entry.PBA, ev.FP)
 		}
 	}
 	for _, ev := range c.read.Resize(rc) {
@@ -390,23 +427,27 @@ func (c *Controller) Tick(now sim.Time) Repartition {
 
 	// grow the other side by swapping in the most recent ghosts
 	if grewIndex {
-		room := ic - c.idx.Len()
-		var fps []chunk.Fingerprint
-		var pbas []alloc.PBA
-		c.ghostIdx.Each(func(fp chunk.Fingerprint, e ghostIndexEntry) bool {
-			if len(fps) >= room {
-				return false
+		if c.streamMode {
+			rep.IndexSwapIns = c.streamSwapIns()
+		} else {
+			room := ic - c.idx.Len()
+			var fps []chunk.Fingerprint
+			var pbas []alloc.PBA
+			c.ghostIdx.Each(func(fp chunk.Fingerprint, e ghostIndexEntry) bool {
+				if len(fps) >= room {
+					return false
+				}
+				fps = append(fps, fp)
+				pbas = append(pbas, e.pba)
+				return true
+			})
+			for i, fp := range fps {
+				c.ghostRemoveFP(fp)
+				c.idx.Insert(fp, pbas[i])
+				c.revAdd(pbas[i], fp)
+				rep.IndexSwapIns++
+				c.swapInsIdx++
 			}
-			fps = append(fps, fp)
-			pbas = append(pbas, e.pba)
-			return true
-		})
-		for i, fp := range fps {
-			c.ghostRemoveFP(fp)
-			c.idx.Insert(fp, pbas[i])
-			c.revAdd(pbas[i], fp)
-			rep.IndexSwapIns++
-			c.swapInsIdx++
 		}
 	} else {
 		room := rc - c.read.Len()
@@ -430,13 +471,17 @@ func (c *Controller) Tick(now sim.Time) Repartition {
 }
 
 // CheckInvariants verifies the budget is never exceeded and ghosts hold
-// no live entries. Exposed for property tests.
+// no live entries; in stream mode it additionally audits the owner
+// directory and per-stream quotas. Exposed for property tests.
 func (c *Controller) CheckInvariants() error {
-	idxBytes := int64(c.idx.Cap()) * int64(c.p.IndexEntryBytes)
+	idxBytes := int64(c.IndexCapTotal()) * int64(c.p.IndexEntryBytes)
 	readBytes := int64(c.read.Cap()) * int64(c.p.BlockBytes)
 	slack := int64(c.p.IndexEntryBytes) + int64(c.p.BlockBytes) // integer division slack
 	if idxBytes+readBytes > c.p.TotalBytes+slack {
 		return fmt.Errorf("icache: partition exceeds budget: %d + %d > %d", idxBytes, readBytes, c.p.TotalBytes)
+	}
+	if c.streamMode {
+		return c.checkStreamInvariants()
 	}
 	violation := ""
 	c.idx.Each(func(fp chunk.Fingerprint, _ index.Entry) bool {

@@ -579,7 +579,7 @@ func (sh *shard) serve(env envelope, cfg *Config) {
 		err = fault.New(fault.KindDeadlineExceeded, fault.Permanent, -1, 0, start)
 	} else {
 		for {
-			treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.Len(), Content: r.Content}
+			treq := trace.Request{Time: start, Op: r.Op, LBA: r.LBA, N: r.Len(), Stream: r.Stream, Content: r.Content}
 			if r.Op == trace.Write {
 				rt, err = sh.eng.Write(&treq)
 			} else {

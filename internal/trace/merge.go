@@ -10,11 +10,21 @@ package trace
 // Inputs must individually be time-ordered; Merge panics otherwise,
 // matching the replayer's contract (a silently mis-ordered merge would
 // corrupt every downstream latency number).
+//
+// Merge also normalizes stream identity: when merging two or more
+// inputs, a fully untagged input (every request on DefaultStream) is
+// assigned a deterministic default stream derived from its position
+// (input i gets stream i+1, wrapping below MaxStreams), while a fully
+// tagged input keeps its tags. An input mixing tagged and untagged
+// requests is inconsistent — the tenant boundary is ambiguous — and
+// Merge panics, matching the mis-order contract above. Merging a single
+// trace is the identity and leaves tags untouched.
 func Merge(name string, traces ...*Trace) *Trace {
 	total := 0
 	for _, t := range traces {
 		total += len(t.Requests)
 	}
+	defaults := mergeStreamDefaults(traces)
 	out := &Trace{Name: name, Requests: make([]Request, 0, total)}
 	heads := make([]int, len(traces))
 	for {
@@ -32,10 +42,41 @@ func Merge(name string, traces ...*Trace) *Trace {
 			return out
 		}
 		r := traces[best].Requests[heads[best]]
+		if defaults[best] != DefaultStream {
+			r.Stream = defaults[best]
+		}
 		if n := len(out.Requests); n > 0 && r.Time < out.Requests[n-1].Time {
 			panic("trace: Merge input " + traces[best].Name + " is not time-ordered")
 		}
 		out.Requests = append(out.Requests, r)
 		heads[best]++
 	}
+}
+
+// mergeStreamDefaults classifies each input's stream tagging and
+// returns the default stream to stamp on untagged inputs (DefaultStream
+// means "keep the requests' own tags"). Panics on an input mixing
+// tagged and untagged requests.
+func mergeStreamDefaults(traces []*Trace) []StreamID {
+	defaults := make([]StreamID, len(traces))
+	if len(traces) < 2 {
+		return defaults
+	}
+	for i, t := range traces {
+		tagged, untagged := 0, 0
+		for j := range t.Requests {
+			if t.Requests[j].Stream == DefaultStream {
+				untagged++
+			} else {
+				tagged++
+			}
+		}
+		if tagged > 0 && untagged > 0 {
+			panic("trace: Merge input " + t.Name + " mixes tagged and untagged requests")
+		}
+		if tagged == 0 {
+			defaults[i] = StreamID(i%(MaxStreams-1)) + 1
+		}
+	}
+	return defaults
 }

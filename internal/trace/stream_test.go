@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/sim"
+)
+
+func ws(t sim.Time, lba uint64, s StreamID, ids ...chunk.ContentID) Request {
+	r := w(t, lba, ids...)
+	r.Stream = s
+	return r
+}
+
+func TestValidateStreamBound(t *testing.T) {
+	ok := ws(0, 0, MaxStreams-1, 1)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ws(0, 0, MaxStreams, 1)
+	if bad.Validate() == nil {
+		t.Fatalf("stream id %d must be rejected", MaxStreams)
+	}
+}
+
+func streamTrace() *Trace {
+	return &Trace{
+		Name: "streams",
+		Requests: []Request{
+			ws(0, 0, 1, 1, 2),
+			{Time: 50, Op: Read, LBA: 0, N: 2, Stream: 2},
+			w(100, 10, 3), // untagged rides along
+			ws(200, 0, MaxStreams-1, 1, 2),
+		},
+	}
+}
+
+func TestStreamCodecRoundTrip(t *testing.T) {
+	tr := streamTrace()
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadText(&tb, "streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromText.Requests, tr.Requests) {
+		t.Fatalf("text round trip mismatch:\n%+v\n%+v", fromText.Requests, tr.Requests)
+	}
+	if !reflect.DeepEqual(fromBin.Requests, tr.Requests) {
+		t.Fatalf("binary round trip mismatch:\n%+v\n%+v", fromBin.Requests, tr.Requests)
+	}
+}
+
+// TestUntaggedTextUnchanged pins the compatibility property: requests
+// on the default stream encode exactly as they did before stream tags
+// existed, so untagged corpora stay byte-identical.
+func TestUntaggedTextUnchanged(t *testing.T) {
+	tr := &Trace{Name: "x", Requests: []Request{w(0, 7, 5), r(100, 7, 1)}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	want := "# pod trace: x (2 requests)\n0 W 7 1 5\n100 R 7 1\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("untagged text = %q, want %q", got, want)
+	}
+}
+
+func TestTextRejectsBadStreamField(t *testing.T) {
+	cases := []string{
+		"0 W 0 1 5 sxx",  // unparsable stream id
+		"0 W 0 1 5 s999", // out of range
+		"0 R 0 1 s1 s2",  // two stream fields
+	}
+	for _, line := range cases {
+		if _, err := ReadText(strings.NewReader(line), "bad"); err == nil {
+			t.Errorf("line %q: expected error", line)
+		}
+	}
+}
+
+func TestReassembleDoesNotMixStreams(t *testing.T) {
+	in := []Request{
+		ws(0, 0, 1, 1),
+		ws(1, 1, 2, 2), // contiguous LBA, different tenant
+	}
+	out := Reassemble(in, 1000)
+	if len(out) != 2 {
+		t.Fatal("merged requests across streams")
+	}
+}
+
+func TestMergeTagsUntaggedInputs(t *testing.T) {
+	a := &Trace{Name: "a", Requests: []Request{w(0, 0, 1), w(20, 1, 2)}}
+	b := &Trace{Name: "b", Requests: []Request{w(10, 5, 3)}}
+	m := Merge("mix", a, b)
+	want := []StreamID{1, 2, 1}
+	for i, r := range m.Requests {
+		if r.Stream != want[i] {
+			t.Errorf("request %d on stream %d, want %d", i, r.Stream, want[i])
+		}
+	}
+	// inputs themselves must be untouched (requests are copied by value)
+	if a.Requests[0].Stream != DefaultStream {
+		t.Error("Merge mutated its input")
+	}
+}
+
+func TestMergeKeepsTaggedInputs(t *testing.T) {
+	tagged := &Trace{Name: "tagged", Requests: []Request{ws(0, 0, 7, 1)}}
+	untagged := &Trace{Name: "plain", Requests: []Request{w(5, 1, 2)}}
+	m := Merge("mix", tagged, untagged)
+	if m.Requests[0].Stream != 7 {
+		t.Errorf("tagged input re-stamped to stream %d", m.Requests[0].Stream)
+	}
+	if m.Requests[1].Stream != 2 {
+		t.Errorf("untagged input got stream %d, want positional default 2", m.Requests[1].Stream)
+	}
+}
+
+func TestMergeSingleTraceIdentity(t *testing.T) {
+	a := &Trace{Name: "a", Requests: []Request{w(0, 0, 1)}}
+	m := Merge("solo", a)
+	if m.Requests[0].Stream != DefaultStream {
+		t.Error("single-trace merge must not invent stream tags")
+	}
+}
+
+func TestMergePanicsOnMixedTagging(t *testing.T) {
+	mixed := &Trace{Name: "mixed", Requests: []Request{w(0, 0, 1), ws(10, 1, 3, 2)}}
+	other := &Trace{Name: "other", Requests: []Request{w(5, 9, 9)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on input mixing tagged and untagged requests")
+		}
+	}()
+	Merge("mix", mixed, other)
+}

@@ -52,14 +52,29 @@ func ParseOp(s string) (Op, error) {
 	return 0, fmt.Errorf("trace: bad op %q (want R or W)", s)
 }
 
+// StreamID identifies the tenant stream a request belongs to. Stream 0
+// is the default (untagged) stream; multi-tenant compositions (Merge,
+// workload.MixedTrace) assign small positive IDs so the engine can
+// estimate per-stream locality and apportion index-cache quota.
+type StreamID uint32
+
+// DefaultStream is the stream of untagged requests.
+const DefaultStream StreamID = 0
+
+// MaxStreams bounds valid stream IDs (exclusive). Per-stream state in
+// the engine is sized and validated against this.
+const MaxStreams = 64
+
 // Request is one block-level I/O request. LBA and length are in 4 KB
 // chunks. Write requests carry the content identity of every chunk;
-// read requests have nil Content.
+// read requests have nil Content. Stream tags the tenant stream the
+// request belongs to (DefaultStream when untagged).
 type Request struct {
 	Time    sim.Time
 	Op      Op
 	LBA     uint64
 	N       int
+	Stream  StreamID
 	Content []chunk.ContentID
 }
 
@@ -76,6 +91,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Op == Read && r.Content != nil {
 		return fmt.Errorf("trace: read carrying content")
+	}
+	if r.Stream >= MaxStreams {
+		return fmt.Errorf("trace: stream id %d out of range (max %d)", r.Stream, MaxStreams-1)
 	}
 	return nil
 }
@@ -100,6 +118,7 @@ func Reassemble(reqs []Request, window sim.Duration) []Request {
 	cur := cloneRequest(reqs[0])
 	for _, r := range reqs[1:] {
 		contig := r.Op == cur.Op &&
+			r.Stream == cur.Stream &&
 			r.LBA == cur.LBA+uint64(cur.N) &&
 			r.Time.Sub(cur.Time) <= window
 		if contig {
@@ -126,9 +145,11 @@ func cloneRequest(r Request) Request {
 //
 // One request per line:
 //
-//	<time_us> <R|W> <lba> <nchunks> [id1,id2,...]
+//	<time_us> <R|W> <lba> <nchunks> [id1,id2,...] [s<stream>]
 //
-// Lines starting with '#' are comments.
+// The trailing s<stream> field is emitted only for tagged requests
+// (Stream != 0), so untagged traces encode byte-identically to the
+// pre-stream format. Lines starting with '#' are comments.
 
 // WriteText encodes t to w in the text format.
 func WriteText(w io.Writer, t *Trace) error {
@@ -145,6 +166,10 @@ func WriteText(w io.Writer, t *Trace) error {
 				}
 				bw.WriteString(strconv.FormatUint(uint64(id), 10))
 			}
+		}
+		if r.Stream != DefaultStream {
+			bw.WriteString(" s")
+			bw.WriteString(strconv.FormatUint(uint64(r.Stream), 10))
 		}
 		bw.WriteByte('\n')
 	}
@@ -167,6 +192,18 @@ func ReadText(r io.Reader, name string) (*Trace, error) {
 		if len(fields) < 4 {
 			return nil, fmt.Errorf("trace: line %d: want ≥4 fields, got %d", lineNo, len(fields))
 		}
+		var stream StreamID
+		if last := fields[len(fields)-1]; len(last) > 1 && last[0] == 's' {
+			sid, err := strconv.ParseUint(last[1:], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad stream field %q", lineNo, last)
+			}
+			stream = StreamID(sid)
+			fields = fields[:len(fields)-1]
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("trace: line %d: want ≥4 fields, got %d", lineNo, len(fields))
+			}
+		}
 		ts, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad time: %v", lineNo, err)
@@ -188,11 +225,14 @@ func ReadText(r io.Reader, name string) (*Trace, error) {
 		if err != nil || n <= 0 {
 			return nil, fmt.Errorf("trace: line %d: bad chunk count %q", lineNo, fields[3])
 		}
-		req := Request{Time: sim.Time(ts), Op: op, LBA: lba, N: n}
+		req := Request{Time: sim.Time(ts), Op: op, LBA: lba, N: n, Stream: stream}
+		if op == Read && len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: read with %d fields, want 4", lineNo, len(fields))
+		}
+		if op == Write && len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: write with %d fields, want 5", lineNo, len(fields))
+		}
 		if op == Write {
-			if len(fields) < 5 {
-				return nil, fmt.Errorf("trace: line %d: write without content", lineNo)
-			}
 			parts := strings.Split(fields[4], ",")
 			if len(parts) != n {
 				return nil, fmt.Errorf("trace: line %d: %d ids for %d chunks", lineNo, len(parts), n)
@@ -218,8 +258,15 @@ func ReadText(r io.Reader, name string) (*Trace, error) {
 //
 // Header: magic "PODT", u32 name length, name bytes, u64 request count.
 // Request: i64 time, u8 op, u64 lba, u32 n, then n×u64 ids for writes.
+// Tagged requests (Stream != 0) set the high bit of the op byte and
+// append a u32 stream id after n; untagged requests encode exactly as
+// the pre-stream format did, so old files remain readable and untagged
+// output is byte-identical.
 
 var binMagic = [4]byte{'P', 'O', 'D', 'T'}
+
+// binStreamFlag marks an op byte whose request carries a stream id.
+const binStreamFlag = 0x80
 
 // WriteBinary encodes t to w in the compact binary format.
 func WriteBinary(w io.Writer, t *Trace) error {
@@ -236,11 +283,19 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		r := &t.Requests[i]
 		binary.LittleEndian.PutUint64(u64[:], uint64(r.Time))
 		bw.Write(u64[:])
-		bw.WriteByte(byte(r.Op))
+		opByte := byte(r.Op)
+		if r.Stream != DefaultStream {
+			opByte |= binStreamFlag
+		}
+		bw.WriteByte(opByte)
 		binary.LittleEndian.PutUint64(u64[:], r.LBA)
 		bw.Write(u64[:])
 		binary.LittleEndian.PutUint32(u32[:], uint32(r.N))
 		bw.Write(u32[:])
+		if r.Stream != DefaultStream {
+			binary.LittleEndian.PutUint32(u32[:], uint32(r.Stream))
+			bw.Write(u32[:])
+		}
 		if r.Op == Write {
 			for _, id := range r.Content {
 				binary.LittleEndian.PutUint64(u64[:], uint64(id))
@@ -292,7 +347,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		req.Op = Op(op)
+		req.Op = Op(op &^ binStreamFlag)
 		if _, err := io.ReadFull(br, u64[:]); err != nil {
 			return nil, err
 		}
@@ -303,6 +358,12 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		req.N = int(binary.LittleEndian.Uint32(u32[:]))
 		if req.N <= 0 || req.N > 1<<20 {
 			return nil, fmt.Errorf("trace: request %d: implausible chunk count %d", i, req.N)
+		}
+		if op&binStreamFlag != 0 {
+			if _, err := io.ReadFull(br, u32[:]); err != nil {
+				return nil, err
+			}
+			req.Stream = StreamID(binary.LittleEndian.Uint32(u32[:]))
 		}
 		if req.Op == Write {
 			req.Content = make([]chunk.ContentID, req.N)

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+func TestMixedTraceStreamTags(t *testing.T) {
+	tr, _, _ := MixedTrace(0.02)
+	streams := map[trace.StreamID]bool{}
+	for i := range tr.Requests {
+		streams[tr.Requests[i].Stream] = true
+	}
+	for want := trace.StreamID(1); want <= 3; want++ {
+		if !streams[want] {
+			t.Errorf("no requests on stream %d", want)
+		}
+	}
+	if streams[trace.DefaultStream] {
+		t.Error("mixed trace left requests untagged")
+	}
+}
+
+func TestAdversarialMixShape(t *testing.T) {
+	tr, warmup, dims := AdversarialMix(0.25)
+	if warmup != 0 {
+		t.Fatalf("warmup = %d, want 0 (gauges cover the whole replay)", warmup)
+	}
+	if dims.MemoryBytes != AdvMemoryBytes {
+		t.Fatalf("dims memory = %d, want %d", dims.MemoryBytes, AdvMemoryBytes)
+	}
+	var last int64 = -1
+	perStream := map[trace.StreamID]int{}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		if err := r.Validate(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if int64(r.Time) < last {
+			t.Fatalf("request %d out of order", i)
+		}
+		last = int64(r.Time)
+		if r.LBA+uint64(r.N) > dims.FootprintChunks {
+			t.Fatalf("request %d overruns the footprint", i)
+		}
+		perStream[r.Stream]++
+	}
+	if len(perStream) != 2 || perStream[1] == 0 || perStream[2] == 0 {
+		t.Fatalf("per-stream request counts = %v, want both tenants tagged", perStream)
+	}
+}
+
+func TestAdversarialScanMixHasThreeTenants(t *testing.T) {
+	tr, _, dims := AdversarialScanMix(0.25)
+	perStream := map[trace.StreamID]int{}
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		perStream[r.Stream]++
+		if r.LBA+uint64(r.N) > dims.FootprintChunks {
+			t.Fatalf("request %d overruns the footprint", i)
+		}
+	}
+	if len(perStream) != 3 {
+		t.Fatalf("streams = %v, want 3 tenants", perStream)
+	}
+}
+
+func TestAdversarialMixDeterministic(t *testing.T) {
+	a, _, _ := AdversarialMix(0.25)
+	b, _, _ := AdversarialMix(0.25)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		ra, rb := &a.Requests[i], &b.Requests[i]
+		if ra.Time != rb.Time || ra.LBA != rb.LBA || ra.Stream != rb.Stream || ra.N != rb.N {
+			t.Fatalf("request %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}

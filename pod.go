@@ -28,9 +28,7 @@ package pod
 
 import (
 	"fmt"
-	"os"
 	"strings"
-	"sync"
 
 	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/bgdedup"
@@ -65,6 +63,12 @@ const (
 // ContentID identifies a chunk's content; equal IDs mean byte-identical
 // chunks.
 type ContentID = api.ContentID
+
+// StreamID identifies the tenant stream a request belongs to; the zero
+// value is the default (untagged) stream. Stream tags let a system with
+// Config.StreamAware divide the fingerprint-index cache between
+// co-located tenants by estimated temporal locality.
+type StreamID = api.StreamID
 
 // Scheme selects a storage engine.
 type Scheme string
@@ -128,11 +132,6 @@ type Config struct {
 	Disks        int    // spindles in the array (default 4)
 	DiskBlocks   uint64 // capacity per spindle in 4 KiB blocks (default 2^19 = 2 GiB)
 	StripeUnitKB int    // RAID5 stripe unit (default 64)
-	// RAID0 is a legacy shorthand for Layout: "raid0".
-	//
-	// Deprecated: set Layout instead. Using RAID0 warns once on stderr
-	// and conflicts with any other explicit Layout.
-	RAID0 bool
 	// Layout selects the array layout: "raid5" (default), "raid0", or
 	// "raid1" (mirrored pairs; requires an even disk count).
 	Layout string
@@ -165,6 +164,14 @@ type Config struct {
 	// BGDedupBlocksPerSec budgets the scanner's throughput in 4 KiB
 	// blocks per simulated second (0 = default).
 	BGDedupBlocksPerSec int64
+
+	// StreamAware enables HPDedup-style per-stream apportionment of the
+	// fingerprint-index cache: requests tagged with a StreamID get
+	// per-stream index quotas, re-divided periodically by a temporal-
+	// locality estimator (with a shared floor so no stream starves).
+	// Supported by the Select-Dedupe and POD schemes; untagged requests
+	// land on the default stream.
+	StreamAware bool
 }
 
 // System is a storage system under one scheme.
@@ -172,9 +179,6 @@ type System struct {
 	eng  engine.Engine
 	last sim.Time
 }
-
-// raid0Warn gates the one-time deprecation warning for Config.RAID0.
-var raid0Warn sync.Once
 
 // New builds a system. It returns an error (never panics) for invalid
 // configurations.
@@ -189,15 +193,6 @@ func New(cfg Config) (*System, error) {
 	cfg.Scheme = scheme
 	if cfg.Disks == 0 {
 		cfg.Disks = 4
-	}
-	if cfg.RAID0 {
-		if cfg.Layout != "" && cfg.Layout != "raid0" {
-			return nil, fmt.Errorf("pod: Config.RAID0 conflicts with Layout %q", cfg.Layout)
-		}
-		raid0Warn.Do(func() {
-			fmt.Fprintln(os.Stderr, "pod: Config.RAID0 is deprecated; set Layout: \"raid0\"")
-		})
-		cfg.Layout = "raid0"
 	}
 	var level raid.Level
 	switch cfg.Layout {
@@ -257,6 +252,15 @@ func New(cfg Config) (*System, error) {
 		NVRAMBytes:      nvram,
 		Verify:          cfg.Verify,
 		Cleaner:         engine.CleanerParams{Enabled: cfg.Cleaner},
+		Streams:         engine.StreamParams{Enabled: cfg.StreamAware},
+	}
+	if cfg.StreamAware {
+		switch scheme {
+		case SchemeSelectDedupe, SchemePOD:
+		default:
+			return nil, fmt.Errorf("pod: scheme %s does not support stream-aware apportionment (want %s or %s)",
+				scheme, SchemeSelectDedupe, SchemePOD)
+		}
 	}
 	eng := experiments.NewEngine(string(cfg.Scheme), ecfg)
 	if cfg.BGDedup {
@@ -315,36 +319,6 @@ func (s *System) Do(r *Request) (Result, error) {
 		Sojourn:  int64(rt),
 		Err:      ferr,
 	}, nil
-}
-
-// Write submits a write of len(content) chunks at the given LBA and
-// virtual time, returning the simulated response time in microseconds.
-//
-// Deprecated: build a Request and call Do. This wrapper remains for one
-// release; it converts content on every call.
-func (s *System) Write(atMicros int64, lba uint64, content []uint64) (int64, error) {
-	ids := make([]ContentID, len(content))
-	for i, c := range content {
-		ids[i] = ContentID(c)
-	}
-	res, err := s.Do(&Request{Time: atMicros, Op: OpWrite, LBA: lba, Content: ids})
-	if err != nil {
-		return 0, err
-	}
-	return res.Service, nil
-}
-
-// Read submits a read of n chunks at the given LBA and virtual time,
-// returning the simulated response time in microseconds.
-//
-// Deprecated: build a Request and call Do. This wrapper remains for one
-// release.
-func (s *System) Read(atMicros int64, lba uint64, n int) (int64, error) {
-	res, err := s.Do(&Request{Time: atMicros, Op: OpRead, LBA: lba, Chunks: n})
-	if err != nil {
-		return 0, err
-	}
-	return res.Service, nil
 }
 
 // ReadBack returns the content ID stored at lba (ok is false for

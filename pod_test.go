@@ -36,7 +36,7 @@ func TestNewValidation(t *testing.T) {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
-	if _, err := New(Config{Disks: 2, RAID0: true}); err != nil {
+	if _, err := New(Config{Disks: 2, Layout: "raid0"}); err != nil {
 		t.Errorf("2-disk RAID0 should be accepted: %v", err)
 	}
 }
@@ -93,20 +93,20 @@ func TestMalformedRequestsRejected(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappers pins the one-release compatibility shims: the
-// positional Write/Read must behave exactly like Do.
-func TestDeprecatedWrappers(t *testing.T) {
+// TestRequestRoundTrip pins the Request/Do surface the removed
+// positional wrappers migrated to.
+func TestRequestRoundTrip(t *testing.T) {
 	sys, err := New(Config{Scheme: SchemeSelectDedupe, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := sys.Write(0, 0, []uint64{5, 6})
-	if err != nil || rt <= 0 {
-		t.Fatalf("write rt=%d err=%v", rt, err)
+	res, err := sys.Do(&Request{Time: 0, Op: OpWrite, LBA: 0, Content: []ContentID{5, 6}})
+	if err != nil || res.Service <= 0 {
+		t.Fatalf("write rt=%d err=%v", res.Service, err)
 	}
-	rt, err = sys.Read(1000, 0, 2)
-	if err != nil || rt <= 0 {
-		t.Fatalf("read rt=%d err=%v", rt, err)
+	res, err = sys.Do(&Request{Time: 1000, Op: OpRead, LBA: 0, Chunks: 2})
+	if err != nil || res.Service <= 0 {
+		t.Fatalf("read rt=%d err=%v", res.Service, err)
 	}
 	if got, ok := sys.ReadBack(1); !ok || got != 6 {
 		t.Fatalf("readback = %d,%v", got, ok)
@@ -308,14 +308,6 @@ func TestLayoutSelection(t *testing.T) {
 	}
 	if _, err := sys.Do(wr(0, 0, 1)); err != nil {
 		t.Fatal(err)
-	}
-	// the deprecated RAID0 bool still selects the layout...
-	if _, err := New(Config{Disks: 2, RAID0: true}); err != nil {
-		t.Fatalf("deprecated RAID0 bool: %v", err)
-	}
-	// ...but conflicts with an explicit different Layout
-	if _, err := New(Config{RAID0: true, Layout: "raid5"}); err == nil {
-		t.Fatal("RAID0+Layout conflict must fail")
 	}
 }
 
