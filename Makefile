@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-flood smoke-streams bench-delta fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-shardcrash smoke-flood smoke-streams bench-delta fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,7 @@ check:
 	$(MAKE) smoke-chaos
 	$(MAKE) smoke-bgdedup
 	$(MAKE) smoke-globalfp
+	$(MAKE) smoke-shardcrash
 	$(MAKE) smoke-flood
 	$(MAKE) smoke-streams
 	$(MAKE) bench-delta
@@ -71,6 +72,16 @@ smoke-globalfp:
 	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 8 -rate 500 \
 		-globalfp -globalfp-expect-remaps -chaos globalfp -chaos-seed 11 \
 		-metrics-out /tmp/pod-globalfp-smoke.json
+
+# Shard-outage smoke: one shard crashed and rejoined mid-run with the
+# global fingerprint tier live, under the race detector. The surviving
+# shards must keep serving (refusals are typed shard-down errors, not
+# lost acks), the epoch fence must hold, and podload exits non-zero
+# unless the crash fired, the shard rejoined, the read-back oracle
+# holds, and the post-rejoin cluster-wide consistency audit passes.
+smoke-shardcrash:
+	$(GO) run -race ./cmd/podload -trace mail -scale 0.02 -shards 4 -rate 500 \
+		-chaos shardcrash -chaos-seed 13 -metrics-out /tmp/pod-shardcrash-smoke.json
 
 # Flood smoke: 16 shards driven far past capacity under the race
 # detector with the chaos read-back oracle enabled, so the batched

@@ -69,8 +69,9 @@
 // segment cleaner alongside.
 //
 // Chaos: -chaos <scenario> runs a named, seeded fault schedule
-// (internal/chaos; sector, diskfail, storm, limp, full, or bgdedup
-// — the last auto-arms -bgdedup and, after the oracle passes, crash-
+// (internal/chaos; sector, diskfail, storm, limp, full, bgdedup,
+// globalfp, or shardcrash
+// — bgdedup auto-arms -bgdedup and, after the oracle passes, crash-
 // recovers every shard and re-verifies both the oracle and each
 // shard's map/allocator consistency) against
 // every shard's array while serving, switches the clients to the
@@ -80,6 +81,19 @@
 // placed within the arrival horizon). -chaos-seed varies the schedule,
 // -deadline-us arms per-request virtual deadlines. Any oracle violation
 // fails the run.
+//
+// Shard outage: -chaos shardcrash (auto-arms -globalfp; needs at least
+// 2 shards) crashes one shard mid-run as an isolated failure domain —
+// requests routed to it fail-reply with transient shard-down errors,
+// the tier fences its epoch and sweeps its advertisements, and the
+// surviving shards keep serving — then rejoins it via journal replay
+// and a cross-shard pin re-audit. -crash-shard picks the victim
+// (default: the last shard), -crash-at-us/-recover-at-us place the
+// outage window in virtual time (defaults: horizon/3 and 2/3 horizon).
+// The run prints a shard-outage verdict (fencing epochs, stale and
+// down-shard drops, recall timeouts, refused requests) and fails
+// unless the crash fired, the shard rejoined, and the cluster-wide
+// consistency audit passes.
 //
 // The process exits 0 on success, 1 if the run completes no requests,
 // hits an error, or violates the chaos oracle, and 2 on bad flags.
@@ -94,6 +108,7 @@ import (
 	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,7 +154,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the merged metrics snapshot (with sampled traces) as JSON to this file")
 	metricsProm := flag.String("metrics-prom", "", "write the merged metrics snapshot as Prometheus text to this file")
 	traceSample := flag.Int("trace-sample", 0, "record every nth request per shard with its phase timeline (0 = off)")
-	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, bgdedup, or globalfp (\"\" = none)")
+	chaosName := flag.String("chaos", "", "fault scenario: sector, diskfail, storm, limp, full, bgdedup, globalfp, or shardcrash (\"\" = none)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the fault schedule and transient coin")
 	deadlineUS := flag.Int64("deadline-us", 0, "per-request virtual deadline in us (0 = none)")
 	streamsOn := flag.Bool("streams", false, "enable per-stream index-cache apportionment on every shard (POD / Select-Dedupe; needs a stream-tagged workload)")
@@ -152,6 +167,9 @@ func main() {
 	gfpQueue := flag.Int("globalfp-queue", 0, "per-partition advertisement queue capacity (0 = default)")
 	gfpRate := flag.Int("globalfp-rate", 0, "remap folds the tier applies per shard per engine tick (0 = default)")
 	gfpExpect := flag.Bool("globalfp-expect-remaps", false, "fail the run unless the tier applied at least one cross-shard remap")
+	crashShard := flag.Int("crash-shard", -1, "shard to crash mid-run (-1 = last shard; requires -chaos shardcrash)")
+	crashAtUS := flag.Int64("crash-at-us", 0, "virtual crash time in us (0 = horizon/3; requires -chaos shardcrash)")
+	recoverAtUS := flag.Int64("recover-at-us", 0, "virtual rejoin time in us (0 = 2/3 horizon; requires -chaos shardcrash)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: podload [-trace mixed|web-vm|homes|mail] [-scale f] [-scheme s] [-shards n]\n")
 		fmt.Fprintf(os.Stderr, "               [-clients n] [-rate r] [-requests n] [-write-ratio f] [-queue n]\n")
@@ -162,6 +180,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
 		fmt.Fprintf(os.Stderr, "               [-bgdedup] [-bgdedup-rate n] [-bgdedup-expect-reclaim] [-cleaner]\n")
 		fmt.Fprintf(os.Stderr, "               [-globalfp] [-globalfp-queue n] [-globalfp-rate n] [-globalfp-expect-remaps]\n")
+		fmt.Fprintf(os.Stderr, "               [-crash-shard n] [-crash-at-us n] [-recover-at-us n]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -224,6 +243,36 @@ func main() {
 		if *chaosName == "globalfp" {
 			// the scenario exists to race cross-shard remaps with faults
 			*gfp = true
+		}
+		if *chaosName == "shardcrash" {
+			// the scenario crashes one shard mid-run with the tier live;
+			// the surviving shards are the point, so one shard is useless
+			if *shards < 2 {
+				fmt.Fprintln(os.Stderr, "podload: -chaos shardcrash requires at least 2 shards (the surviving shards must keep serving)")
+				os.Exit(2)
+			}
+			*gfp = true
+		}
+	}
+	// Crash-flag validation fails fast: a bad shard index or an inverted
+	// crash/recover window would otherwise surface mid-replay as a
+	// confusing CrashShard error (or a crash that never fires).
+	if (*crashShard != -1 || *crashAtUS != 0 || *recoverAtUS != 0) && *chaosName != "shardcrash" {
+		fmt.Fprintln(os.Stderr, "podload: -crash-shard/-crash-at-us/-recover-at-us require -chaos shardcrash")
+		os.Exit(2)
+	}
+	if *chaosName == "shardcrash" {
+		if *crashShard != -1 && (*crashShard < 0 || *crashShard >= *shards) {
+			fmt.Fprintf(os.Stderr, "podload: -crash-shard %d out of range [0, %d)\n", *crashShard, *shards)
+			os.Exit(2)
+		}
+		if *crashAtUS < 0 || *recoverAtUS < 0 {
+			fmt.Fprintln(os.Stderr, "podload: -crash-at-us and -recover-at-us must be >= 0")
+			os.Exit(2)
+		}
+		if *crashAtUS != 0 && *recoverAtUS != 0 && *recoverAtUS <= *crashAtUS {
+			fmt.Fprintf(os.Stderr, "podload: -recover-at-us %d must be after -crash-at-us %d\n", *recoverAtUS, *crashAtUS)
+			os.Exit(2)
 		}
 	}
 	if *gfpQueue < 0 {
@@ -348,6 +397,28 @@ func main() {
 	if *rate > 0 {
 		horizon = sim.Time(float64(n) * 1e6 / *rate)
 	}
+	// Shard-outage window defaults resolve against the horizon: crash a
+	// third in, rejoin at two thirds, so the run exercises all three
+	// regimes (healthy, degraded, recovered) in one trace.
+	var crashAt, recoverAt sim.Time
+	if *chaosName == "shardcrash" {
+		if *crashShard == -1 {
+			*crashShard = *shards - 1
+		}
+		crashAt = sim.Time(*crashAtUS)
+		if crashAt == 0 {
+			crashAt = horizon / 3
+		}
+		recoverAt = sim.Time(*recoverAtUS)
+		if recoverAt == 0 {
+			recoverAt = horizon * 2 / 3
+		}
+		if recoverAt <= crashAt {
+			fmt.Fprintf(os.Stderr, "podload: shard rejoin at %v is not after the crash at %v (defaults resolve against the %v horizon)\n",
+				recoverAt, crashAt, horizon)
+			os.Exit(2)
+		}
+	}
 
 	// --- server over per-shard engines ---
 	var oracle *chaos.Oracle
@@ -413,6 +484,9 @@ func main() {
 		fmt.Printf("chaos: scenario=%s seed=%d horizon=%v deadline=%s\n",
 			*chaosName, *chaosSeed, horizon, usString(*deadlineUS))
 	}
+	if *chaosName == "shardcrash" {
+		fmt.Printf("shardcrash: shard=%d crash@%v recover@%v\n", *crashShard, crashAt, recoverAt)
+	}
 
 	// --- drive ---
 	if *cpuprofile != "" {
@@ -434,6 +508,38 @@ func main() {
 	var submitErrs, readFails int64
 	var errMu sync.Mutex
 	var closeErr error
+	// Shard-outage triggers, fired exactly once each (the CAS) by the
+	// client that owns the victim shard when that shard's next arrival
+	// crosses the threshold. fireRecover pulls the crash in first as a
+	// belt-and-braces ordering guard (a stream that skips the whole
+	// crash window still produces a well-ordered outage).
+	var (
+		crashFired, recoverFired atomic.Bool
+		recoveredRecords         atomic.Int64
+		outageErr                error
+	)
+	fireCrash := func() {
+		if crashFired.CompareAndSwap(false, true) {
+			if cerr := srv.CrashShard(*crashShard); cerr != nil {
+				errMu.Lock()
+				outageErr = cerr
+				errMu.Unlock()
+			}
+		}
+	}
+	fireRecover := func() {
+		fireCrash()
+		if recoverFired.CompareAndSwap(false, true) {
+			nrec, rerr := srv.RecoverShard(*crashShard)
+			if rerr != nil {
+				errMu.Lock()
+				outageErr = rerr
+				errMu.Unlock()
+				return
+			}
+			recoveredRecords.Store(int64(nrec))
+		}
+	}
 	// Pre-partition the trace per client in one routing pass. Each
 	// client used to rescan (and re-route) the whole trace to find its
 	// requests — an O(clients × n) cost that dominated the submission
@@ -474,6 +580,20 @@ func main() {
 				}
 				for _, i := range parts[c] {
 					r := &tr.Requests[i]
+					// Outage triggers key on the victim shard's own stream:
+					// that stream is submitted in order by one client, so
+					// the window covers a deterministic slice of the
+					// shard's requests (pre-crash served and journaled,
+					// in-window refused, post-rejoin served) regardless of
+					// how far the other clients race ahead in wall time.
+					if *chaosName == "shardcrash" && srv.Shard(r.LBA) == *crashShard {
+						switch t := arrivals[i]; {
+						case t >= recoverAt:
+							fireRecover()
+						case t >= crashAt:
+							fireCrash()
+						}
+					}
 					req := server.Request{Time: int64(arrivals[i]), Op: r.Op, LBA: r.LBA, Stream: r.Stream}
 					if r.Op == trace.Read {
 						req.Chunks = r.N
@@ -526,6 +646,23 @@ func main() {
 			}(c)
 		}
 		wg.Wait()
+		if *chaosName == "shardcrash" && crashFired.Load() {
+			// backstop: a trace whose arrivals never cross the rejoin
+			// threshold (or a racing trigger that recovered a not-yet-
+			// down shard) must still rejoin before Close, so settlement
+			// and the cluster-wide audit see a whole cluster
+			if len(srv.DownShards()) > 0 {
+				recoverFired.Store(true)
+				nrec, rerr := srv.RecoverShard(*crashShard)
+				if rerr != nil {
+					errMu.Lock()
+					outageErr = rerr
+					errMu.Unlock()
+				} else {
+					recoveredRecords.Store(int64(nrec))
+				}
+			}
+		}
 		closeErr = srv.Close()
 	})
 	wall := time.Since(start)
@@ -534,6 +671,10 @@ func main() {
 	snap := srv.Stats()
 	if closeErr != nil {
 		fmt.Fprintf(os.Stderr, "podload: %v\n", closeErr)
+		os.Exit(1)
+	}
+	if outageErr != nil {
+		fmt.Fprintf(os.Stderr, "podload: shard outage: %v\n", outageErr)
 		os.Exit(1)
 	}
 	if submitErrs > 0 {
@@ -646,6 +787,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("globalfp: cross-shard consistency PASS")
+	}
+
+	// --- shard-outage verdict ---
+	// Epochs are shard-labeled (one fencing generation per shard); the
+	// stale/down drop counters and recall timeouts are unlabeled and sum
+	// across shards in the merged snapshot.
+	if *chaosName == "shardcrash" {
+		g := snap.Metrics.Gauges
+		epochs := make([]string, snap.Shards)
+		var refused int64
+		for k := 0; k < snap.Shards; k++ {
+			l := strconv.Itoa(k)
+			epochs[k] = strconv.FormatInt(g[metrics.Labeled("globalfp_epoch", "shard", l)], 10)
+			refused += g[metrics.Labeled("server_shard_down_refused", "shard", l)]
+		}
+		fmt.Printf("shardcrash: shard %d crashed and rejoined, %d journal records replayed, %d requests refused while down\n",
+			*crashShard, recoveredRecords.Load(), refused)
+		fmt.Printf("shardcrash: epochs=[%s] stale-dropped=%d down-dropped=%d recall-timeouts=%d\n",
+			strings.Join(epochs, " "), g["globalfp_stale_dropped"], g["globalfp_down_dropped"], g["globalfp_recall_timeouts"])
+		if !crashFired.Load() {
+			fmt.Fprintln(os.Stderr, "podload: shardcrash: the crash threshold was never reached (trace too short for the window?)")
+			os.Exit(1)
+		}
+		if down := srv.DownShards(); len(down) > 0 {
+			fmt.Fprintf(os.Stderr, "podload: shardcrash: shards %v still down after the run\n", down)
+			os.Exit(1)
+		}
+		fmt.Println("shardcrash: outage window closed, cluster whole")
 	}
 
 	// --- chaos verdict ---

@@ -27,7 +27,7 @@ import (
 
 // Scenarios returns the known scenario names.
 func Scenarios() []string {
-	return []string{"sector", "diskfail", "storm", "limp", "full", "bgdedup", "globalfp"}
+	return []string{"sector", "diskfail", "storm", "limp", "full", "bgdedup", "globalfp", "shardcrash"}
 }
 
 // Build compiles a named scenario for one array: ndisks spindles of
@@ -103,6 +103,17 @@ func Build(name string, ndisks int, perDisk uint64, horizon sim.Time, seed uint6
 		sectors()
 		s.Fails = append(s.Fails, fault.DiskFail{Disk: ndisks - 1, At: horizon / 2})
 		storm(horizon/4, horizon/2, 100)
+	case "shardcrash":
+		// per-shard failure domain: one shard is crashed mid-run and
+		// rejoined later with the global fingerprint tier live (podload
+		// arms the tier and drives Server.CrashShard/RecoverShard from
+		// its -crash-shard/-crash-at-us/-recover-at-us flags when it
+		// sees this name). The disk-level schedule stays modest — latent
+		// sectors on the survivors — so the verdict isolates the outage
+		// machinery: epoch fencing, recall timeouts, hint purges, and
+		// the rejoin pin re-audit, all under the read-back oracle and
+		// the cluster-wide consistency sweep.
+		sectors()
 	default:
 		return fault.Schedule{}, fmt.Errorf("chaos: unknown scenario %q (want one of %s)",
 			name, strings.Join(Scenarios(), ", "))

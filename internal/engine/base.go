@@ -6,6 +6,7 @@ import (
 
 	"github.com/pod-dedup/pod/internal/alloc"
 	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/icache"
 	"github.com/pod-dedup/pod/internal/locality"
 	"github.com/pod-dedup/pod/internal/maptable"
@@ -149,6 +150,14 @@ type Base struct {
 	// last disappears. The tier agent converts these into pin traffic
 	// toward the owning shard.
 	OnRemoteRef func(c alloc.PBA, up bool)
+
+	// RemoteDown, when set, reports whether a peer shard is currently a
+	// dead failure domain. A remote read whose canonical owner is down
+	// fails transient (KindShardDown) instead of charging RemoteReadUS,
+	// and inline dedupe against a down owner's canonical is refused (the
+	// caller writes the chunk fresh) — a down peer can neither serve a
+	// fetch nor account a new ref pin.
+	RemoteDown func(owner int) bool
 
 	// onParole mirrors maptable.Table.OnParole and survives Recover
 	// replacing the Map table (RecoverLoad rewires it).
@@ -653,6 +662,11 @@ func (b *Base) TryDedupe(lba uint64, pba alloc.PBA, id chunk.ContentID) bool {
 		// hint before the owner frees it — so an index hit on a
 		// remote target is valid by construction (fingerprints are
 		// injective over content IDs in both fingerprint modes).
+		// A down owner breaks the chain — its hints are purged on
+		// crash, but refuse defensively in case one survives.
+		if owner, _ := alloc.RemoteParts(pba); b.RemoteDown != nil && b.RemoteDown(owner) {
+			return false
+		}
 		b.SetRemoteRef(lba, pba)
 		b.St.ChunksDeduped++
 		b.St.RemoteDeduped++
@@ -809,9 +823,17 @@ func (b *Base) ReadMapped(req *trace.Request, identity bool) (sim.Duration, erro
 			// miss is a flat-latency fetch from the owning shard, not
 			// a trip through the local disk queues. hit[i] keeps the
 			// local miss-coalescing loop off this block either way.
+			// A miss whose owner is down cannot be served at any
+			// price: fail transient so the serving layer retries
+			// against the deadline instead of fabricating a fetch.
 			if b.IC.ReadHit(pbas[i]) {
 				b.St.CacheHits++
 			} else {
+				if owner, _ := alloc.RemoteParts(pbas[i]); b.RemoteDown != nil && b.RemoteDown(owner) {
+					b.St.CacheMisses++
+					b.St.ReadErrors++
+					return 0, fault.New(fault.KindShardDown, fault.Transient, -1, uint64(pbas[i]), t)
+				}
 				b.St.CacheMisses++
 				b.St.RemoteReads++
 				b.IC.ReadInsert(pbas[i])

@@ -74,6 +74,11 @@ const (
 	// KindUnavailable is degraded service: the serving layer refused
 	// the request without attempting I/O (circuit breaker open).
 	KindUnavailable
+	// KindShardDown is a per-shard outage: the request's home shard (or
+	// the canonical owner of a remote-deduplicated block) is crashed.
+	// Transient — the shard is expected to rejoin, so retries against
+	// the request deadline are the right response.
+	KindShardDown
 )
 
 // String names the kind.
@@ -91,6 +96,8 @@ func (k Kind) String() string {
 		return "deadline-exceeded"
 	case KindUnavailable:
 		return "unavailable"
+	case KindShardDown:
+		return "shard-down"
 	}
 	return "unknown"
 }
@@ -110,7 +117,7 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string {
 	switch e.Kind {
-	case KindDeadlineExceeded, KindUnavailable:
+	case KindDeadlineExceeded, KindUnavailable, KindShardDown:
 		return fmt.Sprintf("fault: %s (%s) at %v", e.Kind, e.Class, e.At)
 	}
 	return fmt.Sprintf("fault: %s (%s) disk %d block %d at %v", e.Kind, e.Class, e.Disk, e.Block, e.At)

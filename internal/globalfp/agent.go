@@ -26,6 +26,15 @@ const foldStepInterval = 200 * sim.Millisecond
 // paroleBudget bounds recalls started per fold step.
 const paroleBudget = 16
 
+// recallTimeoutVT is the virtual-time recall timeout: a recall still
+// waiting on a peer after this long re-checks the peer's epoch, and an
+// epoch that moved (the peer crashed since the revoke was sent) turns
+// that peer's ack into an implicit grant — a dead shard holds no hint,
+// and any remote reference it journaled before dying is re-audited by
+// the rejoin remote-reference scan. Live peers with unchanged epochs
+// are still waited on indefinitely: their acks are reliably delivered.
+const recallTimeoutVT = 500 * sim.Millisecond
+
 // fper is stateless; see bgdedup for why synthetic fingerprints are
 // always safe off the write path.
 var fper chunk.SyntheticFingerprinter
@@ -36,6 +45,16 @@ type foldReq struct {
 	dup   alloc.PBA
 	fp    chunk.Fingerprint
 	canon alloc.PBA
+}
+
+// recallState tracks one in-flight revoke round: the bitmask of peers
+// whose acks are still outstanding, each peer's epoch at revoke-send
+// time (the implicit-grant comparison point), and when the round
+// started (the timeout clock).
+type recallState struct {
+	waiting uint64
+	epochs  []uint32 // indexed by shard; valid only at waiting bits
+	started sim.Time
 }
 
 // Agent is a shard's endpoint of the global fingerprint tier: an
@@ -61,9 +80,9 @@ type Agent struct {
 	foldQ     []foldReq
 	nextFold  sim.Time
 	paroleQ   []alloc.PBA
-	recalling map[alloc.PBA]int // local canonical → revoke acks outstanding
-	hinted    []uint64          // bitset: local blocks holding the hinted pin
-	msgBuf    []message         // inbox drain scratch
+	recalling map[alloc.PBA]*recallState // local canonical → revoke round
+	hinted    []uint64                   // bitset: local blocks holding the hinted pin
+	msgBuf    []message                  // inbox drain scratch
 	freeBuf   [1]alloc.PBA
 
 	hintsInstalled int64
@@ -76,6 +95,8 @@ type Agent struct {
 	refUnpins      int64
 	recallsSent    int64
 	recallsDone    int64
+	recallTimeouts int64
+	staleDropped   int64
 }
 
 // Attach wires a shard agent onto any engine that exposes its substrate
@@ -97,7 +118,7 @@ func New(b *engine.Base, t *Tier, shard int) *Agent {
 	a := &Agent{
 		b: b, t: t, shard: shard,
 		inner:     b.Background(),
-		recalling: make(map[alloc.PBA]int),
+		recalling: make(map[alloc.PBA]*recallState),
 		hinted:    make([]uint64, (b.DataBlocks()+63)/64),
 	}
 	if s, ok := a.inner.(*bgdedup.Scanner); ok {
@@ -121,6 +142,7 @@ func New(b *engine.Base, t *Tier, shard int) *Agent {
 	b.Reg.GaugeFunc("globalfp_ref_unpins", func() int64 { return a.refUnpins })
 	b.Reg.GaugeFunc("globalfp_recalls_sent", func() int64 { return a.recallsSent })
 	b.Reg.GaugeFunc("globalfp_recalls_done", func() int64 { return a.recallsDone })
+	b.Reg.GaugeFunc("globalfp_recall_timeouts", func() int64 { return a.recallTimeouts })
 	b.Reg.GaugeFunc("globalfp_fold_backlog", func() int64 { return int64(len(a.foldQ)) })
 	return a
 }
@@ -146,7 +168,7 @@ func (a *Agent) onRemoteRef(c alloc.PBA, up bool) {
 	if up {
 		kind = msgRefUp
 	}
-	a.t.send(owner, message{kind: kind, canon: c, from: a.shard})
+	a.t.send(owner, message{kind: kind, canon: c, from: a.shard, epoch: a.t.Epoch(a.shard)})
 }
 
 // onParole queues a hinted canonical whose last local reference
@@ -173,7 +195,8 @@ func (a *Agent) Tick(now sim.Time) {
 		} else {
 			a.nextFold = now.Add(foldStepInterval)
 			a.applyFolds(now, a.t.p.FoldsPerTick)
-			a.processParole(paroleBudget)
+			a.processParole(now, paroleBudget)
+			a.sweepRecalls(now, false)
 		}
 	}
 	if a.inner != nil {
@@ -216,7 +239,8 @@ func (a *Agent) DrainAll(now sim.Time) int {
 	for {
 		n := a.drainMsgs(now, -1)
 		n += a.applyFolds(now, -1)
-		n += a.processParole(-1)
+		n += a.processParole(now, -1)
+		n += a.sweepRecalls(now, true)
 		total += n
 		if n == 0 {
 			return total
@@ -260,6 +284,21 @@ func (a *Agent) drainMsgs(now sim.Time, budget int) int {
 }
 
 func (a *Agent) handle(now sim.Time, m message) {
+	// Fence: drop anything stamped with an epoch that is no longer the
+	// sender's current one — a message from the sender's previous life
+	// (a grant issued before its crash, a pin request for an ad it
+	// queued before dying). RefUp/RefDown are exempt: they mirror the
+	// sender's journaled (crash-durable) reference transitions, which
+	// the crash does not undo — fencing them would desynchronize this
+	// shard's pin counts from references that survive the sender's
+	// recovery verbatim. (Every transition is journaled and sent under
+	// one lock hold, so a queued ref message is always backed by a
+	// durable state change.)
+	if m.epoch != a.t.Epoch(m.from) && m.kind != msgRefUp && m.kind != msgRefDown {
+		a.staleDropped++
+		a.t.staleDropped.Add(1)
+		return
+	}
 	switch m.kind {
 	case msgPinReq:
 		a.handlePinReq(m)
@@ -281,7 +320,7 @@ func (a *Agent) handle(now sim.Time, m message) {
 		// mappings stay valid: this shard's ref pin holds the block.
 		a.b.IC.PurgePBA(m.canon)
 		owner, _ := alloc.RemoteParts(m.canon)
-		a.t.send(owner, message{kind: msgRevokeAck, canon: m.canon, from: a.shard})
+		a.t.send(owner, message{kind: msgRevokeAck, canon: m.canon, from: a.shard, epoch: a.t.Epoch(a.shard)})
 	case msgRevokeAck:
 		a.handleRevokeAck(m)
 	}
@@ -309,6 +348,7 @@ func (a *Agent) handlePinReq(m message) {
 		a.t.send(s, message{
 			kind: msgGrant, fp: m.fp, canon: m.canon,
 			dup: m.dup, hasDup: m.hasDup,
+			from: a.shard, epoch: a.t.Epoch(a.shard),
 		})
 	}
 }
@@ -352,21 +392,28 @@ func (a *Agent) handleGrant(m message) {
 	}
 }
 
-// handleRevokeAck counts a revoke round down; the last ack releases the
-// hinted pin, freeing the block unless ref pins (or a revived local
-// reference) still hold it. A RefUp that raced the recall has already
-// been processed — same-sender FIFO — so its pin survives the release.
+// handleRevokeAck clears the sender's bit in a revoke round; the last
+// ack releases the hinted pin, freeing the block unless ref pins (or a
+// revived local reference) still hold it. A RefUp that raced the
+// recall has already been processed — same-sender FIFO — so its pin
+// survives the release. Bit-clearing (rather than a countdown) makes a
+// duplicate ack harmless.
 func (a *Agent) handleRevokeAck(m message) {
 	_, local := alloc.RemoteParts(m.canon)
-	left, ok := a.recalling[local]
+	st, ok := a.recalling[local]
 	if !ok {
 		return
 	}
-	left--
-	if left > 0 {
-		a.recalling[local] = left
+	st.waiting &^= uint64(1) << uint(m.from)
+	if st.waiting != 0 {
 		return
 	}
+	a.finishRecall(local)
+}
+
+// finishRecall completes a revoke round whose last outstanding ack
+// just arrived (explicitly or implicitly).
+func (a *Agent) finishRecall(local alloc.PBA) {
 	delete(a.recalling, local)
 	a.recallsDone++
 	if a.hintedTest(local) {
@@ -375,6 +422,43 @@ func (a *Agent) handleRevokeAck(m message) {
 			a.freeLocal(local)
 		}
 	}
+}
+
+// sweepRecalls applies the recall timeout: rounds older than
+// recallTimeoutVT (every round when force — settlement must converge
+// even mid-outage) re-check each outstanding peer's epoch, and a peer
+// whose epoch moved since the revoke was sent is implicitly granted —
+// it crashed, its inbox (revoke included) was discarded, and it will
+// never ack. Returns the number of implicit grants applied.
+func (a *Agent) sweepRecalls(now sim.Time, force bool) int {
+	if len(a.recalling) == 0 {
+		return 0
+	}
+	granted := 0
+	for local, st := range a.recalling {
+		if !force && now < st.started.Add(recallTimeoutVT) {
+			continue
+		}
+		timedOut := false
+		for s := 0; s < a.t.shards; s++ {
+			bit := uint64(1) << uint(s)
+			if st.waiting&bit == 0 {
+				continue
+			}
+			if a.t.Epoch(s) != st.epochs[s] {
+				st.waiting &^= bit
+				granted++
+				timedOut = true
+			}
+		}
+		if timedOut {
+			a.recallTimeouts++
+		}
+		if st.waiting == 0 {
+			a.finishRecall(local)
+		}
+	}
+	return granted
 }
 
 // applyFolds applies up to budget queued remap candidates (all when
@@ -407,8 +491,11 @@ func (a *Agent) applyFolds(now sim.Time, budget int) int {
 // processParole starts recalls for up to budget paroled canonicals (all
 // when budget < 0) and returns the queue entries consumed. Entries are
 // re-validated: a block re-referenced, already recalled, or freed since
-// parole is skipped.
-func (a *Agent) processParole(budget int) int {
+// parole is skipped. Each round snapshots the peers' epochs at send
+// time — sweepRecalls' implicit-grant comparison point. The snapshot
+// cannot race a crash: recalls run under the shard lock and
+// Server.CrashShard holds every shard lock while epochs move.
+func (a *Agent) processParole(now sim.Time, budget int) int {
 	n := 0
 	for (budget < 0 || n < budget) && len(a.paroleQ) > 0 {
 		pba := a.paroleQ[len(a.paroleQ)-1]
@@ -428,9 +515,20 @@ func (a *Agent) processParole(budget int) int {
 			continue
 		}
 		ch := chunk.Chunk{Content: id}
-		acks := a.t.Recall(fper.Fingerprint(&ch), a.shard, pba)
+		waiting := a.t.Recall(fper.Fingerprint(&ch), a.shard, pba)
 		a.recallsSent++
-		a.recalling[pba] = acks
+		epochs := make([]uint32, a.t.shards)
+		for s := range epochs {
+			epochs[s] = a.t.Epoch(s)
+		}
+		st := &recallState{waiting: waiting, epochs: epochs, started: now}
+		if waiting == 0 {
+			// Every peer was down at send time: complete immediately.
+			a.recalling[pba] = st
+			a.finishRecall(pba)
+			continue
+		}
+		a.recalling[pba] = st
 	}
 	return n
 }
@@ -450,6 +548,8 @@ type AgentStats struct {
 	PinRejects     int64
 	RecallsSent    int64
 	RecallsDone    int64
+	RecallTimeouts int64
+	StaleDropped   int64
 }
 
 // Stats snapshots the agent's counters; call with the shard lock held
@@ -464,5 +564,7 @@ func (a *Agent) Stats() AgentStats {
 		PinRejects:     a.pinRejects,
 		RecallsSent:    a.recallsSent,
 		RecallsDone:    a.recallsDone,
+		RecallTimeouts: a.recallTimeouts,
+		StaleDropped:   a.staleDropped,
 	}
 }

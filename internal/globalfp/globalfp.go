@@ -38,8 +38,20 @@
 // freeing the block unless ref pins remain. In-process delivery is a
 // single FIFO per receiving shard in real send order, which gives the
 // grant-before-revoke and RefUp-before-ack orderings the protocol
-// needs (a distributed deployment would carry epochs instead; see
-// DESIGN.md §12).
+// needs.
+//
+// Shards are individual failure domains. Every shard carries a
+// monotonic epoch, bumped when the shard crashes; every control
+// message and advertisement is stamped with its sender's epoch, and
+// receivers drop (and count) anything stamped with an epoch that is no
+// longer the sender's current one — the fencing that makes messages
+// from a shard's previous life harmless. A recall waiting on a peer
+// whose epoch moved treats that peer's ack as implicitly granted
+// (recall timeout): the dead peer cannot hold a hint, and any remote
+// reference it journaled is re-audited by the RecoverLoad/RecoverFinish
+// remote-reference scan when it rejoins. A crash drops only the dead
+// shard's advertisements and pins from the tier tables (partial reset);
+// the survivors' entries stay live. See DESIGN.md §12.
 //
 // The tier itself is volatile: on CrashAndRecover it is rebuilt from
 // the shard indexes — remote mappings recover through the journaled
@@ -96,11 +108,14 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// ad is one published (fingerprint, shard, PBA) advertisement.
+// ad is one published (fingerprint, shard, PBA) advertisement, stamped
+// with the advertiser's epoch so a crashed shard's in-flight ads are
+// fenced out instead of re-registering freed canonicals.
 type ad struct {
 	fp    chunk.Fingerprint
 	pba   alloc.PBA
 	shard int
+	epoch uint32
 	fresh bool
 }
 
@@ -130,14 +145,19 @@ const (
 
 // message is one entry in a shard's control inbox. Grants, pin
 // traffic, revokes, and acks ride reliable (unbounded) queues — unlike
-// ads they cannot be dropped without leaking pins.
+// ads they cannot be dropped without leaking pins. Every message
+// carries its sender's shard and epoch; receivers drop messages whose
+// epoch is no longer the sender's current one (fencing). Tier-origin
+// messages (PinReq from processAd) are stamped with the epoch of the
+// shard whose advertisement caused them.
 type message struct {
 	kind   msgKind
 	fp     chunk.Fingerprint
 	canon  alloc.PBA // remote-encoded owner+pba
 	dup    alloc.PBA // msgPinReq/msgGrant: advertiser's local duplicate
 	bene   uint64    // msgPinReq: beneficiary shard bitmask
-	from   int       // sending shard (msgRefUp/Down/RevokeAck)
+	from   int       // sending shard (or ad origin for msgPinReq)
+	epoch  uint32    // sender's epoch at send time
 	hasDup bool
 }
 

@@ -41,6 +41,13 @@ type Tier struct {
 
 	stopped atomic.Bool
 
+	// Per-shard failure-domain state. epochs[i] is shard i's fencing
+	// epoch, bumped by CrashShard; down[i] marks the shard crashed
+	// (messages toward it are dropped, it is excluded from beneficiary
+	// sets) until RecoverShard clears it.
+	epochs []atomic.Uint32
+	down   []atomic.Bool
+
 	adsQueued      atomic.Int64
 	adsDropped     atomic.Int64
 	adsProcessed   atomic.Int64
@@ -48,6 +55,9 @@ type Tier struct {
 	hintsBroadcast atomic.Int64
 	tableFixes     atomic.Int64
 	recalls        atomic.Int64
+	staleDropped   atomic.Int64
+	downDropped    atomic.Int64
+	crashSweeps    atomic.Int64
 }
 
 // NewTier builds the tier for a server of the given shard count and
@@ -67,6 +77,8 @@ func NewTier(shards int, p Params) (*Tier, error) {
 		parts:  make([]partition, p.Partitions),
 		inbox:  make([]inbox, shards),
 		agents: make([]*Agent, shards),
+		epochs: make([]atomic.Uint32, shards),
+		down:   make([]atomic.Bool, shards),
 	}
 	for i := range t.parts {
 		t.parts[i].tbl = probe.NewMap[chunk.Fingerprint, tierEntry](1 << 12)
@@ -102,7 +114,35 @@ func (t *Tier) part(fp chunk.Fingerprint) *partition {
 	return &t.parts[binary.LittleEndian.Uint64(fp[:8])%uint64(len(t.parts))]
 }
 
-func (t *Tier) send(shard int, m message) { t.inbox[shard].push(m) }
+// send delivers a control message to a shard's inbox. Messages toward
+// a down shard are dropped (counted): the dead peer cannot process
+// them, its inbox is cleared on crash and recovery anyway, and the
+// rejoin remote-reference scan is the authoritative re-audit for any
+// pin traffic lost this way.
+func (t *Tier) send(shard int, m message) {
+	if t.down[shard].Load() {
+		t.downDropped.Add(1)
+		return
+	}
+	t.inbox[shard].push(m)
+}
+
+// Epoch reports a shard's current fencing epoch.
+func (t *Tier) Epoch(shard int) uint32 { return t.epochs[shard].Load() }
+
+// Down reports whether a shard is currently marked crashed.
+func (t *Tier) Down(shard int) bool { return t.down[shard].Load() }
+
+// downMask is the bitmask of currently-down shards.
+func (t *Tier) downMask() uint64 {
+	var m uint64
+	for i := range t.down {
+		if t.down[i].Load() {
+			m |= uint64(1) << uint(i)
+		}
+	}
+	return m
+}
 
 // Advertise publishes one (fingerprint, shard, PBA) sighting.
 // Non-blocking while the tier is serving: a full partition queue drops
@@ -110,7 +150,7 @@ func (t *Tier) send(shard int, m message) { t.inbox[shard].push(m) }
 // settlement re-advertisement — ads are processed synchronously
 // instead, so nothing published during drain is lost.
 func (t *Tier) Advertise(shard int, fp chunk.Fingerprint, pba alloc.PBA, fresh bool) {
-	a := ad{fp: fp, pba: pba, shard: shard, fresh: fresh}
+	a := ad{fp: fp, pba: pba, shard: shard, epoch: t.epochs[shard].Load(), fresh: fresh}
 	if t.stopped.Load() {
 		t.processAd(a)
 		return
@@ -139,6 +179,12 @@ func (t *Tier) Stop() {
 // processAd lands one advertisement on its partition table, emitting
 // whatever pin/grant traffic it implies.
 func (t *Tier) processAd(a ad) {
+	// Fence: an advertisement from a shard's previous life (queued
+	// before its crash) must not register a freed block as canonical.
+	if a.epoch != t.epochs[a.shard].Load() || t.down[a.shard].Load() {
+		t.staleDropped.Add(1)
+		return
+	}
 	t.adsProcessed.Add(1)
 	enc := alloc.MakeRemote(a.shard, a.pba)
 	p := t.part(a.fp)
@@ -150,9 +196,11 @@ func (t *Tier) processAd(a ad) {
 		// grant index hints to every other shard — the proactive push
 		// that lets a peer's first write of this content deduplicate
 		// inline instead of becoming a per-shard duplicate copy.
-		all := (uint64(1)<<uint(t.shards) - 1) &^ (uint64(1) << uint(a.shard))
+		// Currently-down shards are excluded from the beneficiary set;
+		// they re-learn hints from fresh advertisements after rejoin.
+		all := (uint64(1)<<uint(t.shards) - 1) &^ (uint64(1) << uint(a.shard)) &^ t.downMask()
 		p.tbl.Put(a.fp, tierEntry{canon: enc, granted: all})
-		t.send(a.shard, message{kind: msgPinReq, fp: a.fp, canon: enc, bene: all})
+		t.send(a.shard, message{kind: msgPinReq, fp: a.fp, canon: enc, bene: all, from: a.shard, epoch: a.epoch})
 		t.hintsBroadcast.Add(1)
 		return
 	}
@@ -179,6 +227,7 @@ func (t *Tier) processAd(a ad) {
 	t.send(owner, message{
 		kind: msgPinReq, fp: a.fp, canon: e.canon,
 		bene: bit, dup: a.pba, hasDup: true,
+		from: a.shard, epoch: a.epoch,
 	})
 }
 
@@ -196,10 +245,12 @@ func (t *Tier) Fix(fp chunk.Fingerprint, canon alloc.PBA) {
 }
 
 // Recall starts reclaiming a canonical whose owner paroled it: the
-// table entry is dropped and a revoke is broadcast to every other
-// shard. Returns the number of acks the owner must collect before
-// releasing the hinted pin.
-func (t *Tier) Recall(fp chunk.Fingerprint, shard int, pba alloc.PBA) int {
+// table entry is dropped and a revoke is broadcast to every other live
+// shard. Returns the bitmask of peers whose acks the owner must
+// collect before releasing the hinted pin; currently-down peers are
+// excluded up front (they hold no hint, and their rejoin re-audit
+// covers any reference they journaled before crashing).
+func (t *Tier) Recall(fp chunk.Fingerprint, shard int, pba alloc.PBA) uint64 {
 	enc := alloc.MakeRemote(shard, pba)
 	p := t.part(fp)
 	p.mu.Lock()
@@ -207,16 +258,63 @@ func (t *Tier) Recall(fp chunk.Fingerprint, shard int, pba alloc.PBA) int {
 		p.tbl.Delete(fp)
 	}
 	p.mu.Unlock()
-	acks := 0
+	var waiting uint64
+	ep := t.epochs[shard].Load()
 	for s := 0; s < t.shards; s++ {
-		if s == shard {
+		if s == shard || t.down[s].Load() {
 			continue
 		}
-		t.send(s, message{kind: msgRevoke, fp: fp, canon: enc})
-		acks++
+		t.send(s, message{kind: msgRevoke, fp: fp, canon: enc, from: shard, epoch: ep})
+		waiting |= uint64(1) << uint(s)
 	}
 	t.recalls.Add(1)
-	return acks
+	return waiting
+}
+
+// CrashShard marks shard i a dead failure domain: its fencing epoch is
+// bumped (everything it sent in its previous life is now stale), its
+// inbox is discarded, and the partition tables drop only its state —
+// entries whose canonical it owns are deleted (peers' hints are purged
+// by the serving layer), and its bit is cleared from surviving
+// entries' granted masks so post-rejoin advertisements re-grant it.
+// The survivors' canonicals, pins, and hints stay live. Callers must
+// ensure no shard agent is mid-Tick (the serving layer holds every
+// shard lock).
+func (t *Tier) CrashShard(i int) {
+	t.epochs[i].Add(1)
+	t.down[i].Store(true)
+	t.inbox[i].clear()
+	bit := uint64(1) << uint(i)
+	var dead []chunk.Fingerprint
+	for pi := range t.parts {
+		p := &t.parts[pi]
+		p.mu.Lock()
+		dead = dead[:0]
+		p.tbl.Each(func(fp chunk.Fingerprint, e tierEntry) bool {
+			if owner, _ := alloc.RemoteParts(e.canon); owner == i {
+				dead = append(dead, fp)
+			} else if e.granted&bit != 0 {
+				e.granted &^= bit
+				p.tbl.Put(fp, e)
+			}
+			return true
+		})
+		for _, fp := range dead {
+			p.tbl.Delete(fp)
+		}
+		p.mu.Unlock()
+	}
+	t.crashSweeps.Add(1)
+}
+
+// RecoverShard marks shard i live again after the serving layer rebuilt
+// its engine state. The inbox is cleared once more (fenced stragglers
+// from before the crash carry no information) and the down flag drops,
+// so the shard re-enters beneficiary sets and may advertise under its
+// new epoch. Idempotent.
+func (t *Tier) RecoverShard(i int) {
+	t.inbox[i].clear()
+	t.down[i].Store(false)
 }
 
 // Reset drops all volatile tier state — partition tables and queued
@@ -233,6 +331,9 @@ func (t *Tier) Reset() {
 	}
 	for i := range t.inbox {
 		t.inbox[i].clear()
+	}
+	for i := range t.down {
+		t.down[i].Store(false)
 	}
 }
 
@@ -251,6 +352,8 @@ type Counters struct {
 	AdsQueued, AdsDropped, AdsProcessed int64
 	DupsDetected, HintsBroadcast        int64
 	TableFixes, Recalls                 int64
+	StaleDropped, DownDropped           int64
+	CrashSweeps                         int64
 	Entries                             int64
 }
 
@@ -264,6 +367,9 @@ func (t *Tier) Snapshot() Counters {
 		HintsBroadcast: t.hintsBroadcast.Load(),
 		TableFixes:     t.tableFixes.Load(),
 		Recalls:        t.recalls.Load(),
+		StaleDropped:   t.staleDropped.Load(),
+		DownDropped:    t.downDropped.Load(),
+		CrashSweeps:    t.crashSweeps.Load(),
 	}
 	for i := range t.parts {
 		p := &t.parts[i]

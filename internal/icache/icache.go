@@ -302,6 +302,47 @@ func (c *Controller) PurgePBA(pba alloc.PBA) {
 	}
 }
 
+// PurgeWhere removes every trace of every cached block whose PBA
+// matches pred — index hints (hot and ghost, via the reverse map), read
+// cache, and read ghost — and reports how many distinct PBAs were
+// purged. The serving layer uses it with a remote-owner predicate when
+// a peer shard crashes: hints naming the dead shard's canonicals must
+// go before its recovery frees unpinned blocks, or a surviving shard
+// could dedupe new writes against physical blocks that no longer hold
+// the hinted content.
+func (c *Controller) PurgeWhere(pred func(alloc.PBA) bool) int {
+	var victims []alloc.PBA
+	c.idxRev.Each(func(pba alloc.PBA, _ revEntry) bool {
+		if pred(pba) {
+			victims = append(victims, pba)
+		}
+		return true
+	})
+	c.read.Each(func(pba alloc.PBA, _ struct{}) bool {
+		if pred(pba) {
+			victims = append(victims, pba)
+		}
+		return true
+	})
+	c.ghostRead.EachMRU(func(pba alloc.PBA) bool {
+		if pred(pba) {
+			victims = append(victims, pba)
+		}
+		return true
+	})
+	n := 0
+	seen := make(map[alloc.PBA]struct{}, len(victims))
+	for _, pba := range victims {
+		if _, dup := seen[pba]; dup {
+			continue
+		}
+		seen[pba] = struct{}{}
+		c.PurgePBA(pba)
+		n++
+	}
+	return n
+}
+
 func (c *Controller) revAdd(pba alloc.PBA, fp chunk.Fingerprint) {
 	e, inserted := c.idxRev.Ref(pba)
 	if inserted {

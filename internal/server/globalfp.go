@@ -35,6 +35,19 @@ func (s *Server) initGlobalFP() error {
 			return fmt.Errorf("server: shard %d engine %s has no Map-table substrate; the global fingerprint tier requires Select-Dedupe or POD engines", i, sh.eng.Name())
 		}
 		s.agents[i] = a
+		if h, ok := sh.eng.(baseHolder); ok {
+			// owner-down checks on the remote read/dedupe paths; the
+			// mask read is atomic, so the hook is safe mid-request
+			h.Base().RemoteDown = func(owner int) bool {
+				return s.downMask.Load()&(uint64(1)<<uint(owner)) != 0
+			}
+			// per-shard fencing epoch, exported beside the shard's other
+			// tier gauges (atomic read; safe under the registry rule)
+			shardIdx := i
+			sh.eng.Metrics().GaugeFunc(
+				metrics.Labeled("globalfp_epoch", "shard", strconv.Itoa(i)),
+				func() int64 { return int64(tier.Epoch(shardIdx)) })
+		}
 	}
 
 	// Tier-level gauges live in the server registry: the tier is shared
@@ -46,6 +59,8 @@ func (s *Server) initGlobalFP() error {
 	s.reg.GaugeFunc("globalfp_table_entries", func() int64 { return tier.Snapshot().Entries })
 	s.reg.GaugeFunc("globalfp_table_fixes", func() int64 { return tier.Snapshot().TableFixes })
 	s.reg.GaugeFunc("globalfp_recalls", func() int64 { return tier.Snapshot().Recalls })
+	s.reg.GaugeFunc("globalfp_stale_dropped", func() int64 { return tier.Snapshot().StaleDropped })
+	s.reg.GaugeFunc("globalfp_down_dropped", func() int64 { return tier.Snapshot().DownDropped })
 	return nil
 }
 
@@ -87,17 +102,24 @@ func (s *Server) settleGlobalFP() {
 	s.tier.Stop()
 	for i, sh := range s.shards {
 		sh.mu.Lock()
-		s.agents[i].ReAdvertise()
+		if !sh.down {
+			s.agents[i].ReAdvertise()
+		}
 		sh.mu.Unlock()
 	}
 	// Each round's work strictly shrinks the remaining protocol state
 	// (folds consume duplicates, recalls consume paroles); the cap is a
-	// backstop against an invariant bug turning Close into a hang.
+	// backstop against an invariant bug turning Close into a hang. A
+	// shard left down at Close is skipped — its inbox stays empty (the
+	// tier drops sends toward it), and DrainAll's forced recall sweep
+	// implicitly grants its acks, so settlement still converges.
 	for round := 0; round < 256; round++ {
 		moved := 0
 		for i, sh := range s.shards {
 			sh.mu.Lock()
-			moved += s.agents[i].DrainAll(sh.lastStart)
+			if !sh.down {
+				moved += s.agents[i].DrainAll(sh.lastStart)
+			}
 			sh.mu.Unlock()
 		}
 		if moved == 0 && s.tier.Backlog() == 0 {
@@ -157,6 +179,7 @@ func (s *Server) recoverGlobalFP() (int, error) {
 		b.RecoverFinish(pinned[i])
 	}
 	s.tier.Reset()
+	s.clearDown()
 	return total, nil
 }
 
@@ -166,6 +189,15 @@ func (s *Server) recoverGlobalFP() (int, error) {
 // owner, and the owner's pin count must equal the number of
 // referencing shards plus at most one (the tier's hinted pin). Call it
 // after Close; mid-serve the protocol is legitimately in flight.
+//
+// An intentionally-down shard (CrashShard without RecoverShard) makes
+// the audit degraded, not broken: the dead shard's engine invariants
+// are skipped (it is conceptually powered off), its journal-backed
+// remote references still count (they survive the crash and will be
+// recovered verbatim), and pin-slack checks on its canonicals are
+// skipped — RefDowns toward its dead inbox are legitimately lost
+// mid-outage and the rejoin re-audit rebuilds those pins exactly.
+// Liveness of its canonicals is still enforced.
 func (s *Server) CheckConsistency() error {
 	s.closeMu.RLock()
 	closed := s.closed
@@ -178,6 +210,9 @@ func (s *Server) CheckConsistency() error {
 		defer sh.mu.Unlock()
 	}
 	for i, sh := range s.shards {
+		if sh.down {
+			continue
+		}
 		if c, ok := sh.eng.(interface{ CheckConsistency() error }); ok {
 			if err := c.CheckConsistency(); err != nil {
 				return fmt.Errorf("server: shard %d: %w", i, err)
@@ -211,6 +246,9 @@ func (s *Server) CheckConsistency() error {
 		ob := bases[owner]
 		if _, live := ob.Store.Read(canon); !live {
 			return fmt.Errorf("server: shards %b reference dead canonical %d on shard %d", mask, canon, owner)
+		}
+		if s.shards[owner].down {
+			continue // degraded: pin state frozen until the rejoin re-audit
 		}
 		pins := ob.Map.PinCount(canon)
 		nrefs := bits.OnesCount64(mask)

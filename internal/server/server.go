@@ -300,6 +300,12 @@ type shard struct {
 	brUntil     sim.Time // virtual time the breaker half-opens
 	brOpens     int64
 	brShed      int64 // requests refused with KindUnavailable
+
+	// per-shard failure domain (CrashShard/RecoverShard): while down,
+	// the queue fail-replies everything with KindShardDown instead of
+	// touching the engine
+	down        bool
+	downRefused int64
 }
 
 // flusher matches engines with background work to drain at shutdown
@@ -323,6 +329,11 @@ type Server struct {
 	tier       *globalfp.Tier
 	agents     []*globalfp.Agent
 	settleOnce sync.Once
+
+	// downMask mirrors the shards' down flags as a bitmask readable
+	// without locks: engines consult it mid-request (RemoteDown) and
+	// DownShards reports it to operators.
+	downMask atomic.Uint64
 
 	wg      sync.WaitGroup
 	closeMu sync.RWMutex
@@ -400,6 +411,15 @@ func New(cfg Config) (*Server, error) {
 				}
 				return 0
 			})
+		reg.GaugeFunc(metrics.Labeled("server_shard_down", "shard", label),
+			func() int64 {
+				if sh.down {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc(metrics.Labeled("server_shard_down_refused", "shard", label),
+			func() int64 { return sh.downRefused })
 		s.shards[i] = sh
 	}
 	s.initRemovalGauges()
@@ -501,7 +521,9 @@ func (s *Server) worker(sh *shard) {
 	func() {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
-		if f, ok := sh.eng.(flusher); ok {
+		// a crashed shard's engine is conceptually powered off; its
+		// background work is rebuilt at recovery, not flushed
+		if f, ok := sh.eng.(flusher); ok && !sh.down {
 			f.Flush(sh.lastStart)
 		}
 	}()
@@ -541,6 +563,19 @@ func splitmix64(x uint64) uint64 {
 func (sh *shard) serve(env envelope, cfg *Config) {
 	r := env.req
 	arrival := sim.Time(r.Time)
+
+	// crashed shard: fail-reply everything with a typed transient error
+	// — the engine is conceptually powered off. Clients retry against
+	// their own deadlines; the other shards keep serving.
+	if sh.down {
+		sh.downRefused++
+		sh.failed++
+		if env.done != nil {
+			env.done <- Result{Shard: sh.id, Start: int64(arrival), Complete: int64(arrival),
+				Err: fault.New(fault.KindShardDown, fault.Transient, -1, 0, arrival)}
+		}
+		return
+	}
 
 	// circuit breaker: while open, refuse without touching the engine;
 	// after the cooldown the next request is the half-open probe.
@@ -867,7 +902,30 @@ func (s *Server) CrashAndRecover() (int, error) {
 		}
 		total += n
 	}
+	s.clearDown()
 	return total, nil
+}
+
+// clearDown marks every shard live again — whole-node recovery
+// supersedes any per-shard outage.
+func (s *Server) clearDown() {
+	for _, sh := range s.shards {
+		sh.down = false
+	}
+	s.downMask.Store(0)
+}
+
+// DownShards lists the shards currently crashed by CrashShard, in
+// ascending order. Lock-free; usable mid-serve and from gauges.
+func (s *Server) DownShards() []int {
+	mask := s.downMask.Load()
+	var out []int
+	for i := 0; i < s.cfg.Shards; i++ {
+		if mask&(uint64(1)<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // ShardSnapshot is one shard's contribution to a Snapshot.
