@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-shardcrash smoke-flood smoke-streams bench-delta fuzz clean
+.PHONY: all build vet test check bench microbench repro repro-fast smoke-serve smoke-metrics smoke-chaos smoke-bgdedup smoke-globalfp smoke-shardcrash smoke-flood smoke-streams smoke-cdc bench-delta fuzz clean
 
 all: build vet test
 
@@ -23,6 +23,7 @@ check:
 	$(MAKE) smoke-shardcrash
 	$(MAKE) smoke-flood
 	$(MAKE) smoke-streams
+	$(MAKE) smoke-cdc
 	$(MAKE) bench-delta
 
 # Serving-mode smoke: a small sharded podload run. podload exits
@@ -108,6 +109,18 @@ smoke-streams:
 	$(GO) test -race ./internal/locality/
 	$(GO) run -race ./cmd/podload -streams -stream-profile adversarial -scale 0.1 -shards 2 -rate 2000
 
+# CDC chunking smoke: the content-defined chunking axis under the race
+# detector. The cdc package tests pin shift-invariance, the scalar
+# cross-checks, and the alloc-free guards; TestChunkingShifted replays
+# the shifted snapshot trace and fails unless gear and seqcdc remove
+# writes where fixed4k removes exactly zero; the podsim run exercises
+# the same axis through the CLI end to end.
+smoke-cdc:
+	$(GO) test -race ./internal/cdc/
+	$(GO) test -race -run 'TestChunkingShifted|TestCDCSplitHotPathAllocFree|TestShiftedSnapshotShape' \
+		./internal/experiments/ ./internal/chunk/ ./internal/workload/
+	$(GO) run -race ./cmd/podsim -scheme POD -trace shifted -chunking gear -scale 0.05
+
 # Bench-delta gate: regenerate the full-scale trajectory (now cheap
 # enough to run in CI) and fail on regressions against the committed
 # BENCH_replay.json — >10% on allocations (deterministic, the tight
@@ -115,7 +128,8 @@ smoke-streams:
 # especially right after the race suite). Entries only in the
 # reference (the podload flood sweep) are skipped, not failed.
 bench-delta:
-	$(GO) run ./cmd/podbench -scale 1 -bench-json /tmp/pod-bench-delta.json all >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkGearChunk|BenchmarkSeqCDCChunk' -benchmem ./internal/cdc/
+	$(GO) run ./cmd/podbench -scale 1 -bench-json /tmp/pod-bench-delta.json all chunking >/dev/null
 	$(GO) run ./cmd/benchdelta -ref BENCH_replay.json -new /tmp/pod-bench-delta.json
 
 build:

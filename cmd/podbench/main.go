@@ -9,8 +9,10 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11
 // overhead all (default: all), plus the on-demand "capacity"
-// experiment (background-dedup reclamation; excluded from "all" so the
-// default artifact set matches the paper's engine matrix). Scale 1.0
+// (background-dedup reclamation), "streams" (per-stream index-cache
+// apportionment), and "chunking" (fixed4k vs gear vs seqcdc on the
+// shifted-content trace) experiments — excluded from "all" so the
+// default artifact set matches the paper's engine matrix. Scale 1.0
 // replays the paper's full request counts; smaller scales subsample
 // proportionally.
 //
@@ -74,6 +76,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: table1 table2 fig1 fig2 fig3 fig8 fig9 fig10 fig11 overhead raw schemes ablations all\n")
 		fmt.Fprintf(os.Stderr, "             capacity (background-dedup reclamation; on demand, not in \"all\")\n")
 		fmt.Fprintf(os.Stderr, "             streams (per-stream index-cache apportionment sweep; on demand, not in \"all\")\n")
+		fmt.Fprintf(os.Stderr, "             chunking (fixed4k vs gear vs seqcdc on the shifted trace; on demand, not in \"all\")\n")
 		fmt.Fprintf(os.Stderr, "profiling flags measure the harness itself: -cpuprofile/-memprofile write pprof\n")
 		fmt.Fprintf(os.Stderr, "profiles, -bench-json writes a perf trajectory tagged with -bench-label\n")
 		flag.PrintDefaults()
@@ -88,11 +91,12 @@ func main() {
 	// misplaced or misspelled flag ("podbench table2 -bogus") would
 	// otherwise ride along as an experiment name; reject everything
 	// up front rather than failing after minutes of replay.
-	// "capacity" (background dedup reclamation) and "streams" (per-
-	// stream index-cache apportionment) are on-demand only: they are
-	// not part of "all" so the default artifact set stays identical to
-	// the paper's engine matrix.
-	known := map[string]bool{"all": true, "capacity": true, "streams": true}
+	// "capacity" (background dedup reclamation), "streams" (per-stream
+	// index-cache apportionment), and "chunking" (the content-defined
+	// chunking axis) are on-demand only: they are not part of "all" so
+	// the default artifact set stays identical to the paper's engine
+	// matrix.
+	known := map[string]bool{"all": true, "capacity": true, "streams": true, "chunking": true}
 	for _, n := range allExperiments {
 		known[n] = true
 	}
@@ -137,6 +141,7 @@ func main() {
 	run := func(name string) bool {
 		start := time.Now()
 		ok := true
+		var chunkRows []experiments.ChunkingRow
 		track.Measure(name, func() {
 			switch name {
 			case "table1":
@@ -180,6 +185,10 @@ func main() {
 				fmt.Println(t)
 				t, _ = env.StreamsScan()
 				fmt.Println(t)
+			case "chunking":
+				t, rows := env.Chunking()
+				fmt.Println(t)
+				chunkRows = rows
 			case "schemes":
 				fmt.Println(env.SchemesTable())
 			case "ablations":
@@ -196,6 +205,12 @@ func main() {
 		})
 		if !ok {
 			return false
+		}
+		// chunking-throughput numbers join the trajectory entry so the
+		// bench-delta gate watches the splitters' wall-clock rate
+		for _, r := range chunkRows {
+			track.Annotate("chunking_"+r.Algo+"_mbps", r.ThroughputMBs)
+			track.Annotate("chunking_"+r.Algo+"_removed", float64(r.Removed))
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		return true

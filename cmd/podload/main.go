@@ -8,6 +8,7 @@
 //	        [-shards n] [-clients n] [-rate r] [-requests n]
 //	        [-write-ratio f] [-queue n] [-batch n] [-policy block|shed]
 //	        [-route-chunks n] [-submit-batch n] [-cpuprofile f]
+//	        [-chunking fixed4k|gear|seqcdc]
 //	        [-streams] [-stream-profile adversarial|scan]
 //	        [-bench-json f] [-bench-label s]
 //	        [-metrics-out f] [-metrics-prom f] [-trace-sample n]
@@ -115,6 +116,7 @@ import (
 
 	pod "github.com/pod-dedup/pod"
 	"github.com/pod-dedup/pod/internal/bgdedup"
+	"github.com/pod-dedup/pod/internal/cdc"
 	"github.com/pod-dedup/pod/internal/chaos"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -167,6 +169,7 @@ func main() {
 	gfpQueue := flag.Int("globalfp-queue", 0, "per-partition advertisement queue capacity (0 = default)")
 	gfpRate := flag.Int("globalfp-rate", 0, "remap folds the tier applies per shard per engine tick (0 = default)")
 	gfpExpect := flag.Bool("globalfp-expect-remaps", false, "fail the run unless the tier applied at least one cross-shard remap")
+	chunking := flag.String("chunking", "fixed4k", "per-shard chunker: fixed4k, gear, or seqcdc (CDC needs a dedup scheme; incompatible with -chaos)")
 	crashShard := flag.Int("crash-shard", -1, "shard to crash mid-run (-1 = last shard; requires -chaos shardcrash)")
 	crashAtUS := flag.Int64("crash-at-us", 0, "virtual crash time in us (0 = horizon/3; requires -chaos shardcrash)")
 	recoverAtUS := flag.Int64("recover-at-us", 0, "virtual rejoin time in us (0 = 2/3 horizon; requires -chaos shardcrash)")
@@ -176,7 +179,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "               [-batch n] [-policy block|shed] [-route-chunks n] [-submit-batch n]\n")
 		fmt.Fprintf(os.Stderr, "               [-cpuprofile f] [-bench-json f] [-bench-label s]\n")
 		fmt.Fprintf(os.Stderr, "               [-metrics-out f] [-metrics-prom f] [-trace-sample n]\n")
-		fmt.Fprintf(os.Stderr, "               [-streams] [-stream-profile adversarial|scan]\n")
+		fmt.Fprintf(os.Stderr, "               [-chunking fixed4k|gear|seqcdc] [-streams] [-stream-profile adversarial|scan]\n")
 		fmt.Fprintf(os.Stderr, "               [-chaos scenario] [-chaos-seed n] [-deadline-us n]\n")
 		fmt.Fprintf(os.Stderr, "               [-bgdedup] [-bgdedup-rate n] [-bgdedup-expect-reclaim] [-cleaner]\n")
 		fmt.Fprintf(os.Stderr, "               [-globalfp] [-globalfp-queue n] [-globalfp-rate n] [-globalfp-expect-remaps]\n")
@@ -198,6 +201,17 @@ func main() {
 	schemeName, err := pod.ParseScheme(*scheme)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(2)
+	}
+	// Chunker validation fails fast: an unknown name must exit non-zero
+	// before any trace generation or shard construction.
+	chunkAlgo, err := cdc.ParseAlgo(*chunking)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+		os.Exit(2)
+	}
+	if chunkAlgo != cdc.Fixed4K && schemeName == pod.SchemeNative {
+		fmt.Fprintf(os.Stderr, "podload: -chunking %s needs a deduplicating scheme; Native never consults chunk content\n", chunkAlgo)
 		os.Exit(2)
 	}
 	if *traceSample < 0 {
@@ -230,6 +244,13 @@ func main() {
 		// validate the scenario name up front (dims are per shard later)
 		if _, err := chaos.Build(*chaosName, 4, 1024, 1000, 1); err != nil {
 			fmt.Fprintf(os.Stderr, "podload: %v\n", err)
+			os.Exit(2)
+		}
+		if chunkAlgo != cdc.Fixed4K {
+			// the read-back oracle compares each LBA against the exact
+			// ContentID the trace wrote there; CDC remaps slot contents
+			// to derived chunk IDs, so the oracle cannot apply
+			fmt.Fprintln(os.Stderr, "podload: -chunking is incompatible with -chaos (the read-back oracle checks trace ContentIDs per LBA)")
 			os.Exit(2)
 		}
 		if *rate <= 0 {
@@ -440,6 +461,7 @@ func main() {
 		NewEngine: func(shard int) engine.Engine {
 			cfg := experiments.BuildConfig(prof, *scale)
 			cfg.Cleaner = engine.CleanerParams{Enabled: *cleanerOn}
+			cfg.Chunking = cdc.Params{Algo: chunkAlgo}
 			if *streamsOn {
 				cfg.Streams = engine.StreamParams{Enabled: true}
 			}

@@ -5,6 +5,7 @@
 //
 //	podsim -scheme POD -trace mail -scale 0.5
 //	podsim -scheme Select-Dedupe -file mytrace.txt -memory 64
+//	podsim -scheme POD -trace shifted -chunking gear
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	pod "github.com/pod-dedup/pod"
+	"github.com/pod-dedup/pod/internal/cdc"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -25,7 +27,8 @@ import (
 
 func main() {
 	scheme := flag.String("scheme", "POD", "Native | Full-Dedupe | iDedup | Select-Dedupe | POD")
-	traceName := flag.String("trace", "web-vm", "built-in trace: web-vm, homes, mail")
+	traceName := flag.String("trace", "web-vm", "built-in trace: web-vm, homes, mail, shifted")
+	chunking := flag.String("chunking", "fixed4k", "chunker: fixed4k, gear, or seqcdc (CDC needs a dedup scheme, not Native)")
 	file := flag.String("file", "", "replay a trace file instead of a built-in (text format)")
 	fiu := flag.Bool("fiu", false, "treat -file as an FIU SRT record stream (reassembled at 1 ms)")
 	scale := flag.Float64("scale", 1.0, "built-in trace scale")
@@ -45,9 +48,19 @@ func main() {
 		fatal(err)
 	}
 	*scheme = string(schemeName)
+	// fail fast on an unknown chunker name, before any trace is built
+	algo, err := cdc.ParseAlgo(*chunking)
+	if err != nil {
+		fatal(err)
+	}
+	if algo != cdc.Fixed4K && schemeName == pod.SchemeNative {
+		fatal(fmt.Errorf("-chunking %s needs a deduplicating scheme; Native never consults chunk content", algo))
+	}
 
 	var tr *trace.Trace
 	var warmup int
+	var shiftedDims workload.MixedDims
+	shifted := *file == "" && *traceName == "shifted"
 	prof, profOK := workload.ByName(*traceName)
 	if *file != "" {
 		f, err := os.Open(*file)
@@ -66,6 +79,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	} else if shifted {
+		tr, warmup, shiftedDims = workload.ShiftedSnapshot(*scale)
 	} else {
 		if !profOK {
 			fatal(fmt.Errorf("unknown trace %q", *traceName))
@@ -75,9 +90,12 @@ func main() {
 
 	blocks := *diskBlocks
 	if blocks == 0 {
-		if profOK && *file == "" {
+		switch {
+		case shifted:
+			blocks = shiftedDims.FootprintChunks
+		case profOK && *file == "":
 			blocks = prof.FootprintChunks / 2
-		} else {
+		default:
 			blocks = 1 << 19
 		}
 	}
@@ -87,9 +105,14 @@ func main() {
 	}
 	mem := int64(*memoryMB * (1 << 20))
 	if mem == 0 {
-		if profOK && *file == "" {
+		switch {
+		case shifted:
+			// the shifted profile's budget is tuned to its chunk
+			// fingerprint population, not the request count
+			mem = shiftedDims.MemoryBytes
+		case profOK && *file == "":
 			mem = int64(float64(prof.MemoryBytes) * *scale)
-		} else {
+		default:
 			mem = 32 << 20
 		}
 		if mem < 1<<19 {
@@ -103,6 +126,7 @@ func main() {
 		Threshold:       *threshold,
 		IDedupThreshold: *idedupThresh,
 		NVRAMBytes:      int(blocks * uint64(*disks) * 24),
+		Chunking:        cdc.Params{Algo: algo},
 	}
 	eng := experiments.NewEngine(*scheme, cfg)
 
@@ -133,6 +157,9 @@ func main() {
 	st := res.Stats
 	t := stats.NewTable(fmt.Sprintf("%s on %s (%d requests, %d warm-up)",
 		*scheme, tr.Name, len(tr.Requests), warmup), "Metric", "Value")
+	if algo != cdc.Fixed4K {
+		t.AddRow("Chunker", algo.String())
+	}
 	t.AddRow("Mean response time", stats.Ms(res.MeanRT))
 	t.AddRow("Mean write RT", stats.Ms(res.MeanWriteRT))
 	t.AddRow("Mean read RT", stats.Ms(res.MeanReadRT))

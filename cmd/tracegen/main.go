@@ -17,22 +17,30 @@ import (
 )
 
 func main() {
-	name := flag.String("trace", "web-vm", "trace profile: web-vm, homes or mail")
+	name := flag.String("trace", "web-vm", "trace profile: web-vm, homes, mail or shifted")
 	scale := flag.Float64("scale", 1.0, "trace scale (1.0 = paper request count)")
 	format := flag.String("format", "text", "output format: text or binary")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	prof, ok := workload.ByName(*name)
-	if !ok {
-		var names []string
-		for _, p := range workload.Profiles() {
-			names = append(names, p.Name)
+	var tr *trace.Trace
+	var warmup int
+	if *name == "shifted" {
+		// the shifted-content snapshot family (edit-encoded ContentIDs
+		// for the CDC chunking axis; see internal/cdc)
+		tr, warmup, _ = workload.ShiftedSnapshot(*scale)
+	} else {
+		prof, ok := workload.ByName(*name)
+		if !ok {
+			names := []string{"shifted"}
+			for _, p := range workload.Profiles() {
+				names = append(names, p.Name)
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q (have %s)\n", *name, strings.Join(names, ", "))
+			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q (have %s)\n", *name, strings.Join(names, ", "))
-		os.Exit(2)
+		tr, warmup = workload.Generate(prof, *scale)
 	}
-	tr, warmup := workload.Generate(prof, *scale)
 
 	w := os.Stdout
 	if *out != "" {

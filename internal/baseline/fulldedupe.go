@@ -75,7 +75,7 @@ func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := f.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	found, _, target := f.base.WriteScratch(req.N)
+	found, _, target := f.base.WriteScratch(len(chs))
 	diskLookups := 0
 	for i := range chs {
 		pba, ok, memHit := f.full.Lookup(chs[i].FP)
@@ -93,7 +93,7 @@ func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 		return lookupDone.Sub(t), err
 	}
 
-	positions := f.base.PositionsScratch(req.N)
+	positions := f.base.PositionsScratch(len(chs))
 	for i := range chs {
 		if found[i] && f.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			continue
@@ -117,7 +117,7 @@ func (f *FullDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	}
 
 	f.base.St.Writes++
-	f.base.VerifyWrite(req)
+	f.base.VerifyWrite(req, chs)
 	rt := done.Sub(t)
 	f.base.St.WriteRT.Add(int64(rt))
 	return rt, nil

@@ -53,12 +53,12 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	if req.N < d.base.Cfg.IDedupThreshold {
 		// small request: bypass deduplication, skip hashing
 		chs := d.base.SplitRequest(req)
-		positions := allPositions(d.base.PositionsScratch(req.N), req.N)
+		positions := allPositions(d.base.PositionsScratch(len(chs)), len(chs))
 		done, _, err := d.base.WriteFresh(t, req, positions, chs)
 		if err != nil {
 			return done.Sub(t), err
 		}
-		d.base.VerifyWrite(req)
+		d.base.VerifyWrite(req, chs)
 		rt := done.Sub(t)
 		st.WriteRT.Add(int64(rt))
 		return rt, nil
@@ -67,7 +67,7 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := d.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	dup, dedupe, target := d.base.WriteScratch(req.N)
+	dup, dedupe, target := d.base.WriteScratch(len(chs))
 	for i := range chs {
 		if e, ok := d.base.IC.IndexLookup(chs[i].FP); ok {
 			dup[i] = true
@@ -77,13 +77,13 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 
 	// deduplicate maximal sequential duplicate runs ≥ threshold
 	i := 0
-	for i < req.N {
+	for i < len(chs) {
 		if !dup[i] {
 			i++
 			continue
 		}
 		j := i + 1
-		for j < req.N && dup[j] && target[j] == target[j-1]+1 {
+		for j < len(chs) && dup[j] && target[j] == target[j-1]+1 {
 			j++
 		}
 		if j-i >= d.base.Cfg.IDedupThreshold {
@@ -94,8 +94,8 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 		i = j
 	}
 
-	positions := d.base.PositionsScratch(req.N)
-	for i := 0; i < req.N; i++ {
+	positions := d.base.PositionsScratch(len(chs))
+	for i := 0; i < len(chs); i++ {
 		if dedupe[i] && d.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			continue
 		} else {
@@ -118,7 +118,7 @@ func (d *IDedup) Write(req *trace.Request) (sim.Duration, error) {
 		done = d.base.AbsorbWrite(done)
 	}
 
-	d.base.VerifyWrite(req)
+	d.base.VerifyWrite(req, chs)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
 	return rt, nil

@@ -90,7 +90,7 @@ func (d *IODedup) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := d.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	positions := allPositions(d.base.PositionsScratch(req.N), req.N)
+	positions := allPositions(d.base.PositionsScratch(len(chs)), len(chs))
 	done, pbas, err := d.base.WriteFresh(ready, req, positions, chs)
 	if err != nil {
 		return done.Sub(t), err
@@ -98,7 +98,7 @@ func (d *IODedup) Write(req *trace.Request) (sim.Duration, error) {
 	for i, pba := range pbas {
 		d.recordReplica(chs[i].FP, pba)
 	}
-	d.base.VerifyWrite(req)
+	d.base.VerifyWrite(req, chs)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
 	return rt, nil

@@ -104,7 +104,7 @@ func (p *PostProcess) Write(req *trace.Request) (sim.Duration, error) {
 	st.Writes++
 
 	chs := p.base.SplitRequest(req)
-	positions := allPositions(p.base.PositionsScratch(req.N), req.N)
+	positions := allPositions(p.base.PositionsScratch(len(chs)), len(chs))
 	done, pbas, err := p.base.WriteFresh(t, req, positions, chs)
 	if err != nil {
 		return done.Sub(t), err
@@ -112,7 +112,7 @@ func (p *PostProcess) Write(req *trace.Request) (sim.Duration, error) {
 	for i, pba := range pbas {
 		p.pending = append(p.pending, pendingBlock{lba: req.LBA + uint64(i), pba: pba})
 	}
-	p.base.VerifyWrite(req)
+	p.base.VerifyWrite(req, chs)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
 	return rt, nil

@@ -1,0 +1,45 @@
+package cdc
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+)
+
+// benchSplit drives one splitter over a rotating set of stream
+// windows (so the materializer cannot serve a single hot window) and
+// reports bytes-of-content-chunked per second via b.SetBytes.
+func benchSplit(b *testing.B, algo Algo) {
+	s := NewSplitter(Params{Algo: algo})
+	const blocks = 64 // 256 KiB per request window
+	windows := make([][]chunk.ContentID, 8)
+	for g := range windows {
+		windows[g] = editWindow(1, uint8(g), 128, blocks)
+	}
+	dst := make([]chunk.Chunk, 0, s.Params().MaxChunksPerSlots(blocks))
+	dst, _ = s.Split(dst[:0], windows[0]) // warm scratch
+	b.SetBytes(int64(blocks) * slotBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = s.Split(dst[:0], windows[i&7])
+	}
+	_ = dst
+}
+
+// BenchmarkGearChunk measures the full Gear split path per request:
+// materialize, landmark sweep, cut derivation, hash, fingerprint.
+func BenchmarkGearChunk(b *testing.B) { benchSplit(b, Gear) }
+
+// BenchmarkSeqCDCChunk is the same for the sequence-based chunker.
+func BenchmarkSeqCDCChunk(b *testing.B) { benchSplit(b, SeqCDC) }
+
+// BenchmarkMaterializeStream isolates the byte expansion.
+func BenchmarkMaterializeStream(b *testing.B) {
+	buf := make([]byte, 1<<20)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaterializeStream(1, uint8(i&7), 4096, buf)
+	}
+}

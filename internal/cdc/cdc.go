@@ -1,0 +1,174 @@
+// Package cdc implements content-defined chunking (CDC) as a
+// selectable engine axis: a Gear rolling-hash chunker and a
+// SeqCDC-style sequence-based chunker, both batch-oriented and
+// allocation-free in steady state.
+//
+// The rest of the repository identifies chunk content by opaque
+// ContentIDs at a fixed 4 KiB granularity — equal IDs mean
+// byte-identical chunks, and nothing below the workload generator ever
+// sees bytes. That model cannot express *shifted* duplicate content: a
+// snapshot stream that gained a few bytes at its head has every 4 KiB
+// block re-aligned, so fixed chunking (and any ID-granular scheme)
+// dedups exactly 0% of it. This package closes the gap in three
+// layers:
+//
+//  1. A deterministic byte-materializer (materialize.go) expands
+//     synthetic ContentID streams into reproducible byte content.
+//     Edit-encoded IDs (EncodeEdit: object, generation, block index)
+//     describe snapshot generations whose bytes are the previous
+//     generation's bytes shifted by a small head insert or delete, so
+//     byte-level redundancy exists between generations even though
+//     every 4 KiB block differs.
+//  2. A two-stage chunker: a batched landmark sweep (gear.go,
+//     seqcdc.go) marks candidate cutpoints in a bitmap, then cut
+//     derivation (cut.go) applies min/avg/max bounds. For stream
+//     (edit-ID) content the cuts are *normalized*: a landmark is
+//     accepted only when no other landmark precedes it within
+//     MinBytes, making every accepted cut a pure function of a
+//     bounded content window — byte-shifted content re-synchronizes
+//     to identical chunks within one max-chunk distance of the edit.
+//  3. A Splitter (splitter.go) that turns one write request's IDs
+//     into engine chunks: each CDC chunk occupies one logical slot,
+//     its ContentID is a 64-bit hash of its bytes, and its
+//     fingerprint derives from that ID exactly like the synthetic
+//     fixed-4K path — so the Map table, allocator, index cache, and
+//     every dedup decision downstream work unchanged.
+//
+// Fixed4K (the default) bypasses all of this: engines split requests
+// one ID per chunk as before, keeping every paper artifact
+// byte-identical. See DESIGN.md §14.
+package cdc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Algo selects the chunking algorithm of one engine.
+type Algo int
+
+const (
+	// Fixed4K is the repository default: one chunk per 4 KiB content
+	// ID, no byte materialization. The zero value, so an unset
+	// Params leaves every existing configuration untouched.
+	Fixed4K Algo = iota
+	// Gear is a Gear rolling-hash chunker (the FastCDC/VectorCDC hash
+	// family): h = (h<<1) + G[b], landmark where the top AvgBits bits
+	// of h are zero. The hash window is exactly 64 bytes.
+	Gear
+	// SeqCDC is a hashless sequence-based chunker in the style of
+	// SeqCDC/VectorCDC: a landmark is a run of SeqLen consecutive
+	// strictly-increasing byte steps. Cheaper per byte than Gear and
+	// SIMD-friendly in spirit: the batched sweep is branch-light and
+	// processes bitmap words, not per-byte calls.
+	SeqCDC
+)
+
+// String names the algorithm as accepted by ParseAlgo.
+func (a Algo) String() string {
+	switch a {
+	case Fixed4K:
+		return "fixed4k"
+	case Gear:
+		return "gear"
+	case SeqCDC:
+		return "seqcdc"
+	default:
+		return fmt.Sprintf("cdc.Algo(%d)", int(a))
+	}
+}
+
+// Algos lists the selectable chunkers in presentation order.
+func Algos() []Algo { return []Algo{Fixed4K, Gear, SeqCDC} }
+
+// ParseAlgo resolves a chunker name case-insensitively, ignoring
+// hyphen/underscore/space punctuation ("fixed4k", "Fixed-4K", "gear",
+// "SeqCDC" all resolve), mirroring pod.ParseScheme so every
+// command-line tool validates -chunking the same way.
+func ParseAlgo(s string) (Algo, error) {
+	norm := func(v string) string {
+		v = strings.ToLower(v)
+		for _, cut := range []string{"-", "_", " "} {
+			v = strings.ReplaceAll(v, cut, "")
+		}
+		return v
+	}
+	want := norm(s)
+	if want == "" {
+		return Fixed4K, fmt.Errorf("cdc: empty chunker name")
+	}
+	for _, a := range Algos() {
+		if norm(a.String()) == want {
+			return a, nil
+		}
+	}
+	var names []string
+	for _, a := range Algos() {
+		names = append(names, a.String())
+	}
+	return Fixed4K, fmt.Errorf("cdc: unknown chunker %q (have %s)", s, strings.Join(names, ", "))
+}
+
+// Params configures one engine's chunker. The zero value selects
+// Fixed4K (CDC off); WithDefaults fills the remaining fields.
+type Params struct {
+	Algo Algo
+
+	// MinBytes and MaxBytes bound every emitted chunk (the head and
+	// tail chunk of a stream may run shorter). Defaults 2048 / 16384.
+	MinBytes int
+	MaxBytes int
+
+	// AvgBits sets Gear's landmark density: a landmark roughly every
+	// 2^AvgBits bytes before the min-bound filter. Default 11 (2 KiB).
+	AvgBits int
+
+	// SeqLen sets SeqCDC's landmark condition: a run of SeqLen
+	// consecutive strictly-increasing byte steps. Default 6 (≈1/5040
+	// positions on random bytes).
+	SeqLen int
+}
+
+// Enabled reports whether content-defined chunking is on.
+func (p Params) Enabled() bool { return p.Algo != Fixed4K }
+
+// WithDefaults fills unset fields with the evaluation defaults.
+func (p Params) WithDefaults() Params {
+	if p.MinBytes == 0 {
+		p.MinBytes = 2048
+	}
+	if p.MaxBytes == 0 {
+		p.MaxBytes = 16384
+	}
+	if p.AvgBits == 0 {
+		p.AvgBits = 11
+	}
+	if p.SeqLen == 0 {
+		p.SeqLen = 6
+	}
+	return p
+}
+
+// Validate rejects parameter combinations the splitter cannot honor.
+func (p Params) Validate() error {
+	p = p.WithDefaults()
+	if !p.Enabled() {
+		return nil
+	}
+	if p.MinBytes < 256 {
+		return fmt.Errorf("cdc: MinBytes %d < 256", p.MinBytes)
+	}
+	if p.MaxBytes < 2*p.MinBytes {
+		return fmt.Errorf("cdc: MaxBytes %d < 2×MinBytes %d", p.MaxBytes, p.MinBytes)
+	}
+	if p.MaxBytes > 1<<20 {
+		return fmt.Errorf("cdc: MaxBytes %d > 1 MiB", p.MaxBytes)
+	}
+	if p.AvgBits < 6 || p.AvgBits > 20 {
+		return fmt.Errorf("cdc: AvgBits %d outside [6, 20]", p.AvgBits)
+	}
+	if p.SeqLen < 3 || p.SeqLen > 16 {
+		return fmt.Errorf("cdc: SeqLen %d outside [3, 16]", p.SeqLen)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package cdc
+
+// The Gear rolling hash: h = (h<<1) + G[b]. Each left shift retires
+// one byte's influence from the top bit, so after 64 steps a byte has
+// left the hash entirely — the effective window is exactly 64 bytes,
+// and the landmark predicate ("top AvgBits bits of h are zero") is a
+// pure function of the 64 bytes ending at the position. That locality
+// is what makes the cutpoints shift-invariant: the same 64 content
+// bytes produce the same landmark decision at any stream offset.
+
+// gearTable is the 256-entry random table G, generated once by a
+// SplitMix64 walk so the chunker is deterministic across processes
+// and platforms.
+var gearTable = func() (t [256]uint64) {
+	x := uint64(0x243F6A8885A308D3) // π, nothing up the sleeve
+	for i := range t {
+		x += 0x9E3779B97F4A7C15
+		t[i] = mix64(x)
+	}
+	return t
+}()
+
+// mix64 is the murmur3/splitmix finalizer used throughout this
+// repository (journal checksums, synthetic fingerprints).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// gearMask returns the landmark mask for a density of one candidate
+// per 2^avgBits bytes. The mask selects the TOP bits of the hash:
+// Gear's low bits see only the most recent few bytes, while the top
+// bits mix the whole 64-byte window (the FastCDC observation).
+func gearMask(avgBits int) uint64 { return ^uint64(0) << (64 - avgBits) }
+
+// gearMarks sweeps buf and sets bit i of marks for every landmark
+// position i. marks must hold at least (len(buf)+63)/64 words; every
+// touched word is fully overwritten. The sweep is batched: one bitmap
+// word (64 input bytes) per outer iteration with an 8-way unrolled
+// body, no per-byte calls — the shape a SIMD/vector port would keep.
+func gearMarks(buf []byte, avgBits int, marks []uint64) {
+	mask := gearMask(avgBits)
+	var h uint64
+	n := len(buf)
+	base := 0
+	w := 0
+	for ; base+64 <= n; base, w = base+64, w+1 {
+		b := buf[base : base+64 : base+64]
+		var bits uint64
+		for k := 0; k < 64; k += 8 {
+			h = h<<1 + gearTable[b[k]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k)
+			}
+			h = h<<1 + gearTable[b[k+1]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+1)
+			}
+			h = h<<1 + gearTable[b[k+2]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+2)
+			}
+			h = h<<1 + gearTable[b[k+3]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+3)
+			}
+			h = h<<1 + gearTable[b[k+4]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+4)
+			}
+			h = h<<1 + gearTable[b[k+5]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+5)
+			}
+			h = h<<1 + gearTable[b[k+6]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+6)
+			}
+			h = h<<1 + gearTable[b[k+7]]
+			if h&mask == 0 {
+				bits |= 1 << uint(k+7)
+			}
+		}
+		marks[w] = bits
+	}
+	if base < n {
+		var bits uint64
+		for i := base; i < n; i++ {
+			h = h<<1 + gearTable[buf[i]]
+			if h&mask == 0 {
+				bits |= 1 << uint(i-base)
+			}
+		}
+		marks[w] = bits
+	}
+}
+
+// gearMarkScalar is the reference predicate: it recomputes the rolling
+// hash at position i from scratch over the (at most) 64-byte window
+// ending there. Tests cross-check the batched sweep against it.
+func gearMarkScalar(buf []byte, i int, avgBits int) bool {
+	lo := i - 63
+	if lo < 0 {
+		lo = 0
+	}
+	var h uint64
+	for j := lo; j <= i; j++ {
+		h = h<<1 + gearTable[buf[j]]
+	}
+	return h&gearMask(avgBits) == 0
+}

@@ -1,0 +1,90 @@
+package cdc
+
+import "testing"
+
+// testRand is a tiny deterministic byte stream for tests (SplitMix64
+// walk), so every run sees identical buffers.
+func testFill(buf []byte, seed uint64) {
+	w := uint64(0)
+	for i := range buf {
+		if i&7 == 0 {
+			seed += 0x9E3779B97F4A7C15
+			w = mix64(seed)
+		}
+		buf[i] = byte(w >> (8 * uint(i&7)))
+	}
+}
+
+var markSizes = []int{0, 1, 7, 63, 64, 65, 127, 128, 129, 1000, 4096, 4096 + 17}
+
+// TestGearMarksMatchScalar cross-checks the batched 64-byte-word Gear
+// sweep against the per-position scalar reference on buffers that
+// exercise every word-boundary case.
+func TestGearMarksMatchScalar(t *testing.T) {
+	for _, avgBits := range []int{6, 8, 11} {
+		for _, n := range markSizes {
+			buf := make([]byte, n)
+			testFill(buf, uint64(n)*1000+uint64(avgBits))
+			marks := make([]uint64, (n+63)/64)
+			gearMarks(buf, avgBits, marks)
+			for i := 0; i < n; i++ {
+				got := marks[i>>6]>>uint(i&63)&1 == 1
+				want := gearMarkScalar(buf, i, avgBits)
+				if got != want {
+					t.Fatalf("avgBits=%d n=%d pos=%d: batched=%v scalar=%v", avgBits, n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeqMarksMatchScalar does the same for the sequence-based sweep,
+// including crafted monotone regions longer than SeqLen (which must
+// mark exactly one position each).
+func TestSeqMarksMatchScalar(t *testing.T) {
+	for _, seqLen := range []int{3, 4, 6} {
+		for _, n := range markSizes {
+			buf := make([]byte, n)
+			testFill(buf, uint64(n)*77+uint64(seqLen))
+			// splice in monotone ramps of assorted lengths, some
+			// crossing 64-byte word boundaries
+			for _, at := range []int{5, 60, 120, 1020} {
+				for j := 0; j < 2*seqLen+3 && at+j < n; j++ {
+					buf[at+j] = byte(10 + 3*j)
+				}
+			}
+			marks := make([]uint64, (n+63)/64)
+			seqMarks(buf, seqLen, marks)
+			for i := 0; i < n; i++ {
+				got := marks[i>>6]>>uint(i&63)&1 == 1
+				want := seqMarkScalar(buf, i, seqLen)
+				if got != want {
+					t.Fatalf("seqLen=%d n=%d pos=%d: batched=%v scalar=%v", seqLen, n, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeqMarksOnePerRun checks the exactly-once property directly: a
+// single long monotone ramp yields exactly one landmark.
+func TestSeqMarksOnePerRun(t *testing.T) {
+	buf := make([]byte, 128)
+	for i := range buf {
+		buf[i] = byte(i) // strictly increasing over [0,128)
+	}
+	marks := make([]uint64, 2)
+	seqMarks(buf, 6, marks)
+	count := 0
+	for i := 0; i < len(buf); i++ {
+		if marks[i>>6]>>uint(i&63)&1 == 1 {
+			count++
+			if i != 6 {
+				t.Fatalf("landmark at %d, want 6 (sixth step of the run)", i)
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d landmarks in one monotone run, want 1", count)
+	}
+}

@@ -1,0 +1,83 @@
+package cdc
+
+// SeqCDC-style sequence-based landmarks: instead of a rolling hash,
+// a landmark is a monotone byte pattern — a run of SeqLen consecutive
+// strictly-increasing steps (b[i] > b[i-1]). No multiplications, no
+// table lookups; the state is a single run counter, which is why the
+// SeqCDC/VectorCDC line of work vectorizes so well. The predicate is
+// a pure function of the SeqLen+1 bytes ending at the position
+// (plus one byte to its left to detect the run's start), so cutpoints
+// are shift-invariant exactly like Gear's.
+
+// seqMarks sweeps buf and sets bit i of marks for every position
+// where the increasing run reaches *exactly* seqLen steps — a run
+// longer than seqLen marks only its seqLen-th step, so one monotone
+// region yields one candidate instead of a dense cluster. marks must
+// hold at least (len(buf)+63)/64 words; every touched word is fully
+// overwritten.
+func seqMarks(buf []byte, seqLen int, marks []uint64) {
+	n := len(buf)
+	run := 0
+	sl := seqLen
+	base := 0
+	w := 0
+	prev := byte(0)
+	if n > 0 {
+		prev = buf[0]
+	}
+	// position 0 has no left neighbour: run stays 0
+	for ; base+64 <= n; base, w = base+64, w+1 {
+		b := buf[base : base+64 : base+64]
+		var bits uint64
+		for k := 0; k < 64; k += 8 {
+			for j := k; j < k+8; j++ {
+				c := b[j]
+				if base+j > 0 && c > prev {
+					run++
+					if run == sl {
+						bits |= 1 << uint(j)
+					}
+				} else {
+					run = 0
+				}
+				prev = c
+			}
+		}
+		marks[w] = bits
+	}
+	if base < n {
+		var bits uint64
+		for i := base; i < n; i++ {
+			c := buf[i]
+			if i > 0 && c > prev {
+				run++
+				if run == sl {
+					bits |= 1 << uint(i-base)
+				}
+			} else {
+				run = 0
+			}
+			prev = c
+		}
+		marks[w] = bits
+	}
+}
+
+// seqMarkScalar is the reference predicate: position i is a landmark
+// iff buf[i-seqLen..i] is strictly increasing and the run does not
+// extend further left (exactly seqLen steps end at i).
+func seqMarkScalar(buf []byte, i int, seqLen int) bool {
+	if i < seqLen {
+		return false
+	}
+	for j := i - seqLen + 1; j <= i; j++ {
+		if buf[j] <= buf[j-1] {
+			return false
+		}
+	}
+	// run must start at i-seqLen: the step into it must not increase
+	if i-seqLen > 0 && buf[i-seqLen] > buf[i-seqLen-1] {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package cdc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+)
+
+// slotBytes is the byte span of one logical slot — one ContentID of
+// the incoming request, and one engine chunk/Map-table entry of the
+// outgoing split. CDC chunks are variable-sized in *content*, but each
+// occupies one slot downstream, so the allocator, Map table, and index
+// cache need no notion of byte lengths.
+const slotBytes = int64(chunk.Size)
+
+// Splitter turns one write request's ContentIDs into content-defined
+// engine chunks. All scratch (byte buffer, landmark bitmap, cut list)
+// is owned by the Splitter and grows to a high-water mark, so
+// steady-state splitting allocates nothing. An engine services one
+// request at a time, so one Splitter per Base suffices; it is not safe
+// for concurrent use.
+type Splitter struct {
+	p  Params
+	fp chunk.SyntheticFingerprinter
+	mt chunk.Materializer
+
+	buf   []byte
+	marks []uint64
+	cuts  []int32
+
+	// Cumulative emission gauges (engine instrumentation reads these).
+	EmittedChunks int64
+	EmittedBytes  int64
+}
+
+// NewSplitter returns a splitter for p (panics on invalid parameters
+// or Fixed4K, like engine.NewBase does on bad substrate config —
+// callers validate user input with Params.Validate / ParseAlgo first).
+func NewSplitter(p Params) *Splitter {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if !p.Enabled() {
+		panic("cdc: NewSplitter with Fixed4K (CDC off)")
+	}
+	return &Splitter{p: p}
+}
+
+// Params reports the (default-filled) parameters in use.
+func (s *Splitter) Params() Params { return s.p }
+
+// lookback is the content materialized behind a stream window so every
+// cut decision inside (and one straddler before) it is warm: MinBytes
+// of landmark-isolation history plus the 64-byte Gear window for the
+// earliest relevant position, which sits up to two max-chunks before
+// the window start (the straddler's own start, and its anchor).
+func (p Params) lookback() int64 {
+	return int64(2*p.MaxBytes + p.MinBytes + 64)
+}
+
+// MaxChunksPerSlots bounds how many chunks Split can emit for a
+// request of n slots: the emission span covers the window plus up to
+// one max-chunk of straddle on each side, divided by the min bound.
+// Workloads that interleave CDC extents use it to space LBA extents.
+func (p Params) MaxChunksPerSlots(n int) int {
+	p = p.WithDefaults()
+	span := int64(n)*slotBytes + 2*int64(p.MaxBytes)
+	return int(span/int64(p.MinBytes)) + 2
+}
+
+// Split appends the content-defined chunks of one write request to dst
+// and returns it plus the total content bytes emitted (the
+// fingerprint-cost basis). ids is the request's Content slice.
+//
+// A run of consecutive edit-encoded IDs (one object, one generation,
+// adjacent block indexes) is cut in *stream* mode: the request window
+// is materialized with lookback/lookahead context, normalized cuts are
+// derived, and the request emits exactly the chunks whose start offset
+// falls inside its window — the final chunk completes past the window
+// edge out of lookahead content, and the chunk straddling the window
+// start belongs to the preceding window. Requests covering a stream
+// therefore tile its chunk sequence with no overlap and no gap: each
+// chunk is emitted exactly once per pass, which keeps one generation's
+// fresh chunks physically sequential on disk (a duplicate-suppression
+// property the Select-Dedupe classifier's "sequentially stored" test
+// depends on), while the cut normalization makes the tiling identical
+// no matter how the stream is divided into requests and identical
+// across shifted generations wherever content is shared. Anything else
+// (the plain synthetic IDs of the existing traces) is cut in chained
+// mode over the request's own bytes.
+//
+// Every emitted chunk's ContentID is a 64-bit hash of its bytes and
+// its fingerprint derives from that ID, so equal content means equal
+// fingerprint exactly as in the fixed-4K model.
+func (s *Splitter) Split(dst []chunk.Chunk, ids []chunk.ContentID) ([]chunk.Chunk, int64) {
+	if len(ids) == 0 {
+		return dst, 0
+	}
+	if obj, gen, idx0, ok := streamRun(ids); ok {
+		return s.splitStream(dst, obj, gen, idx0, len(ids))
+	}
+	return s.splitPlain(dst, ids)
+}
+
+// streamRun detects a window of one edit-encoded stream: consecutive
+// IDs incrementing by exactly one without overflowing the index field.
+func streamRun(ids []chunk.ContentID) (obj uint32, gen uint8, idx0 uint32, ok bool) {
+	if !IsEdit(ids[0]) {
+		return 0, 0, 0, false
+	}
+	obj, gen, idx0 = DecodeEdit(ids[0])
+	if uint64(idx0)+uint64(len(ids)) > uint64(MaxEditIdx) {
+		return 0, 0, 0, false
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[0]+chunk.ContentID(i) {
+			return 0, 0, 0, false
+		}
+	}
+	return obj, gen, idx0, true
+}
+
+func (s *Splitter) splitStream(dst []chunk.Chunk, obj uint32, gen uint8, idx0 uint32, n int) ([]chunk.Chunk, int64) {
+	wStart := int64(idx0) * slotBytes
+	wEnd := wStart + int64(n)*slotBytes
+	bufStart := wStart - s.p.lookback()
+	if bufStart < 0 {
+		bufStart = 0
+	}
+	bufEnd := wEnd + int64(s.p.MaxBytes)
+	bn := int(bufEnd - bufStart)
+
+	s.buf = growBytes(s.buf, bn)
+	MaterializeStream(obj, gen, bufStart, s.buf)
+	s.sweep(s.buf)
+	s.cuts = appendStreamCuts(s.cuts[:0], s.marks, bn, bufStart, s.p.MinBytes, s.p.MaxBytes)
+
+	// emit every chunk starting in the window [wb0, wb1): cuts are
+	// chunk starts, and each chunk runs to the next cut (≤ MaxBytes
+	// away by the grid guarantee, within the lookahead margin)
+	wb0 := int(wStart - bufStart)
+	wb1 := int(wEnd - bufStart)
+	k := 0
+	for k < len(s.cuts) && int(s.cuts[k]) < wb0 {
+		k++
+	}
+	var emitted int64
+	for k < len(s.cuts) && int(s.cuts[k]) < wb1 {
+		if k+1 >= len(s.cuts) {
+			// the final cut sits within MaxBytes of the buffer end,
+			// past wb1 (the lookahead is exactly MaxBytes) — a chunk
+			// starting before wb1 always has a successor cut
+			panic(fmt.Sprintf("cdc: no cut closing chunk at %d (stream %d/%d)", s.cuts[k], obj, gen))
+		}
+		start, end := int(s.cuts[k]), int(s.cuts[k+1])
+		dst = s.emit(dst, s.buf[start:end])
+		emitted += int64(end - start)
+		k++
+	}
+	if emitted == 0 {
+		panic(fmt.Sprintf("cdc: no chunk starts in window [%d,%d) (stream %d/%d)", wb0, wb1, obj, gen))
+	}
+	s.EmittedBytes += emitted
+	return dst, emitted
+}
+
+func (s *Splitter) splitPlain(dst []chunk.Chunk, ids []chunk.ContentID) ([]chunk.Chunk, int64) {
+	bn := len(ids) * int(slotBytes)
+	s.buf = growBytes(s.buf, bn)
+	s.mt.FillAll(s.buf, ids)
+	s.sweep(s.buf)
+	s.cuts = appendChainedCuts(s.cuts[:0], s.marks, bn, s.p.MinBytes, s.p.MaxBytes)
+
+	start := 0
+	for _, c := range s.cuts {
+		dst = s.emit(dst, s.buf[start:int(c)])
+		start = int(c)
+	}
+	s.EmittedBytes += int64(bn)
+	return dst, int64(bn)
+}
+
+// emit appends one chunk for the given content bytes: ContentID is the
+// 64-bit content hash, fingerprint the synthetic derivation from it
+// (injective over IDs, so equal bytes ⇒ equal fingerprint and — with
+// overwhelming probability — unequal bytes ⇒ unequal fingerprint).
+func (s *Splitter) emit(dst []chunk.Chunk, content []byte) []chunk.Chunk {
+	c := chunk.Chunk{Content: chunk.ContentID(bytesHash(content))}
+	c.FP = s.fp.Fingerprint(&c)
+	s.EmittedChunks++
+	return append(dst, c)
+}
+
+// sweep runs the configured landmark detector over buf into s.marks.
+func (s *Splitter) sweep(buf []byte) {
+	need := (len(buf) + 63) / 64
+	if cap(s.marks) < need {
+		s.marks = make([]uint64, need)
+	}
+	s.marks = s.marks[:need]
+	switch s.p.Algo {
+	case Gear:
+		gearMarks(buf, s.p.AvgBits, s.marks)
+	case SeqCDC:
+		seqMarks(buf, s.p.SeqLen, s.marks)
+	default:
+		panic("cdc: sweep with no algorithm")
+	}
+}
+
+// bytesHash is the content hash behind derived ContentIDs: a
+// mix64-chained word hash (the repository's murmur-finalizer family),
+// length-seeded so a chunk that is a prefix of another cannot collide
+// trivially.
+func bytesHash(b []byte) uint64 {
+	h := uint64(len(b))*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for len(b) >= 8 {
+		h = mix64(h ^ binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * uint(i))
+		}
+		h = mix64(h ^ tail ^ 1<<63)
+	}
+	return mix64(h)
+}
+
+func growBytes(s []byte, n int) []byte {
+	if cap(s) < n {
+		return make([]byte, n)
+	}
+	return s[:n]
+}

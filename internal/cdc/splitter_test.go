@@ -1,0 +1,171 @@
+package cdc
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/chunk"
+)
+
+func editWindow(obj uint32, gen uint8, idx0, n int) []chunk.ContentID {
+	ids := make([]chunk.ContentID, n)
+	for i := range ids {
+		ids[i] = EncodeEdit(obj, gen, uint32(idx0+i))
+	}
+	return ids
+}
+
+// TestParseAlgo checks name parsing: canonical names, separator/case
+// tolerance, and fail-fast rejection of unknown names.
+func TestParseAlgo(t *testing.T) {
+	good := map[string]Algo{
+		"fixed4k": Fixed4K, "Fixed4K": Fixed4K, "fixed-4k": Fixed4K, "FIXED_4K": Fixed4K,
+		"gear": Gear, "GEAR": Gear,
+		"seqcdc": SeqCDC, "SeqCDC": SeqCDC, "seq-cdc": SeqCDC, "seq cdc": SeqCDC,
+	}
+	for in, want := range good {
+		got, err := ParseAlgo(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseAlgo(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "rabin", "fixed8k", "gears"} {
+		if _, err := ParseAlgo(in); err == nil {
+			t.Fatalf("ParseAlgo(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestSplitterStreamShiftedDedup is the tentpole property end-to-end:
+// the same object across consecutive edited generations — every block
+// ID unique, so fixed-4K dedup finds nothing — must yield mostly
+// identical content-defined chunks, in both Gear and SeqCDC modes.
+func TestSplitterStreamShiftedDedup(t *testing.T) {
+	for _, algo := range []Algo{Gear, SeqCDC} {
+		s := NewSplitter(Params{Algo: algo})
+		const obj, blocks = 5, 96 // 384 KiB windows
+		prev := map[chunk.ContentID]bool{}
+		for gen := uint8(0); gen <= 3; gen++ {
+			chs, bytes := s.Split(nil, editWindow(obj, gen, 0, blocks))
+			if bytes < int64(blocks)*slotBytes {
+				t.Fatalf("%v gen %d: emitted %d bytes < window %d", algo, gen, bytes, int64(blocks)*slotBytes)
+			}
+			shared := 0
+			cur := map[chunk.ContentID]bool{}
+			for _, c := range chs {
+				cur[c.Content] = true
+				if prev[c.Content] {
+					shared++
+				}
+			}
+			if gen > 0 {
+				// all but a handful of chunks (edit head, window tail)
+				// must be byte-identical to the prior generation
+				if shared < len(chs)-6 {
+					t.Fatalf("%v gen %d: only %d/%d chunks shared with gen %d", algo, gen, shared, len(chs), gen-1)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestSplitterWindowDivisionInvariant: splitting one stream extent as
+// a single request or as several consecutive smaller requests must
+// yield the exact same chunk sequence with no duplicates and no gaps —
+// the ownership-emission contract (a chunk belongs to the window its
+// start falls in) that makes request boundaries invisible to dedup and
+// keeps fresh writes physically sequential.
+func TestSplitterWindowDivisionInvariant(t *testing.T) {
+	s := NewSplitter(Params{Algo: Gear})
+	const obj, gen = 9, 2
+
+	whole, wholeBytes := s.Split(nil, editWindow(obj, gen, 8, 32))
+
+	var parts []chunk.Chunk
+	var partBytes int64
+	for _, w := range [][2]int{{8, 8}, {16, 8}, {24, 12}, {36, 4}} {
+		chs, n := s.Split(nil, editWindow(obj, gen, w[0], w[1]))
+		parts = append(parts, chs...)
+		partBytes += n
+	}
+	if partBytes != wholeBytes {
+		t.Fatalf("divided split emits %d bytes, whole emits %d", partBytes, wholeBytes)
+	}
+	if len(parts) != len(whole) {
+		t.Fatalf("divided split yields %d chunks, whole yields %d", len(parts), len(whole))
+	}
+	for i := range whole {
+		if parts[i].Content != whole[i].Content || parts[i].FP != whole[i].FP {
+			t.Fatalf("chunk %d differs between whole and divided splits", i)
+		}
+	}
+}
+
+// TestSplitterPlainDeterministic: plain-ID requests (the existing
+// trace families) split deterministically and cover the request bytes
+// exactly.
+func TestSplitterPlainDeterministic(t *testing.T) {
+	s := NewSplitter(Params{Algo: Gear})
+	ids := make([]chunk.ContentID, 16)
+	for i := range ids {
+		ids[i] = chunk.ContentID(i*1000 + 3)
+	}
+	a, abytes := s.Split(nil, ids)
+	b, bbytes := s.Split(nil, ids)
+	if abytes != int64(len(ids))*slotBytes || abytes != bbytes {
+		t.Fatalf("plain split bytes %d/%d, want %d", abytes, bbytes, int64(len(ids))*slotBytes)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plain split nondeterministic: %d vs %d chunks", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Content != b[i].Content || a[i].FP != b[i].FP {
+			t.Fatalf("plain split chunk %d differs between runs", i)
+		}
+	}
+	if len(a) > (Params{}).WithDefaults().MaxChunksPerSlots(len(ids)) {
+		t.Fatalf("%d chunks exceeds MaxChunksPerSlots bound", len(a))
+	}
+}
+
+// TestSplitterChunkCountBound: no request may emit more chunks than
+// MaxChunksPerSlots promises — workloads space LBA extents by it.
+func TestSplitterChunkCountBound(t *testing.T) {
+	for _, algo := range []Algo{Gear, SeqCDC} {
+		s := NewSplitter(Params{Algo: algo})
+		bound := s.Params().MaxChunksPerSlots(32)
+		for gen := uint8(0); gen <= 7; gen++ {
+			chs, _ := s.Split(nil, editWindow(77, gen, 64, 32))
+			if len(chs) > bound {
+				t.Fatalf("%v gen %d: %d chunks > bound %d", algo, gen, len(chs), bound)
+			}
+		}
+	}
+}
+
+// TestSplitterSteadyStateAllocFree guards the batch design: once
+// scratch has reached its high-water mark, neither split path may
+// allocate.
+func TestSplitterSteadyStateAllocFree(t *testing.T) {
+	s := NewSplitter(Params{Algo: Gear})
+	plain := make([]chunk.ContentID, 32)
+	for i := range plain {
+		plain[i] = chunk.ContentID(i * 7)
+	}
+	stream := editWindow(4, 3, 100, 32)
+	dst := make([]chunk.Chunk, 0, s.Params().MaxChunksPerSlots(32))
+	// warm scratch to high-water
+	dst, _ = s.Split(dst[:0], plain)
+	dst, _ = s.Split(dst[:0], stream)
+
+	if avg := testing.AllocsPerRun(100, func() {
+		dst, _ = s.Split(dst[:0], stream)
+	}); avg != 0 {
+		t.Fatalf("stream split: %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		dst, _ = s.Split(dst[:0], plain)
+	}); avg != 0 {
+		t.Fatalf("plain split: %.2f allocs/op, want 0", avg)
+	}
+}

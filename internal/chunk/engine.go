@@ -38,10 +38,16 @@ func NewHashEngine(fp Fingerprinter, workers int) *HashEngine {
 
 // hashTask is one contiguous segment of a batch, dispatched to the
 // shared pool. Segments of one batch are disjoint, so workers write
-// fingerprints without synchronization; wg signals batch completion.
+// fingerprints (or payload bytes) without synchronization; wg signals
+// batch completion. Two kinds share the pool: fingerprinting (part is
+// set) and payload materialization (ids/dst are set) — the CDC
+// splitter's byte expansion rides the same persistent workers as the
+// fingerprint engine instead of spawning goroutines per request.
 type hashTask struct {
 	fp   Fingerprinter
 	part []Chunk
+	ids  []ContentID // materialize kind: fill dst with canonical payloads
+	dst  []byte      // len(ids)*Size bytes, parallel to ids
 	wg   *sync.WaitGroup
 }
 
@@ -61,8 +67,14 @@ func hashPool() chan hashTask {
 		for i := 0; i < n; i++ {
 			go func() {
 				for t := range hashPoolTasks {
-					for i := range t.part {
-						t.part[i].FP = t.fp.Fingerprint(&t.part[i])
+					if t.ids != nil {
+						for i, id := range t.ids {
+							FillPayload(id, t.dst[i*Size:(i+1)*Size])
+						}
+					} else {
+						for i := range t.part {
+							t.part[i].FP = t.fp.Fingerprint(&t.part[i])
+						}
 					}
 					t.wg.Done()
 				}
@@ -99,4 +111,43 @@ func (e *HashEngine) FingerprintAll(chunks []Chunk) int64 {
 	}
 	wg.Wait()
 	return int64(len(chunks)) * e.ChunkTimeUS
+}
+
+// Materializer fills batches of canonical ID payloads, using the
+// persistent worker pool for large batches. The WaitGroup is owned and
+// reused across calls, so steady-state batches allocate nothing. Not
+// safe for concurrent use — each owner (an engine's CDC splitter)
+// holds its own.
+type Materializer struct {
+	wg sync.WaitGroup
+}
+
+// materializeParallelMin is the batch size below which the pool
+// dispatch overhead exceeds the fill itself.
+const materializeParallelMin = 8
+
+// FillAll writes the canonical payload of ids[i] into
+// dst[i*Size : (i+1)*Size]; len(dst) must be exactly len(ids)*Size.
+func (m *Materializer) FillAll(dst []byte, ids []ContentID) {
+	if len(dst) != len(ids)*Size {
+		panic("chunk: FillAll dst/ids length mismatch")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers == 1 || len(ids) < materializeParallelMin {
+		for i, id := range ids {
+			FillPayload(id, dst[i*Size:(i+1)*Size])
+		}
+		return
+	}
+	pool := hashPool()
+	stride := (len(ids) + workers - 1) / workers
+	for lo := 0; lo < len(ids); lo += stride {
+		hi := lo + stride
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		m.wg.Add(1)
+		pool <- hashTask{ids: ids[lo:hi], dst: dst[lo*Size : hi*Size], wg: &m.wg}
+	}
+	m.wg.Wait()
 }

@@ -78,7 +78,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	chs, fpCost := s.base.SplitAndFingerprint(req)
 	ready := t.Add(fpCost)
 
-	dup, dedupe, target := s.base.WriteScratch(req.N)
+	dup, dedupe, target := s.base.WriteScratch(len(chs))
 	for i := range chs {
 		if e, ok := s.base.IC.IndexLookupS(uint32(req.Stream), chs[i].FP); ok {
 			dup[i] = true
@@ -97,8 +97,8 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	}
 
 	sink := s.base.Ads
-	positions := s.base.PositionsScratch(req.N)
-	for i := 0; i < req.N; i++ {
+	positions := s.base.PositionsScratch(len(chs))
+	for i := 0; i < len(chs); i++ {
 		if dedupe[i] && s.base.TryDedupe(req.LBA+uint64(i), target[i], chs[i].Content) {
 			// duplicate evidence for the tier: an inline hit against
 			// a local copy (remote hits are already global knowledge)
@@ -132,7 +132,7 @@ func (s *SelectDedupe) Write(req *trace.Request) (sim.Duration, error) {
 	}
 	s.base.NoteStreamWrite(req.Stream, len(positions) == 0)
 
-	s.base.VerifyWrite(req)
+	s.base.VerifyWrite(req, chs)
 	rt := done.Sub(t)
 	st.WriteRT.Add(int64(rt))
 	return rt, nil

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"github.com/pod-dedup/pod/internal/alloc"
+	"github.com/pod-dedup/pod/internal/cdc"
 	"github.com/pod-dedup/pod/internal/chunk"
 	"github.com/pod-dedup/pod/internal/fault"
 	"github.com/pod-dedup/pod/internal/icache"
@@ -72,6 +73,14 @@ type Config struct {
 	// fingerprint-index cache (off unless Streams.Enabled). Used by the
 	// Select-Dedupe/POD write path; other engines ignore stream tags.
 	Streams StreamParams
+
+	// Chunking selects the request chunker. The zero value (Fixed4K)
+	// keeps the paper's model: one chunk per 4 KiB slot, ContentID
+	// straight from the trace. Gear/SeqCDC route every split through a
+	// content-defined splitter that materializes the request's bytes
+	// and re-derives ContentIDs from chunk content, so byte-shifted
+	// redundancy dedups even though every trace ID is unique.
+	Chunking cdc.Params
 }
 
 // StreamParams configures per-stream index-cache apportionment.
@@ -186,6 +195,13 @@ type Base struct {
 	// arrives, so the whole replay shares a single chunk buffer.
 	chScratch []chunk.Chunk
 
+	// splitter is the content-defined chunker (nil in Fixed4K mode).
+	// Owns its own materialize/mark/cut scratch; allocation-free once
+	// warm, like chScratch. cdcBytes is the content volume of the last
+	// split — the fingerprint-cost basis.
+	splitter *cdc.Splitter
+	cdcBytes int64
+
 	// Per-request scratch buffers. An engine services one request at a
 	// time (replay is single-threaded per engine; the serving layer
 	// serializes per shard), and every buffer is fully consumed before
@@ -243,6 +259,10 @@ func NewBase(cfg Config) *Base {
 		nvdev:      dev,
 		icparams:   icp,
 	}
+	if cfg.Chunking.Enabled() {
+		b.splitter = cdc.NewSplitter(cfg.Chunking)
+		b.Cfg.Chunking = b.splitter.Params() // defaults filled
+	}
 	if cfg.Cleaner.Enabled {
 		b.cleaner = cleanerState{p: cfg.Cleaner.withDefaults(data)}
 		b.Map.EnableReverseIndex()
@@ -293,6 +313,10 @@ func (b *Base) instrument() {
 	b.Map.Instrument(b.Reg)
 	b.IC.Instrument(b.Reg)
 	b.Reg.GaugeFunc("engine_used_blocks", func() int64 { return int64(b.Alloc.Used()) })
+	if b.splitter != nil {
+		b.Reg.GaugeFunc("cdc_emitted_chunks", func() int64 { return b.splitter.EmittedChunks })
+		b.Reg.GaugeFunc("cdc_emitted_bytes", func() int64 { return b.splitter.EmittedBytes })
+	}
 	// Allocator health, published for every scheme: occupancy, the
 	// fragmentation of the free space, and the headroom the
 	// log-structured write path actually has.
@@ -553,19 +577,39 @@ func (b *Base) ResolveRemote(lba uint64) (alloc.PBA, bool) {
 // paths skip hashing entirely). The returned slice is the engine's
 // scratch buffer: it is valid only until the next SplitRequest or
 // SplitAndFingerprint call on this Base.
+//
+// Under content-defined chunking the split routes through the CDC
+// splitter instead of the 1:1 slot mapping: chunk count may differ
+// from req.N, and each chunk's ContentID is a hash of its materialized
+// bytes. cdcBytes records the content volume for the fingerprint-cost
+// model (fingerprints are computed as part of the split there — the
+// splitter derives them from the content hash).
 func (b *Base) SplitRequest(req *trace.Request) []chunk.Chunk {
+	if b.splitter != nil {
+		b.chScratch, b.cdcBytes = b.splitter.Split(b.chScratch[:0], req.Content)
+		return b.chScratch
+	}
 	b.chScratch = chunk.SplitInto(b.chScratch, req.Content, nil, false)
 	return b.chScratch
 }
 
 // SplitAndFingerprint chunks a write request and charges the modeled
-// fingerprint latency (32 µs per 4 KB chunk). Like SplitRequest, the
-// returned slice is scratch, valid only until the next split on this
-// Base.
+// fingerprint latency (32 µs per 4 KB of content — per chunk in the
+// fixed model, per materialized volume under CDC, so the charge stays
+// proportional to bytes hashed rather than to chunk count). Like
+// SplitRequest, the returned slice is scratch, valid only until the
+// next split on this Base.
 func (b *Base) SplitAndFingerprint(req *trace.Request) ([]chunk.Chunk, sim.Duration) {
 	chs := b.SplitRequest(req)
-	cost := b.Hash.FingerprintAll(chs)
-	b.Ph.Observe(metrics.PhaseFingerprint, int64(cost))
+	var cost int64
+	if b.splitter != nil {
+		// fingerprints already derived during the split; charge the
+		// modeled latency by content volume
+		cost = (b.cdcBytes + chunk.Size - 1) / chunk.Size * b.Hash.ChunkTimeUS
+	} else {
+		cost = b.Hash.FingerprintAll(chs)
+	}
+	b.Ph.Observe(metrics.PhaseFingerprint, cost)
 	if b.Loc != nil {
 		s := uint32(req.Stream)
 		for i := range chs {
@@ -685,13 +729,16 @@ func (b *Base) TryDedupe(lba uint64, pba alloc.PBA, id chunk.ContentID) bool {
 
 // VerifyWrite asserts, after a write request has been fully applied,
 // that every chunk of the request reads back with the written content.
-// Engines call it when Cfg.Verify is set; it catches dedup or mapping
-// corruption at the request that caused it.
-func (b *Base) VerifyWrite(req *trace.Request) {
+// Engines call it when Cfg.Verify is set, passing the split they just
+// applied (under CDC the chunk count and ContentIDs differ from the
+// request's slots, so the request alone cannot name the expected
+// content); it catches dedup or mapping corruption at the request that
+// caused it.
+func (b *Base) VerifyWrite(req *trace.Request, chs []chunk.Chunk) {
 	if !b.Cfg.Verify {
 		return
 	}
-	for i := 0; i < req.N; i++ {
+	for i := range chs {
 		lba := req.LBA + uint64(i)
 		pba, ok := b.Map.Lookup(lba)
 		if !ok {
@@ -702,7 +749,7 @@ func (b *Base) VerifyWrite(req *trace.Request) {
 			// layer's cross-shard audit verifies these bindings
 			continue
 		}
-		b.Store.MustMatch(pba, req.Content[i])
+		b.Store.MustMatch(pba, chs[i].Content)
 	}
 }
 

@@ -319,8 +319,9 @@ func TestVerifyWriteCatchesCorruption(t *testing.T) {
 		Verify:      true,
 	})
 	req := &trace.Request{Op: trace.Write, LBA: 0, N: 1, Content: []chunk.ContentID{7}}
-	b.WriteFresh(0, req, []int{0}, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false))
-	b.VerifyWrite(req) // consistent: fine
+	chs := chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false)
+	b.WriteFresh(0, req, []int{0}, chs)
+	b.VerifyWrite(req, chs) // consistent: fine
 
 	// sabotage the mapping and expect the verifier to catch it
 	pba, _ := b.Map.Lookup(0)
@@ -330,7 +331,7 @@ func TestVerifyWriteCatchesCorruption(t *testing.T) {
 			t.Fatal("VerifyWrite must catch content divergence")
 		}
 	}()
-	b.VerifyWrite(req)
+	b.VerifyWrite(req, chs)
 }
 
 func TestVerifyWriteCatchesMissingMapping(t *testing.T) {
@@ -342,7 +343,7 @@ func TestVerifyWriteCatchesMissingMapping(t *testing.T) {
 			t.Fatal("VerifyWrite must catch unmapped writes")
 		}
 	}()
-	b.VerifyWrite(req) // never written
+	b.VerifyWrite(req, chunk.Split(req.Content, chunk.SyntheticFingerprinter{}, false)) // never written
 }
 
 func TestRecoverWithoutNVRAM(t *testing.T) {

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/pod-dedup/pod/internal/cdc"
+	"github.com/pod-dedup/pod/internal/chunk"
+	"github.com/pod-dedup/pod/internal/trace"
+)
+
+// TestShiftedSnapshotShape checks the structural invariants the
+// chunking experiment depends on: deterministic generation, unique
+// ContentIDs everywhere (fixed-4K must find nothing), edit-encoded
+// consecutive-ID windows (the CDC splitter's stream detection), and
+// LBA extents spaced so CDC chunk fan-out cannot collide.
+func TestShiftedSnapshotShape(t *testing.T) {
+	tr, warm, dims := ShiftedSnapshot(0.1)
+	tr2, warm2, _ := ShiftedSnapshot(0.1)
+	if len(tr.Requests) != len(tr2.Requests) || warm != warm2 {
+		t.Fatalf("generation not deterministic: %d/%d vs %d/%d requests",
+			len(tr.Requests), warm, len(tr2.Requests), warm2)
+	}
+	if warm <= 0 || warm >= len(tr.Requests) {
+		t.Fatalf("warmup %d out of range (of %d requests)", warm, len(tr.Requests))
+	}
+
+	maxChunks := (cdc.Params{}).WithDefaults().MaxChunksPerSlots(shiftedWindow)
+	if shiftedStride < maxChunks {
+		t.Fatalf("stride %d < worst-case chunks per request %d", shiftedStride, maxChunks)
+	}
+
+	seen := map[uint64]bool{}
+	writes, reads := 0, 0
+	var last trace.Request
+	for i, r := range tr.Requests {
+		if i > 0 && r.Time < last.Time {
+			t.Fatalf("request %d out of time order", i)
+		}
+		last = r
+		if r.Op == trace.Read {
+			reads++
+			continue
+		}
+		writes++
+		if r.N != shiftedWindow || len(r.Content) != shiftedWindow {
+			t.Fatalf("write %d: N=%d, want %d", i, r.N, shiftedWindow)
+		}
+		if r.LBA%shiftedStride != 0 {
+			t.Fatalf("write %d: extent base %d not stride-aligned", i, r.LBA)
+		}
+		if !cdc.IsEdit(r.Content[0]) {
+			t.Fatalf("write %d: content not edit-encoded", i)
+		}
+		for j := 1; j < len(r.Content); j++ {
+			if r.Content[j] != r.Content[0]+chunk.ContentID(j) {
+				t.Fatalf("write %d: IDs not consecutive at %d", i, j)
+			}
+		}
+		for _, id := range r.Content {
+			if seen[uint64(id)] {
+				t.Fatalf("write %d: repeated ContentID %x — fixed-4K would dedup it", i, uint64(id))
+			}
+			seen[uint64(id)] = true
+		}
+	}
+	if reads == 0 {
+		t.Fatal("no read requests generated")
+	}
+	if float64(reads) > 0.5*float64(writes) {
+		t.Fatalf("read share too high: %d reads vs %d writes", reads, writes)
+	}
+	if dims.FootprintChunks == 0 || dims.MemoryBytes == 0 {
+		t.Fatal("empty platform dims")
+	}
+}

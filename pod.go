@@ -32,6 +32,7 @@ import (
 
 	"github.com/pod-dedup/pod/internal/api"
 	"github.com/pod-dedup/pod/internal/bgdedup"
+	"github.com/pod-dedup/pod/internal/cdc"
 	"github.com/pod-dedup/pod/internal/disk"
 	"github.com/pod-dedup/pod/internal/engine"
 	"github.com/pod-dedup/pod/internal/experiments"
@@ -172,6 +173,17 @@ type Config struct {
 	// Supported by the Select-Dedupe and POD schemes; untagged requests
 	// land on the default stream.
 	StreamAware bool
+
+	// Chunking selects the request chunker: "fixed4k" (default — the
+	// paper's model, one chunk per 4 KiB slot keyed by the trace's
+	// ContentID), "gear" (Gear rolling-hash content-defined chunking),
+	// or "seqcdc" (sequence-based, hashless CDC). Under gear/seqcdc the
+	// engine materializes each write's bytes deterministically from its
+	// ContentIDs and re-chunks at content-defined boundaries, so
+	// byte-shifted redundancy (snapshot edits) dedups even though every
+	// trace ID is unique. Not supported by the Native scheme (it never
+	// splits requests).
+	Chunking string
 }
 
 // System is a storage system under one scheme.
@@ -244,6 +256,18 @@ func New(cfg Config) (*System, error) {
 		nvram = int(array.DataBlocks() * 24)
 	}
 
+	chunking := cdc.Params{}
+	if cfg.Chunking != "" {
+		algo, err := cdc.ParseAlgo(cfg.Chunking)
+		if err != nil {
+			return nil, fmt.Errorf("pod: %w", err)
+		}
+		if algo != cdc.Fixed4K && scheme == SchemeNative {
+			return nil, fmt.Errorf("pod: scheme %s does not support content-defined chunking (it never splits requests)", scheme)
+		}
+		chunking = cdc.Params{Algo: algo}
+	}
+
 	ecfg := engine.Config{
 		Array:           array,
 		MemoryBytes:     int64(cfg.MemoryMB) << 20,
@@ -253,6 +277,7 @@ func New(cfg Config) (*System, error) {
 		Verify:          cfg.Verify,
 		Cleaner:         engine.CleanerParams{Enabled: cfg.Cleaner},
 		Streams:         engine.StreamParams{Enabled: cfg.StreamAware},
+		Chunking:        chunking,
 	}
 	if cfg.StreamAware {
 		switch scheme {
